@@ -1,0 +1,122 @@
+"""Baseline — original Quick vs the paper's corrected algorithm (Section 4).
+
+Two claims from the paper's algorithm half:
+
+* (T1) Quick skips the k-core preprocessing, "leading to a very poor
+  scalability in our preliminary test";
+* Quick misses maximal results (the critical-vertex and empty-ext
+  checks) — our corrected algorithm must find a superset.
+
+Measured on the coexpression and collaboration analogs (where both
+algorithms finish fast enough to compare).
+"""
+
+import pytest
+
+from repro.bench import report
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.quick import mine_quick, mine_quick_with_kcore
+
+DATASETS = ["cx_gse1730", "cx_gse10158", "ca_grqc"]
+
+_state = {}
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_baseline_full(benchmark, dataset, name):
+    spec, pg = dataset(name)
+    result = benchmark.pedantic(
+        lambda: mine_maximal_quasicliques(
+            pg.graph, spec.gamma, spec.min_size, mode="global"
+        ),
+        rounds=1, iterations=1,
+    )
+    _state[(name, "full")] = result
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_baseline_quick_with_kcore(benchmark, dataset, name):
+    # Quick's missing checks but WITH the k-core shrink, so the work
+    # comparison isolates the output-check differences (the raw Quick
+    # without k-core is measured by bench_ablation_kcore).
+    spec, pg = dataset(name)
+    result = benchmark.pedantic(
+        lambda: mine_quick_with_kcore(pg.graph, spec.gamma, spec.min_size),
+        rounds=1, iterations=1,
+    )
+    _state[(name, "quick")] = result
+
+
+def test_baseline_misses_on_adversarial_instances(benchmark):
+    """Quick's result misses are corner cases; count them over a random
+    instance family (the paper proves existence; we measure frequency)."""
+    import itertools
+    import random
+
+    from repro.core.naive import enumerate_maximal_quasicliques
+
+    def scan():
+        rng = random.Random(2020)
+        missed_instances = 0
+        trials = 150
+        for _ in range(trials):
+            n = rng.randint(5, 9)
+            p = rng.uniform(0.3, 0.8)
+            edges = [
+                (u, v)
+                for u, v in itertools.combinations(range(n), 2)
+                if rng.random() < p
+            ]
+            from repro.graph.adjacency import Graph
+
+            g = Graph.from_edges(edges, vertices=range(n))
+            gamma = rng.choice([0.5, 0.6, 0.75, 0.9])
+            ms = rng.randint(2, 4)
+            want = enumerate_maximal_quasicliques(g, gamma, ms)
+            got = mine_quick(g, gamma, ms).maximal
+            assert got <= want
+            if got != want:
+                missed_instances += 1
+        return trials, missed_instances
+
+    trials, missed = benchmark.pedantic(scan, rounds=1, iterations=1)
+    _state["adversarial"] = (trials, missed)
+    assert missed > 0, "expected Quick to miss results on some instances"
+
+
+def test_baseline_report(benchmark, dataset):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        full = _state[(name, "full")]
+        quick = _state[(name, "quick")]
+        missed = full.maximal - quick.maximal
+        rows.append([
+            name,
+            f"{full.stats.mining_ops:,}",
+            f"{quick.stats.mining_ops:,}",
+            len(full.maximal),
+            len(quick.maximal),
+            len(missed),
+        ])
+        assert quick.maximal <= full.maximal, (
+            f"Quick invented results on {name}"
+        )
+    trials, missed = _state["adversarial"]
+    rows.append([
+        f"random family ({trials} instances)", "-", "-", "-", "-",
+        f"{missed} instances",
+    ])
+    report(
+        "Baseline — corrected algorithm vs original Quick (+k-core)",
+        ["dataset", "full ops", "quick ops", "full results",
+         "quick results", "missed by quick"],
+        rows,
+        notes=(
+            "Paper Section 4: Quick's output checks miss results; the\n"
+            "corrected algorithm never returns less. (Work is comparable\n"
+            "once Quick is granted the k-core shrink it lacks — the shrink\n"
+            "itself is the dominating factor, see ablation_kcore.)"
+        ),
+        out_name="baseline_quick",
+    )

@@ -1,0 +1,98 @@
+"""Figure 3 — task time vs subgraph size: time is unpredictable from size.
+
+Paper shape: tasks with subgraphs of comparable size differ in running
+time by orders of magnitude (two side-by-side tables, ~15k-vertex
+subgraphs at 5,000s vs 300,000s). This unpredictability is why
+regression models failed and why the paper resorts to the pay-as-you-go
+time-delayed decomposition.
+
+Measured analog: per-task (|V(g)|, mining ops) pairs on the youtube
+analog; within same-size bands we report the max/min time spread, plus
+a rank-correlation summary.
+"""
+
+from repro.bench import report
+from conftest import sim_run
+
+_state = {}
+
+
+def spearman_rank_correlation(xs, ys):
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        r = [0.0] * len(vals)
+        for rank, i in enumerate(order):
+            r[i] = float(rank)
+        return r
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5
+
+
+def test_fig3_collect(benchmark, dataset):
+    spec, pg = dataset("youtube")
+    out = benchmark.pedantic(
+        lambda: sim_run(pg.graph, spec, tau_time=float("inf"), decompose="none"),
+        rounds=1, iterations=1,
+    )
+    _state["pairs"] = [
+        (r.subgraph_vertices, max(1, r.mining_ops))
+        for r in out.metrics.task_records
+        if r.subgraph_vertices > 0
+    ]
+
+
+def test_fig3_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    pairs = _state["pairs"]
+    assert pairs
+    # Band tasks by subgraph size and measure within-band time spread.
+    bands: dict[int, list[int]] = {}
+    for size, ops in pairs:
+        bands.setdefault(size // 5, []).append(ops)
+    rows = []
+    spreads = []
+    for band, opses in sorted(bands.items()):
+        if len(opses) < 2:
+            continue
+        spread = max(opses) / min(opses)
+        spreads.append(spread)
+        rows.append([
+            f"{band * 5}..{band * 5 + 4}", len(opses),
+            f"{min(opses):,}", f"{max(opses):,}", f"{spread:,.1f}x",
+        ])
+    rho = spearman_rank_correlation(
+        [s for s, _ in pairs], [t for _, t in pairs]
+    )
+    sizes_sorted = sorted(s for s, _ in pairs)
+    median_size = sizes_sorted[len(sizes_sorted) // 2]
+    big = [(s, t) for s, t in pairs if s >= median_size]
+    rho_big = spearman_rank_correlation([s for s, _ in big], [t for _, t in big])
+    rows.append(["-- summary --", "", "", "", ""])
+    rows.append(["rank corr (all tasks)", f"{rho:.2f}", "", "", ""])
+    rows.append(["rank corr (big half)", f"{rho_big:.2f}", "", "", ""])
+    report(
+        "Figure 3 — task time vs subgraph size (youtube analog)",
+        ["|V(g)| band", "tasks", "min ops", "max ops", "spread"],
+        rows,
+        notes=(
+            "Paper shape: comparable-size subgraphs differ in mining time by\n"
+            "orders of magnitude — size does not predict time, motivating\n"
+            "time-delayed (pay-as-you-go) decomposition over size thresholds."
+        ),
+        out_name="fig3_time_vs_size",
+    )
+    assert max(spreads, default=1.0) >= 10, (
+        "expected same-size tasks with >=10x time spread"
+    )
+    assert rho_big < 0.7, (
+        "size must be a weak predictor of time among the tasks that matter"
+    )

@@ -1,0 +1,34 @@
+"""Table 1 — graph datasets: paper originals vs synthetic analogs."""
+
+from repro.bench import report
+from repro.datasets import dataset_names, get_dataset, build_dataset
+
+
+def test_table1_dataset_inventory(benchmark, dataset):
+    # Benchmark the cost of materializing one mid-sized analog.
+    spec, _ = dataset("enron")
+    benchmark.pedantic(lambda: spec.build(), rounds=1, iterations=1)
+
+    rows = []
+    for name in dataset_names():
+        spec, pg = dataset(name)
+        g = pg.graph
+        rows.append([
+            name,
+            f"{spec.paper_vertices:,}",
+            f"{spec.paper_edges:,}",
+            f"{g.num_vertices:,}",
+            f"{g.num_edges:,}",
+            len(pg.planted),
+        ])
+    report(
+        "Table 1 — datasets (paper original vs synthetic analog)",
+        ["dataset", "paper |V|", "paper |E|", "analog |V|", "analog |E|", "plants"],
+        rows,
+        notes=(
+            "Analogs are scaled down ~100-500x in |V| so Python-speed mining is\n"
+            "tractable; they preserve heavy-tailed degrees plus planted dense\n"
+            "modules (the mined quasi-cliques)."
+        ),
+        out_name="table1_datasets",
+    )

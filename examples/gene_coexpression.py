@@ -1,0 +1,108 @@
+"""Gene coexpression module discovery — the paper's biology use case.
+
+The paper's two smallest datasets (CX_GSE1730, CX_GSE10158) are gene
+coexpression graphs: vertices are genes, edges connect genes whose
+expression profiles correlate above a threshold, and quasi-cliques mark
+co-expressed functional modules. This example builds the full pipeline
+from raw (synthetic) expression data:
+
+1. simulate an expression matrix with planted co-regulated modules;
+2. threshold pairwise Pearson correlation into a graph;
+3. mine maximal γ-quasi-cliques = candidate modules;
+4. score recovery of the planted modules.
+
+Run:  python examples/gene_coexpression.py
+"""
+
+import random
+
+from repro import Graph, mine_maximal_quasicliques
+
+N_GENES = 300
+N_SAMPLES = 40
+N_MODULES = 4
+MODULE_SIZE = 10
+CORRELATION_THRESHOLD = 0.6
+GAMMA = 0.85
+MIN_SIZE = 8
+
+
+def simulate_expression(rng):
+    """Expression matrix with co-regulated modules over noise.
+
+    Genes in a module follow a shared latent profile plus noise; the
+    rest are independent noise. Pure-Python (no numpy needed here).
+    """
+    modules = []
+    next_gene = 0
+    assignments = {}
+    for m in range(N_MODULES):
+        members = list(range(next_gene, next_gene + MODULE_SIZE))
+        next_gene += MODULE_SIZE
+        modules.append(set(members))
+        for g in members:
+            assignments[g] = m
+    latent = [
+        [rng.gauss(0, 1) for _ in range(N_SAMPLES)] for _ in range(N_MODULES)
+    ]
+    matrix = []
+    for g in range(N_GENES):
+        if g in assignments:
+            base = latent[assignments[g]]
+            row = [x + rng.gauss(0, 0.45) for x in base]
+        else:
+            row = [rng.gauss(0, 1) for _ in range(N_SAMPLES)]
+        matrix.append(row)
+    return matrix, modules
+
+
+def pearson(x, y):
+    n = len(x)
+    mx = sum(x) / n
+    my = sum(y) / n
+    sxy = sum((a - mx) * (b - my) for a, b in zip(x, y))
+    sxx = sum((a - mx) ** 2 for a in x)
+    syy = sum((b - my) ** 2 for b in y)
+    if sxx == 0 or syy == 0:
+        return 0.0
+    return sxy / (sxx * syy) ** 0.5
+
+
+def build_coexpression_graph(matrix):
+    g = Graph()
+    for gene in range(len(matrix)):
+        g.add_vertex(gene)
+    for a in range(len(matrix)):
+        for b in range(a + 1, len(matrix)):
+            if abs(pearson(matrix[a], matrix[b])) >= CORRELATION_THRESHOLD:
+                g.add_edge(a, b)
+    return g
+
+
+def jaccard(a, b):
+    return len(a & b) / len(a | b)
+
+
+def main() -> None:
+    rng = random.Random(2020)
+    matrix, modules = simulate_expression(rng)
+    graph = build_coexpression_graph(matrix)
+    print(f"coexpression graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"(threshold |r| >= {CORRELATION_THRESHOLD})")
+
+    result = mine_maximal_quasicliques(graph, gamma=GAMMA, min_size=MIN_SIZE)
+    found = sorted(result.maximal, key=len, reverse=True)
+    print(f"\n{len(found)} candidate modules "
+          f"(gamma={GAMMA}, min_size={MIN_SIZE}):")
+    for qc in found[:8]:
+        print(f"  size {len(qc):2d}: genes {sorted(qc)}")
+
+    print("\nplanted-module recovery (best Jaccard per module):")
+    for i, module in enumerate(modules):
+        best = max((jaccard(module, set(qc)) for qc in found), default=0.0)
+        print(f"  module {i} ({sorted(module)[0]}..{sorted(module)[-1]}): "
+              f"Jaccard {best:.2f}")
+
+
+if __name__ == "__main__":
+    main()

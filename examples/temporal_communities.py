@@ -1,0 +1,69 @@
+"""Temporal community patterns — the Yang et al. [42] extension.
+
+Simulates an interaction network over 6 time steps where one community
+forms, persists, and dissolves while another emerges later; mines all
+maximal temporal γ-quasi-clique patterns (vertex set + the interval it
+stays dense) and picks a diversified top-k.
+
+Run:  python examples/temporal_communities.py
+"""
+
+import itertools
+import random
+
+from repro.core.temporal import (
+    TemporalGraph,
+    diversified_top_k,
+    mine_temporal_patterns,
+)
+
+SNAPSHOTS = 6
+GAMMA = 0.8
+MIN_SIZE = 4
+MIN_DURATION = 2
+
+
+def build_temporal_network(rng: random.Random) -> TemporalGraph:
+    tg = TemporalGraph(num_snapshots=SNAPSHOTS)
+    # Community A: vertices 0..5, dense during t = 0..3.
+    for u, v in itertools.combinations(range(6), 2):
+        times = [t for t in range(0, 4) if rng.random() < 0.9]
+        if times:
+            tg.add_edge(u, v, times)
+    # Community B: vertices 10..15, dense during t = 3..5.
+    for u, v in itertools.combinations(range(10, 16), 2):
+        times = [t for t in range(3, 6) if rng.random() < 0.9]
+        if times:
+            tg.add_edge(u, v, times)
+    # Background noise across the horizon.
+    for _ in range(40):
+        u, v = rng.sample(range(20), 2)
+        tg.add_edge(u, v, [rng.randrange(SNAPSHOTS)])
+    return tg
+
+
+def main() -> None:
+    rng = random.Random(42)
+    tg = build_temporal_network(rng)
+    print(f"temporal network: {tg.num_vertices} vertices, "
+          f"{SNAPSHOTS} snapshots")
+
+    result = mine_temporal_patterns(
+        tg, gamma=GAMMA, min_size=MIN_SIZE, min_duration=MIN_DURATION
+    )
+    print(f"\n{len(result.patterns)} maximal temporal patterns "
+          f"(gamma={GAMMA}, min_size={MIN_SIZE}, min_duration={MIN_DURATION}; "
+          f"{result.windows_mined} windows mined)")
+    for p in sorted(result.patterns, key=lambda p: (p.start, -len(p.vertices)))[:8]:
+        print(f"  t=[{p.start}..{p.end}] size {len(p.vertices):2d}: "
+              f"{sorted(p.vertices)}")
+
+    top = diversified_top_k(result.patterns, k=3)
+    print("\ndiversified top-3 (greedy max vertex-time coverage):")
+    for i, p in enumerate(top):
+        print(f"  #{i + 1}: t=[{p.start}..{p.end}] {sorted(p.vertices)} "
+              f"({len(p.cells())} cells)")
+
+
+if __name__ == "__main__":
+    main()

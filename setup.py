@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package here).
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+`setup.py develop` editable path that avoids building a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — Scalable Mining of Maximal Quasi-Cliques (VLDB 2020 reproduction).
+
+An algorithm-system codesign: a pruning-complete recursive miner for
+maximal γ-quasi-cliques (the Quick lineage, corrected), plus a reforged
+G-thinker task engine with a global big-task queue, disk spilling, task
+stealing, and time-delayed task decomposition.
+
+Quickstart::
+
+    from repro import mine_maximal_quasicliques
+    from repro.graph.generators import planted_quasicliques
+
+    pg = planted_quasicliques(n=300, avg_degree=6, num_plants=3,
+                              plant_size=9, gamma=0.9, seed=7)
+    result = mine_maximal_quasicliques(pg.graph, gamma=0.9, min_size=8)
+    for qc in sorted(result.maximal, key=len, reverse=True):
+        print(sorted(qc))
+"""
+
+from .core.miner import MiningResult, mine_maximal_quasicliques
+from .core.options import (
+    DEFAULT_OPTIONS,
+    QUICK_OPTIONS,
+    MinerOptions,
+    MiningStats,
+    ResultSink,
+)
+from .core.postprocess import postprocess_results
+from .core.quasiclique import is_quasi_clique, is_valid_quasi_clique
+from .core.quick import mine_quick
+from .graph.adjacency import Graph
+from .graph.generators import planted_quasicliques
+from .graph.io import read_edge_list, write_edge_list
+from .graph.kcore import core_numbers, k_core
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "MinerOptions",
+    "MiningResult",
+    "MiningStats",
+    "ResultSink",
+    "DEFAULT_OPTIONS",
+    "QUICK_OPTIONS",
+    "core_numbers",
+    "is_quasi_clique",
+    "is_valid_quasi_clique",
+    "k_core",
+    "mine_maximal_quasicliques",
+    "mine_quick",
+    "planted_quasicliques",
+    "postprocess_results",
+    "read_edge_list",
+    "write_edge_list",
+    "__version__",
+]

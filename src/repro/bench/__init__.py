@@ -1,0 +1,14 @@
+"""Benchmark-harness helpers (table rendering, experiment plumbing)."""
+
+from .harness import config_for, hyperparameter_grid, run_dataset, scalability_sweep
+from .reporting import format_table, ratio, report
+
+__all__ = [
+    "config_for",
+    "format_table",
+    "hyperparameter_grid",
+    "ratio",
+    "report",
+    "run_dataset",
+    "scalability_sweep",
+]

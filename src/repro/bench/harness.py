@@ -1,0 +1,122 @@
+"""Programmatic experiment harness.
+
+The pytest benchmarks under ``benchmarks/`` are the canonical way to
+regenerate the paper's tables, but downstream users often want the same
+sweeps as library calls (e.g. to plot their own data). This module
+packages the common run shapes: one simulated job with a dataset's
+registered parameters, scalability sweeps, and hyperparameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets.registry import DatasetSpec, build_dataset, get_dataset
+from ..graph.adjacency import Graph
+from ..gthinker.config import EngineConfig
+from ..gthinker.simulation import SimOutcome, simulate_cluster
+
+
+def config_for(spec: DatasetSpec, machines: int = 1, threads: int = 1,
+               **overrides) -> EngineConfig:
+    """EngineConfig carrying a dataset's registered (τ_split, τ_time)."""
+    params = dict(
+        num_machines=machines,
+        threads_per_machine=threads,
+        tau_split=spec.tau_split,
+        tau_time=spec.tau_time_ops,
+        time_unit="ops",
+        decompose="timed",
+    )
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+def run_dataset(name: str, machines: int = 1, threads: int = 1,
+                **overrides) -> SimOutcome:
+    """One simulated run of a registered dataset analog."""
+    spec = get_dataset(name)
+    graph = build_dataset(name).graph
+    return simulate_cluster(
+        graph, spec.gamma, spec.min_size,
+        config_for(spec, machines, threads, **overrides),
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome within a sweep."""
+
+    machines: int
+    threads: int
+    makespan: float
+    speedup: float
+    utilization: float
+    steals: int
+    results: int
+
+
+@dataclass
+class SweepResult:
+    """A scalability sweep plus its 1×1 baseline."""
+
+    baseline_makespan: float
+    points: list[SweepPoint] = field(default_factory=list)
+
+
+def scalability_sweep(
+    graph: Graph,
+    gamma: float,
+    min_size: int,
+    configurations: list[tuple[int, int]],
+    base_config: EngineConfig,
+) -> SweepResult:
+    """Run (machines, threads) configurations; speedups vs a 1×1 run."""
+
+    def run(machines: int, threads: int) -> SimOutcome:
+        cfg = EngineConfig(
+            **{
+                **base_config.__dict__,
+                "num_machines": machines,
+                "threads_per_machine": threads,
+            }
+        )
+        return simulate_cluster(graph, gamma, min_size, cfg)
+
+    base = run(1, 1)
+    sweep = SweepResult(baseline_makespan=base.makespan)
+    for machines, threads in configurations:
+        out = run(machines, threads)
+        sweep.points.append(
+            SweepPoint(
+                machines=machines,
+                threads=threads,
+                makespan=out.makespan,
+                speedup=base.makespan / out.makespan if out.makespan else float("inf"),
+                utilization=out.utilization,
+                steals=out.metrics.steals,
+                results=len(out.maximal),
+            )
+        )
+    return sweep
+
+
+def hyperparameter_grid(
+    name: str,
+    tau_times: list[float],
+    tau_splits: list[int],
+    machines: int = 4,
+    threads: int = 4,
+) -> dict[tuple[float, int], SimOutcome]:
+    """The Tables 3–4 grid: (τ_time, τ_split) → simulated outcome."""
+    spec = get_dataset(name)
+    graph = build_dataset(name).graph
+    out: dict[tuple[float, int], SimOutcome] = {}
+    for tau_time in tau_times:
+        for tau_split in tau_splits:
+            out[(tau_time, tau_split)] = simulate_cluster(
+                graph, spec.gamma, spec.min_size,
+                config_for(spec, machines, threads,
+                           tau_time=tau_time, tau_split=tau_split),
+            )
+    return out

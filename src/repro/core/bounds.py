@@ -1,0 +1,109 @@
+"""Upper and lower bounds on the number of addable vertices (P4, P5).
+
+Implements Eqs. (1)–(8) of the paper:
+
+* ``U_S`` — the largest number of ext(S) vertices that could join S in a
+  valid γ-quasi-clique, derived from d_min (Eq. 1–3) and tightened by
+  the Lemma 2 prefix-sum condition (Eq. 4).
+* ``L_S`` — the smallest number of ext(S) vertices that *must* join S
+  before its minimum degree clears the γ floor, from Eq. (7) tightened
+  to Eq. (8).
+
+Both functions return ``None`` when no feasible t exists, which the
+caller must treat as a Type II prune. The distinction the paper draws:
+a U_S failure still leaves G(S) itself as a candidate, whereas an L_S
+failure (including L_min failure) certifies S is not a quasi-clique.
+"""
+
+from __future__ import annotations
+
+from .degrees import DegreeView
+from .quasiclique import ceil_gamma, floor_div_gamma
+
+
+def lemma2_feasible(
+    gamma: float, s_size: int, sum_s_degrees: int, prefix_sums: list[int], t: int
+) -> bool:
+    """Lemma 2 sum condition for adding t best ext vertices to S.
+
+    True iff Σ_S d_S(v) + Σ_{i≤t} d_S(u_i) ≥ |S|·ceil(γ(|S|+t−1)),
+    where u_i are sorted by d_S non-increasing and ``prefix_sums[t]``
+    holds Σ_{i≤t}.
+    """
+    return sum_s_degrees + prefix_sums[t] >= s_size * ceil_gamma(gamma, s_size + t - 1)
+
+
+def prefix_sums_desc(ext_degrees_sorted: list[int]) -> list[int]:
+    """prefix_sums[t] = Σ_{i≤t} d_S(u_i); prefix_sums[0] = 0."""
+    sums = [0]
+    acc = 0
+    for d in ext_degrees_sorted:
+        acc += d
+        sums.append(acc)
+    return sums
+
+
+def upper_bound_min(gamma: float, s_size: int, d_min: int) -> int:
+    """U_S^min = floor(d_min/γ) + 1 − |S| (Eq. 3); may be ≤ 0 or > |ext|."""
+    return floor_div_gamma(d_min, gamma) + 1 - s_size
+
+
+def upper_bound(gamma: float, s_size: int, view: DegreeView) -> int | None:
+    """U_S per Eq. (4): the largest feasible t in [1, U_S^min].
+
+    Returns None when no t qualifies — extensions of S are pruned, but
+    G(S) itself must still be examined by the caller.
+    """
+    if not view.in_s_of_s:
+        raise ValueError("upper_bound undefined for empty S")
+    d_min = view.min_total_degree_in_s()
+    u_min = upper_bound_min(gamma, s_size, d_min)
+    ext_sorted = view.ext_degrees_sorted()
+    n = len(ext_sorted)
+    hi = min(u_min, n)
+    if hi < 1:
+        return None
+    sums = prefix_sums_desc(ext_sorted)
+    sum_s = view.sum_s_degrees()
+    for t in range(hi, 0, -1):
+        if lemma2_feasible(gamma, s_size, sum_s, sums, t):
+            return t
+    return None
+
+
+def lower_bound_min(gamma: float, s_size: int, d_s_min: int, n_ext: int) -> int | None:
+    """L_S^min per Eq. (7): smallest t ≥ 0 with d_S^min + t ≥ ceil(γ(|S|+t−1)).
+
+    Checks t = 0..n_ext; None means S and all extensions are pruned.
+    """
+    for t in range(0, n_ext + 1):
+        if d_s_min + t >= ceil_gamma(gamma, s_size + t - 1):
+            return t
+    return None
+
+
+def lower_bound(gamma: float, s_size: int, view: DegreeView) -> int | None:
+    """L_S per Eq. (8): smallest t in [L_S^min, n] passing Lemma 2.
+
+    Returns None when infeasible — a Type II prune of S *and* its
+    extensions (an L_S failure certifies S itself misses the degree
+    floor, see module docstring).
+    """
+    if not view.in_s_of_s:
+        raise ValueError("lower_bound undefined for empty S")
+    ext_sorted = view.ext_degrees_sorted()
+    n = len(ext_sorted)
+    l_min = lower_bound_min(gamma, s_size, view.min_s_degree(), n)
+    if l_min is None:
+        return None
+    sums = prefix_sums_desc(ext_sorted)
+    sum_s = view.sum_s_degrees()
+    for t in range(l_min, n + 1):
+        if lemma2_feasible(gamma, s_size, sum_s, sums, t):
+            return t
+    return None
+
+
+def bounds_or_prune(gamma: float, s_size: int, view: DegreeView) -> tuple[int | None, int | None]:
+    """(U_S, L_S) convenience wrapper; either may be None (Type II prune)."""
+    return upper_bound(gamma, s_size, view), lower_bound(gamma, s_size, view)

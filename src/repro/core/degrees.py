@@ -1,0 +1,81 @@
+"""Degree bookkeeping for a mining state ⟨S, ext(S)⟩ — paper (T2).
+
+The pruning rules consume four degree families:
+
+* SS-degrees  d_S(v)      for v ∈ S
+* ES-degrees  d_ext(S)(v) for v ∈ S
+* SE-degrees  d_S(u)      for u ∈ ext(S)
+* EE-degrees  d_ext(S)(u) for u ∈ ext(S)
+
+U_S needs the first three, L_S the first two, and EE-degrees feed only
+the Type I rules (Theorems 3 and 7), so their computation is deferred
+until right before the Type I pass — if a Type II rule fires first, the
+work is saved, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.adjacency import Graph
+
+
+@dataclass
+class DegreeView:
+    """Snapshot of the four degree families for one (S, ext) state."""
+
+    in_s_of_s: dict[int, int] = field(default_factory=dict)  # d_S(v), v ∈ S
+    in_ext_of_s: dict[int, int] = field(default_factory=dict)  # d_ext(v), v ∈ S
+    in_s_of_ext: dict[int, int] = field(default_factory=dict)  # d_S(u), u ∈ ext
+    in_ext_of_ext: dict[int, int] | None = None  # d_ext(u), u ∈ ext (lazy)
+
+    def sum_s_degrees(self) -> int:
+        """Σ_{v∈S} d_S(v) — left operand of the Lemma 2 sum."""
+        return sum(self.in_s_of_s.values())
+
+    def min_total_degree_in_s(self) -> int:
+        """d_min = min_{v∈S} (d_S(v) + d_ext(v)) — Eq. (1)."""
+        return min(
+            self.in_s_of_s[v] + self.in_ext_of_s[v] for v in self.in_s_of_s
+        )
+
+    def min_s_degree(self) -> int:
+        """d_S^min = min_{v∈S} d_S(v) — Eq. (6)."""
+        return min(self.in_s_of_s.values())
+
+    def ext_degrees_sorted(self) -> list[int]:
+        """d_S(u) for u ∈ ext, non-increasing — the Lemma 2 prefix order."""
+        return sorted(self.in_s_of_ext.values(), reverse=True)
+
+
+def compute_degrees(graph: Graph, s_set: set[int], ext_set: set[int]) -> DegreeView:
+    """Compute SS/ES/SE degrees in one pass over adjacency lists.
+
+    SE- and ES-degrees are two views of the same crossing edges, so a
+    single scan over ext adjacency increments both sides (paper T2).
+    """
+    view = DegreeView()
+    for v in s_set:
+        view.in_s_of_s[v] = 0
+        view.in_ext_of_s[v] = 0
+    for v in s_set:
+        count_s = 0
+        for u in graph.neighbors(v):
+            if u in s_set:
+                count_s += 1
+        view.in_s_of_s[v] = count_s
+    for u in ext_set:
+        count_s = 0
+        for w in graph.neighbors(u):
+            if w in s_set:
+                count_s += 1
+                view.in_ext_of_s[w] += 1
+        view.in_s_of_ext[u] = count_s
+    return view
+
+
+def compute_ee_degrees(graph: Graph, ext_set: set[int], view: DegreeView) -> dict[int, int]:
+    """EE-degrees d_ext(u), computed lazily before the Type I pass."""
+    ee = {u: graph.degree_in(u, ext_set) for u in ext_set}
+    view.in_ext_of_ext = ee
+    return ee

@@ -1,0 +1,137 @@
+"""Kernel-expansion acceleration for large quasi-cliques (paper §8 future work).
+
+The paper's conclusion names Sanei-Mehri et al. [32] as the planned
+extension: instead of mining γ-quasi-cliques directly, first mine
+γ′-quasi-cliques for a *stricter* γ′ > γ — there are far fewer of them
+and the tighter threshold prunes harder — then grow each such "kernel"
+into a large γ-quasi-clique by greedy expansion. The result is a fast
+*heuristic* enumerator for the top-k largest γ-quasi-cliques: [32] show
+(and we re-verify in tests/benchmarks) that the error versus the exact
+top-k is small, while the kernel mining is much cheaper.
+
+The expansion keeps the invariant that the working set S remains a
+γ-quasi-clique after every addition, so every returned set is valid by
+construction; maximality is *not* guaranteed (matching [32], who run a
+post-check — provided here as `postprocess` over the expanded sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.adjacency import Graph
+from .miner import mine_maximal_quasicliques
+from .options import MinerOptions, MiningStats, DEFAULT_OPTIONS
+from .postprocess import remove_non_maximal
+from .quasiclique import ceil_gamma, is_quasi_clique
+
+
+@dataclass
+class KernelExpansionResult:
+    """Outcome of a kernel-expansion run."""
+
+    top_k: list[frozenset[int]]  # largest expanded quasi-cliques, size-desc
+    expanded: set[frozenset[int]]  # all expanded (maximality-filtered)
+    kernels: set[frozenset[int]]  # the γ′-kernels that seeded expansion
+    kernel_gamma: float
+    stats: MiningStats = field(default_factory=MiningStats)
+
+    def __len__(self) -> int:
+        return len(self.top_k)
+
+
+def expansion_candidates(graph: Graph, members: set[int]) -> set[int]:
+    """Vertices adjacent to at least one member (the growth frontier)."""
+    out: set[int] = set()
+    for v in members:
+        out |= graph.neighbor_set(v)
+    return out - members
+
+
+def expand_kernel(
+    graph: Graph, kernel: frozenset[int], gamma: float
+) -> frozenset[int]:
+    """Greedily grow a kernel while it remains a γ-quasi-clique.
+
+    Candidates are scored by their degree into the current set (ties by
+    smaller vertex ID for determinism); a candidate is added only if the
+    grown set still satisfies the γ floor for *every* member, so the
+    invariant holds throughout. Stops when no candidate can join.
+    """
+    members = set(kernel)
+    while True:
+        best: int | None = None
+        best_degree = -1
+        floor_next = ceil_gamma(gamma, len(members))  # |S∪{u}| − 1 = |S|
+        for u in sorted(expansion_candidates(graph, members)):
+            d_u = graph.degree_in(u, members)
+            if d_u < floor_next or d_u <= best_degree:
+                continue
+            # Candidate u clears its own floor; check it doesn't sink
+            # an existing member below the grown set's floor.
+            if all(
+                graph.degree_in(v, members) + (1 if graph.has_edge(u, v) else 0)
+                >= floor_next
+                for v in members
+            ):
+                best = u
+                best_degree = d_u
+        if best is None:
+            return frozenset(members)
+        members.add(best)
+
+
+def mine_kernels(
+    graph: Graph,
+    kernel_gamma: float,
+    min_size: int,
+    options: MinerOptions = DEFAULT_OPTIONS,
+) -> tuple[set[frozenset[int]], MiningStats]:
+    """Mine the γ′-kernels (QuickM role: maximality is irrelevant here).
+
+    [32] use a Quick variant that skips the maximality check since
+    expansion re-grows the sets anyway; we equivalently take the raw
+    candidates of the exact miner at the stricter γ′.
+    """
+    result = mine_maximal_quasicliques(graph, kernel_gamma, min_size, options=options)
+    # Raw candidates = maximal ∪ some non-maximal; all are valid kernels.
+    return result.candidates, result.stats
+
+
+def top_k_quasicliques(
+    graph: Graph,
+    gamma: float,
+    k: int,
+    min_size: int,
+    kernel_gamma: float | None = None,
+    options: MinerOptions = DEFAULT_OPTIONS,
+) -> KernelExpansionResult:
+    """Heuristic top-k largest γ-quasi-cliques via kernel expansion.
+
+    ``kernel_gamma`` defaults to the midpoint between γ and 1 — strict
+    enough to keep the kernel mining cheap, loose enough to seed every
+    dense region. Larger values trade recall for speed.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if kernel_gamma is None:
+        kernel_gamma = min(1.0, gamma + (1.0 - gamma) * 0.5)
+    if kernel_gamma < gamma:
+        raise ValueError(
+            f"kernel_gamma ({kernel_gamma}) must be >= gamma ({gamma})"
+        )
+    kernels, stats = mine_kernels(graph, kernel_gamma, min_size, options=options)
+    expanded: set[frozenset[int]] = set()
+    for kernel in kernels:
+        grown = expand_kernel(graph, kernel, gamma)
+        assert is_quasi_clique(graph, grown, gamma)
+        expanded.add(grown)
+    expanded = remove_non_maximal(expanded)
+    top = sorted(expanded, key=lambda s: (-len(s), sorted(s)))[:k]
+    return KernelExpansionResult(
+        top_k=top,
+        expanded=expanded,
+        kernels=kernels,
+        kernel_gamma=kernel_gamma,
+        stats=stats,
+    )

@@ -1,0 +1,71 @@
+"""Brute-force oracle for maximal quasi-clique enumeration.
+
+Used exclusively by tests and ablation harnesses to validate the
+optimized miners on small graphs: every subset of V is examined, so the
+output is ground truth by construction. Exponential — refuse anything
+beyond ~20 vertices.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..graph.adjacency import Graph
+from .quasiclique import is_quasi_clique
+
+#: Refuse power-set scans beyond this size; 2^20 subsets is the ceiling.
+MAX_ORACLE_VERTICES = 20
+
+
+def enumerate_quasicliques(graph: Graph, gamma: float, min_size: int) -> list[frozenset[int]]:
+    """All valid (not necessarily maximal) γ-quasi-cliques with |S| ≥ min_size."""
+    vertices = sorted(graph.vertices())
+    if len(vertices) > MAX_ORACLE_VERTICES:
+        raise ValueError(
+            f"oracle limited to {MAX_ORACLE_VERTICES} vertices, got {len(vertices)}"
+        )
+    out: list[frozenset[int]] = []
+    for size in range(max(1, min_size), len(vertices) + 1):
+        for combo in combinations(vertices, size):
+            if is_quasi_clique(graph, combo, gamma):
+                out.append(frozenset(combo))
+    return out
+
+
+def enumerate_maximal_quasicliques(
+    graph: Graph, gamma: float, min_size: int
+) -> set[frozenset[int]]:
+    """All maximal valid γ-quasi-cliques (Definition 2 + size filter).
+
+    Maximality is judged against *all* γ-quasi-cliques, not only the
+    valid ones, but a superset of a valid quasi-clique is itself large
+    enough to be valid, so filtering among enumerated sets suffices.
+    """
+    all_qcs = enumerate_quasicliques(graph, gamma, min_size)
+    by_size = sorted(all_qcs, key=len, reverse=True)
+    maximal: list[frozenset[int]] = []
+    out: set[frozenset[int]] = set()
+    for s in by_size:
+        if not any(s < bigger for bigger in maximal):
+            maximal.append(s)
+            out.add(s)
+    return out
+
+
+def is_maximal_quasiclique(graph: Graph, vertex_set: frozenset[int], gamma: float) -> bool:
+    """Oracle maximality check by scanning supersets (tests only).
+
+    Deciding maximality is NP-hard in general [32]; this brute force is
+    restricted to tiny graphs like the rest of the oracle.
+    """
+    if not is_quasi_clique(graph, vertex_set, gamma):
+        return False
+    others = [v for v in graph.vertices() if v not in vertex_set]
+    if len(others) + len(vertex_set) > MAX_ORACLE_VERTICES:
+        raise ValueError("maximality oracle limited to tiny graphs")
+    base = set(vertex_set)
+    for extra in range(1, len(others) + 1):
+        for combo in combinations(others, extra):
+            if is_quasi_clique(graph, base | set(combo), gamma):
+                return False
+    return True

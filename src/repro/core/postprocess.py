@@ -1,0 +1,69 @@
+"""Maximality postprocessing (paper Section 3.1).
+
+Per-root tasks cannot see quasi-cliques whose smallest vertex is
+smaller than their own root, so the union of all task outputs contains
+every maximal valid quasi-clique plus possibly some non-maximal ones.
+Because every valid quasi-clique is contained in some *maximal* valid
+quasi-clique — and all of those are present — filtering proper subsets
+against the result set itself yields exactly the maximal family.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from ..graph.adjacency import Graph
+from .quasiclique import is_quasi_clique
+
+
+def remove_non_maximal(results: Iterable[frozenset[int]]) -> set[frozenset[int]]:
+    """Drop every result that is a proper subset of another result.
+
+    Uses a vertex→results inverted index so each candidate is compared
+    only against the (few) larger results sharing one of its vertices,
+    instead of the full quadratic scan.
+    """
+    unique = sorted(set(results), key=len, reverse=True)
+    kept: list[frozenset[int]] = []
+    by_vertex: dict[int, list[int]] = defaultdict(list)
+    out: set[frozenset[int]] = set()
+    for s in unique:
+        if not s:
+            continue
+        # Candidate supersets must contain an arbitrary member of s.
+        probe = next(iter(s))
+        is_subset = any(s < kept[idx] for idx in by_vertex[probe])
+        if is_subset:
+            continue
+        idx = len(kept)
+        kept.append(s)
+        out.add(s)
+        for v in s:
+            by_vertex[v].append(idx)
+    return out
+
+
+def postprocess_results(
+    results: Iterable[frozenset[int]],
+    graph: Graph | None = None,
+    gamma: float | None = None,
+    min_size: int | None = None,
+    verify: bool = False,
+) -> set[frozenset[int]]:
+    """Full postprocessing: optional re-verification, then maximality filter.
+
+    ``verify=True`` re-checks every candidate against the original graph
+    (validity + size); it is a safety net for engine modes that emit
+    candidates from task-local subgraphs.
+    """
+    candidates = set(results)
+    if verify:
+        if graph is None or gamma is None or min_size is None:
+            raise ValueError("verify=True requires graph, gamma, and min_size")
+        candidates = {
+            s
+            for s in candidates
+            if len(s) >= min_size and is_quasi_clique(graph, s, gamma)
+        }
+    return remove_non_maximal(candidates)

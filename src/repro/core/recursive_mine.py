@@ -1,0 +1,95 @@
+"""The recursive set-enumeration miner (paper Algorithm 2).
+
+``recursive_mine(job, S, ext)`` explores the set-enumeration subtree
+T_S: for each pivot v taken in list order from ext(S) (cover-set
+vertices parked at the tail and never pivoted), it forms
+S′ = S ∪ {v}, shrinks the candidate set with diameter pruning
+(Theorem 1), runs the iterative bounding subprocedure (Algorithm 1),
+and recurses when extensions survive. It returns True iff some valid
+quasi-clique *strictly containing* S was found, which the caller uses
+to decide whether S′ itself should be emitted as a candidate maximal
+result.
+
+Emitted results are candidates — some may be non-maximal (the paper's
+set-enumeration scopes each task to quasi-cliques whose smallest vertex
+is the spawn root, so cross-task maximality needs the postprocessing in
+:mod:`repro.core.postprocess`).
+"""
+
+from __future__ import annotations
+
+from ..graph.adjacency import Graph
+from .degrees import compute_degrees
+from .iterative_bounding import check_and_emit, iterative_bounding
+from .options import MiningJob
+from .pruning import cover_set, diameter_filter
+from .quasiclique import is_quasi_clique
+
+
+def select_cover_tail(job: MiningJob, s_list: list[int], ext_list: list[int]) -> set[int]:
+    """Pick the best cover vertex (P7) and return its covered set (maybe ∅)."""
+    if not job.options.use_cover_vertex or not ext_list:
+        return set()
+    s_set = set(s_list)
+    ext_set = set(ext_list)
+    view = compute_degrees(job.graph, s_set, ext_set)
+    cv = cover_set(job.graph, s_set, ext_set, job.gamma, view)
+    if cv is None:
+        return set()
+    job.stats.cover_skipped += len(cv.covered)
+    return cv.covered
+
+
+def order_with_cover_tail(ext_list: list[int], covered: set[int]) -> tuple[list[int], int]:
+    """Reorder ext so covered vertices sit at the tail; returns (order, #pivots)."""
+    head = [u for u in ext_list if u not in covered]
+    tail = [u for u in ext_list if u in covered]
+    return head + tail, len(head)
+
+
+def recursive_mine(job: MiningJob, s_list: list[int], ext_list: list[int]) -> bool:
+    """Paper Algorithm 2. True iff some valid quasi-clique ⊃ S was emitted."""
+    graph: Graph = job.graph
+    gamma = job.gamma
+    min_size = job.min_size
+    opts = job.options
+    found = False
+    job.stats.nodes_expanded += 1
+    job.stats.mining_ops += 1 + len(ext_list)
+
+    order, num_pivots = order_with_cover_tail(ext_list, select_cover_tail(job, s_list, ext_list))
+
+    for i in range(num_pivots):
+        v = order[i]
+        remaining = order[i:]  # current ext(S), pivot included
+        if len(s_list) + len(remaining) < min_size:
+            return found
+        if opts.use_lookahead and is_quasi_clique(graph, set(s_list) | set(remaining), gamma):
+            # Lookahead (Alg. 2 lines 8–10): S ∪ ext(S) is itself a valid
+            # quasi-clique, so every proper extension is non-maximal.
+            job.sink.emit(s_list + remaining)
+            job.stats.candidates_emitted += 1
+            job.stats.lookahead_hits += 1
+            return True
+
+        s_prime = s_list + [v]
+        ext_base = order[i + 1 :]
+        if opts.use_diameter_prune:
+            ext_prime = diameter_filter(graph, v, ext_base)
+        else:
+            ext_prime = list(ext_base)
+
+        if not ext_prime:
+            # The check Quick misses: S′ has nothing to extend with but
+            # may itself be a valid (maximal) quasi-clique.
+            if opts.check_empty_ext_candidate and check_and_emit(job, s_prime):
+                found = True
+            continue
+
+        pruned = iterative_bounding(job, s_prime, ext_prime)
+        if not pruned and len(s_prime) + len(ext_prime) >= min_size:
+            sub_found = recursive_mine(job, s_prime, ext_prime)
+            found = found or sub_found
+            if not sub_found and check_and_emit(job, s_prime):
+                found = True
+    return found

@@ -1,0 +1,102 @@
+"""Result-file persistence and streaming postprocessing.
+
+The paper's system appends candidate quasi-cliques to a *result file*
+as tasks emit them, and runs maximality postprocessing as a separate
+phase (their released code even ships without it). These helpers make
+that workflow concrete: append-only writers usable from concurrent
+sinks, a reader, and a file-to-file postprocess that deduplicates and
+removes non-maximal candidates.
+
+Format: one vertex set per line, space-separated sorted IDs; `#` lines
+are comments. Stable across runs, diff-friendly, and identical to the
+CLI's --output format.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterable
+
+from .postprocess import remove_non_maximal
+
+
+def write_results(
+    results: Iterable[frozenset[int]],
+    path: str | os.PathLike,
+    header: str | None = None,
+) -> int:
+    """Write vertex sets one per line (size-descending); returns the count."""
+    ordered = sorted(set(results), key=lambda s: (-len(s), sorted(s)))
+    with open(path, "w") as f:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        for s in ordered:
+            f.write(" ".join(str(v) for v in sorted(s)) + "\n")
+    return len(ordered)
+
+
+def read_results(path: str | os.PathLike) -> set[frozenset[int]]:
+    """Read a result file back into a set of frozensets."""
+    out: set[frozenset[int]] = set()
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            out.add(frozenset(int(tok) for tok in line.split()))
+    return out
+
+
+def postprocess_file(
+    src: str | os.PathLike, dst: str | os.PathLike
+) -> tuple[int, int]:
+    """Maximality-filter a result file; returns (#read, #kept)."""
+    candidates = read_results(src)
+    kept = remove_non_maximal(candidates)
+    write_results(kept, dst, header=f"postprocessed from {os.fspath(src)}")
+    return len(candidates), len(kept)
+
+
+class FileResultSink:
+    """Append-as-you-go sink writing candidates to a result file.
+
+    The paper's "Append S to the result file" made literal: emissions
+    are flushed immediately so a killed job keeps everything it found.
+    Thread-safe; also deduplicates in memory like the standard sink.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._seen: set[frozenset[int]] = set()
+        self._file = open(self._path, "w")
+
+    def emit(self, vertices: Iterable[int]) -> None:
+        fs = frozenset(vertices)
+        with self._lock:
+            if fs in self._seen:
+                return
+            self._seen.add(fs)
+            self._file.write(" ".join(str(v) for v in sorted(fs)) + "\n")
+            self._file.flush()
+
+    def results(self) -> set[frozenset[int]]:
+        with self._lock:
+            return set(self._seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "FileResultSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

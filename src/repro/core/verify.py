@@ -1,0 +1,79 @@
+"""Result verification: audit a mined quasi-clique family.
+
+Downstream users feeding this library's output into pipelines (or
+comparing against other miners) need a one-call audit: are all sets
+valid γ-quasi-cliques, size-filtered, and mutually maximal? For small
+graphs the audit can also check *global* maximality and completeness
+against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.adjacency import Graph
+from .naive import MAX_ORACLE_VERTICES, enumerate_maximal_quasicliques
+from .quasiclique import is_quasi_clique
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a result audit; `ok` is the headline verdict."""
+
+    checked: int = 0
+    invalid: list[frozenset[int]] = field(default_factory=list)  # not a γ-QC
+    undersized: list[frozenset[int]] = field(default_factory=list)
+    dominated: list[tuple[frozenset[int], frozenset[int]]] = field(default_factory=list)
+    missing: list[frozenset[int]] = field(default_factory=list)  # oracle-only
+    oracle_checked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not (self.invalid or self.undersized or self.dominated or self.missing)
+
+    def summary(self) -> str:
+        if self.ok:
+            scope = "oracle-complete" if self.oracle_checked else "internally consistent"
+            return f"OK: {self.checked} results, {scope}"
+        return (
+            f"FAILED: {len(self.invalid)} invalid, {len(self.undersized)} undersized, "
+            f"{len(self.dominated)} dominated, {len(self.missing)} missing"
+        )
+
+
+def verify_results(
+    graph: Graph,
+    results: set[frozenset[int]],
+    gamma: float,
+    min_size: int,
+    against_oracle: bool = False,
+) -> VerificationReport:
+    """Audit `results` as the maximal γ-quasi-clique family of `graph`.
+
+    Checks, in order: every set is a valid γ-quasi-clique; every set
+    meets the size threshold; no result is a strict subset of another
+    (mutual maximality). With ``against_oracle=True`` (tiny graphs
+    only), also checks completeness and global maximality by power-set
+    enumeration.
+    """
+    report = VerificationReport(checked=len(results))
+    for s in results:
+        if len(s) < min_size:
+            report.undersized.append(s)
+        if not is_quasi_clique(graph, s, gamma):
+            report.invalid.append(s)
+    ordered = sorted(results, key=len)
+    for i, s in enumerate(ordered):
+        for bigger in ordered[i + 1 :]:
+            if s < bigger:
+                report.dominated.append((s, bigger))
+                break
+    if against_oracle:
+        if graph.num_vertices > MAX_ORACLE_VERTICES:
+            raise ValueError(
+                f"oracle verification limited to {MAX_ORACLE_VERTICES} vertices"
+            )
+        truth = enumerate_maximal_quasicliques(graph, gamma, min_size)
+        report.missing = sorted(truth - results, key=len)
+        report.oracle_checked = True
+    return report

@@ -1,0 +1,82 @@
+"""On-disk caching of dataset analogs (the SNAP-download workflow, offline).
+
+The registry's generators are deterministic and fast, but a file-based
+workflow matters for interop: external tools want the analog as a plain
+edge list, and repeated CLI runs shouldn't regenerate. The cache lays a
+dataset out the way its SNAP original would arrive:
+
+    <cache_dir>/<name>/edges.txt     # SNAP-style edge list
+    <cache_dir>/<name>/planted.txt   # ground-truth planted sets
+    <cache_dir>/<name>/meta.txt      # spec fingerprint for invalidation
+
+A spec change (different seed, sizes, …) invalidates the cached copy
+automatically via the fingerprint.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+
+from ..graph.generators import PlantedGraph
+from ..graph.io import read_edge_list, write_edge_list
+from .registry import DatasetSpec, get_dataset
+
+
+def _fingerprint(spec: DatasetSpec) -> str:
+    items = sorted(asdict(spec).items())
+    return ";".join(f"{k}={v}" for k, v in items)
+
+
+def dataset_dir(cache_dir: str, name: str) -> str:
+    return os.path.join(cache_dir, name)
+
+
+def is_cached(cache_dir: str, name: str) -> bool:
+    """True iff a valid (fingerprint-matching) cached copy exists."""
+    spec = get_dataset(name)
+    d = dataset_dir(cache_dir, name)
+    meta = os.path.join(d, "meta.txt")
+    if not os.path.exists(meta):
+        return False
+    with open(meta) as f:
+        return f.read().strip() == _fingerprint(spec)
+
+
+def save_dataset(cache_dir: str, name: str, pg: PlantedGraph) -> str:
+    """Write one analog to the cache; returns its directory."""
+    spec = get_dataset(name)
+    d = dataset_dir(cache_dir, name)
+    os.makedirs(d, exist_ok=True)
+    write_edge_list(
+        pg.graph, os.path.join(d, "edges.txt"),
+        header=f"synthetic analog of {name} (paper |V|={spec.paper_vertices:,})",
+    )
+    with open(os.path.join(d, "planted.txt"), "w") as f:
+        for plant in pg.planted:
+            f.write(" ".join(str(v) for v in sorted(plant)) + "\n")
+    with open(os.path.join(d, "meta.txt"), "w") as f:
+        f.write(_fingerprint(spec) + "\n")
+    return d
+
+
+def load_dataset(cache_dir: str, name: str) -> PlantedGraph:
+    """Read a cached analog back (graph + planted ground truth)."""
+    d = dataset_dir(cache_dir, name)
+    graph = read_edge_list(os.path.join(d, "edges.txt"))
+    planted: list[set[int]] = []
+    with open(os.path.join(d, "planted.txt")) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                planted.append({int(tok) for tok in line.split()})
+    return PlantedGraph(graph=graph, planted=planted)
+
+
+def get_or_build(cache_dir: str, name: str) -> PlantedGraph:
+    """Load from cache when valid, else build, save, and return."""
+    if is_cached(cache_dir, name):
+        return load_dataset(cache_dir, name)
+    pg = get_dataset(name).build()
+    save_dataset(cache_dir, name, pg)
+    return pg

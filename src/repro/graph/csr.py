@@ -1,0 +1,170 @@
+"""Immutable CSR (compressed sparse row) graph backend.
+
+The dict-of-lists `Graph` is the right container for mutable task
+subgraphs, but loading a paper-scale edge list (millions of edges) into
+per-vertex Python lists costs several GB. `CSRGraph` stores the whole
+adjacency structure in two arrays (offsets + concatenated sorted
+neighbor lists) — the classic layout the real G-thinker's vertex tables
+use — while exposing the same *read* interface the mining code consumes
+(`neighbors`, `neighbor_set`, `degree`, `has_edge`, `degree_in`,
+`neighbors_in`, `vertices`, `subgraph`, …), so every algorithm in this
+library runs on either backend unchanged. `subgraph()` returns a
+mutable `Graph`, matching how tasks materialize their working sets from
+the read-only global structure.
+
+Uses `array` from the stdlib (numpy-free on purpose: the library core
+has zero dependencies); vertex IDs must be 0..n-1 — `from_graph` and
+`from_edges` relabel-free constructors assume compact IDs, and
+`repro.graph.io.relabel_compact` produces them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from collections.abc import Iterable, Iterator
+
+from .adjacency import Graph
+
+
+class CSRGraph:
+    """Read-only graph over compact vertex IDs 0..n-1."""
+
+    __slots__ = ("_offsets", "_targets", "_num_vertices", "_num_edges", "_set_cache")
+
+    def __init__(self, offsets: array, targets: array, num_edges: int):
+        self._offsets = offsets
+        self._targets = targets
+        self._num_vertices = len(offsets) - 1
+        self._num_edges = num_edges
+        #: Tiny memoization of neighbor sets for hub vertices; bounded.
+        self._set_cache: dict[int, frozenset[int]] = {}
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[tuple[int, int]]) -> "CSRGraph":
+        """Build from an undirected edge iterable over IDs < num_vertices.
+
+        Duplicates and self-loops are dropped, neighbor lists sorted.
+        """
+        adjacency: list[set[int]] = [set() for _ in range(num_vertices)]
+        for u, v in edges:
+            if u == v:
+                continue
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise ValueError(f"edge ({u}, {v}) outside 0..{num_vertices - 1}")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        offsets = array("q", [0])
+        targets = array("q")
+        edge_count = 0
+        for v in range(num_vertices):
+            nbrs = sorted(adjacency[v])
+            targets.extend(nbrs)
+            edge_count += len(nbrs)
+            offsets.append(len(targets))
+        return cls(offsets, targets, edge_count // 2)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Convert a dict-backed Graph (must already have compact IDs)."""
+        n = graph.num_vertices
+        if n and (min(graph.vertices()) != 0 or max(graph.vertices()) != n - 1):
+            raise ValueError(
+                "CSRGraph requires compact vertex IDs 0..n-1; "
+                "use repro.graph.io.relabel_compact first"
+            )
+        offsets = array("q", [0])
+        targets = array("q")
+        for v in range(n):
+            targets.extend(graph.neighbors(v))
+            offsets.append(len(targets))
+        return cls(offsets, targets, graph.num_edges)
+
+    # -- read interface (Graph-compatible) ----------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self._num_vertices))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for v in range(self._num_vertices):
+            for u in self.neighbors(v):
+                if v < u:
+                    yield (v, u)
+
+    def neighbors(self, v: int) -> "memoryview | array":
+        lo, hi = self._offsets[v], self._offsets[v + 1]
+        return self._targets[lo:hi]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        cached = self._set_cache.get(v)
+        if cached is None:
+            cached = frozenset(self.neighbors(v))
+            if len(self._set_cache) < 4096:
+                self._set_cache[v] = cached
+        return cached
+
+    def degree(self, v: int) -> int:
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def has_vertex(self, v: int) -> bool:
+        return 0 <= v < self._num_vertices
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (self.has_vertex(u) and self.has_vertex(v)):
+            return False
+        lo, hi = self._offsets[u], self._offsets[u + 1]
+        idx = bisect.bisect_left(self._targets, v, lo, hi)
+        return idx < hi and self._targets[idx] == v
+
+    def __contains__(self, v: int) -> bool:
+        return self.has_vertex(v)
+
+    def __iter__(self) -> Iterator[int]:
+        return self.vertices()
+
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(|V|={self._num_vertices}, |E|={self._num_edges})"
+
+    def degree_in(self, v: int, vertex_set: set[int]) -> int:
+        lo, hi = self._offsets[v], self._offsets[v + 1]
+        if hi - lo <= len(vertex_set):
+            return sum(1 for i in range(lo, hi) if self._targets[i] in vertex_set)
+        return sum(1 for u in vertex_set if self.has_edge(u, v))
+
+    def neighbors_in(self, v: int, vertex_set: set[int]) -> list[int]:
+        lo, hi = self._offsets[v], self._offsets[v + 1]
+        return [self._targets[i] for i in range(lo, hi) if self._targets[i] in vertex_set]
+
+    def subgraph(self, vertex_set: Iterable[int]) -> Graph:
+        """Induced *mutable* subgraph (task materialization path)."""
+        keep = {v for v in vertex_set if self.has_vertex(v)}
+        g = Graph()
+        for v in keep:
+            g.add_vertex(v)
+        for v in keep:
+            for u in self.neighbors(v):
+                if u > v and u in keep:
+                    g.add_edge(v, u)
+        return g
+
+    def to_graph(self) -> Graph:
+        """Full mutable copy (tests / small graphs)."""
+        g = Graph()
+        for v in range(self._num_vertices):
+            g.add_vertex(v)
+        for v, u in self.edges():
+            g.add_edge(v, u)
+        return g

@@ -1,0 +1,61 @@
+"""The reforged G-thinker runtime and the quasi-clique application."""
+
+from .aggregator import Aggregator, MaxSetAggregator, SumAggregator
+from .app_maxclique import MaxCliqueApp, SharedIncumbent, find_max_clique_parallel
+from .app_triangles import TriangleCountApp, count_triangles_parallel
+from .app_quasiclique import QuasiCliqueApp
+from .clock import AlwaysExpired, NeverExpires, OpBudget, WallClockBudget, make_budget
+from .config import EngineConfig
+from .decompose import size_threshold_split, time_delayed_mine
+from .engine import GThinkerEngine, MiningRunResult, mine_parallel
+from .simulation import SimOutcome, SimulatedClusterEngine, simulate_cluster
+from .metrics import EngineMetrics, TaskRecord
+from .spill import SpillableQueue, SpillFileList
+from .stealing import StealMove, plan_steals
+from .partition import Partitioner, make_partitioner
+from .task import ComputeOutcome, Task
+from .tracing import NullTracer, TraceEvent, Tracer
+from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache, owner_of
+
+__all__ = [
+    "Aggregator",
+    "AlwaysExpired",
+    "MaxSetAggregator",
+    "SumAggregator",
+    "TriangleCountApp",
+    "count_triangles_parallel",
+    "MaxCliqueApp",
+    "SharedIncumbent",
+    "SimOutcome",
+    "SimulatedClusterEngine",
+    "find_max_clique_parallel",
+    "simulate_cluster",
+    "ComputeOutcome",
+    "DataService",
+    "EngineConfig",
+    "EngineMetrics",
+    "GThinkerEngine",
+    "LocalVertexTable",
+    "MiningRunResult",
+    "NeverExpires",
+    "OpBudget",
+    "QuasiCliqueApp",
+    "RemoteVertexCache",
+    "SpillFileList",
+    "SpillableQueue",
+    "StealMove",
+    "Task",
+    "Partitioner",
+    "make_partitioner",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "TaskRecord",
+    "WallClockBudget",
+    "make_budget",
+    "mine_parallel",
+    "owner_of",
+    "plan_steals",
+    "size_threshold_split",
+    "time_delayed_mine",
+]

@@ -1,0 +1,231 @@
+"""Quasi-clique mining as a G-thinker application (paper Algorithms 4–10).
+
+The engine is generic over an *application* exposing two UDFs, exactly
+as G-thinker prescribes:
+
+* ``spawn(vertex, adjacency)`` — create (or decline) a task for one
+  vertex of the local vertex table;
+* ``compute(task, frontier, ctx)`` — run one iteration of a task given
+  the adjacency lists it pulled last round.
+
+For quasi-cliques, iterations 1–2 assemble the k-core of the root's
+2-hop, larger-ID ego subgraph (Algorithms 6–7); iteration 3 mines it,
+decomposing per the configured strategy (Algorithms 8–10).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.iterative_bounding import check_and_emit
+from ..core.options import MinerOptions, MiningJob, MiningStats, ResultSink, DEFAULT_OPTIONS
+from ..core.quasiclique import kcore_threshold
+from ..core.recursive_mine import recursive_mine
+from ..graph.adjacency import Graph
+from ..graph.kcore import peel_adjacency
+from .clock import make_budget
+from .config import EngineConfig
+from .decompose import size_threshold_split, time_delayed_mine
+from .metrics import TaskRecord
+from .task import ComputeOutcome, Task
+
+
+@dataclass
+class ComputeContext:
+    """Per-execution services the engine hands to compute()."""
+
+    config: EngineConfig
+    next_task_id: object  # callable () -> int
+    record: object | None = None  # callable (TaskRecord) -> None
+
+
+@dataclass
+class QuasiCliqueApp:
+    """The paper's mining application, parameterized by (γ, τ_size)."""
+
+    gamma: float
+    min_size: int
+    sink: ResultSink
+    options: MinerOptions = DEFAULT_OPTIONS
+    stats: MiningStats = field(default_factory=MiningStats)
+
+    def __post_init__(self) -> None:
+        self.k = kcore_threshold(self.gamma, self.min_size)
+
+    # -- UDF 1: task spawning (Algorithm 4) -----------------------------
+
+    def spawn(self, vertex: int, adjacency: list[int], task_id: int) -> Task | None:
+        """Spawn the task mining quasi-cliques whose smallest vertex is `vertex`."""
+        if len(adjacency) < self.k:
+            return None
+        if self.min_size <= 1:
+            # A singleton is a valid quasi-clique for any γ; emit the
+            # candidate here since Algorithm 2 only ever outputs S ⊋ {v}.
+            self.sink.emit([vertex])
+        pulls = [u for u in adjacency if u > vertex]
+        task = Task(
+            task_id=task_id,
+            root=vertex,
+            iteration=1,
+            s=[vertex],
+            building={vertex: set(pulls)},
+            pulls=pulls,
+        )
+        return task
+
+    # -- UDF 2: compute (Algorithm 5 dispatch) ---------------------------
+
+    def compute(
+        self, task: Task, frontier: dict[int, list[int]], ctx: ComputeContext
+    ) -> ComputeOutcome:
+        if task.iteration == 1:
+            return self._iteration_1(task, frontier)
+        if task.iteration == 2:
+            return self._iteration_2(task, frontier)
+        return self._iteration_3(task, ctx)
+
+    # -- Iteration 1 (Algorithm 6): 1-hop assembly ------------------------
+
+    def _iteration_1(self, task: Task, frontier: dict[int, list[int]]) -> ComputeOutcome:
+        v = task.root
+        k = self.k
+        task.one_hop = {v} | set(frontier)
+        low_degree = {u for u, adj in frontier.items() if len(adj) < k}
+        building: dict[int, set[int]] = {
+            v: {u for u in task.building[v] if u not in low_degree}
+        }
+        for u, adj in frontier.items():
+            if u in low_degree:
+                continue
+            # Keep destinations w ≥ v not known to be low-degree; 2-hop
+            # destinations stay (their degree is unknown until pulled).
+            building[u] = {w for w in adj if w >= v and w not in low_degree}
+        peel_adjacency(building, k)
+        if v not in building:
+            cost = len(frontier) + sum(len(adj) for adj in frontier.values())
+            return ComputeOutcome(finished=True, cost_ops=cost)
+        task.building = building
+        pulls: set[int] = set()
+        for nbrs in building.values():
+            for w in nbrs:
+                if w > v and w not in task.one_hop:
+                    pulls.add(w)
+        task.pulls = sorted(pulls)
+        task.iteration = 2
+        cost = len(frontier) + sum(len(adj) for adj in frontier.values())
+        return ComputeOutcome(finished=False, cost_ops=cost)
+
+    # -- Iteration 2 (Algorithm 7): 2-hop assembly + closure ---------------
+
+    def _iteration_2(self, task: Task, frontier: dict[int, list[int]]) -> ComputeOutcome:
+        v = task.root
+        k = self.k
+        building = task.building
+        assert building is not None and task.one_hop is not None
+        within_two_hops = set(frontier) | task.one_hop
+        for u, adj in frontier.items():
+            if len(adj) < k:
+                continue
+            building[u] = {w for w in adj if w >= v and w in within_two_hops}
+        # Close the graph: drop destination-only vertices (2-hop vertices
+        # that were pruned or never materialized), then peel to a k-core.
+        keys = set(building)
+        for u in building:
+            building[u] &= keys
+        peel_adjacency(building, k)
+        cost = len(frontier) + sum(len(adj) for adj in frontier.values())
+        cost += sum(len(nbrs) for nbrs in building.values())
+        if v not in building:
+            return ComputeOutcome(finished=True, cost_ops=cost)
+        graph = Graph()
+        for u in building:
+            graph.add_vertex(u)
+        for u, nbrs in building.items():
+            for w in nbrs:
+                graph.add_edge(u, w)
+        task.graph = graph
+        task.building = None
+        task.one_hop = None
+        task.pulls = []
+        task.s = [v]
+        task.ext = sorted(u for u in building if u != v)
+        task.iteration = 3
+        return ComputeOutcome(finished=False, cost_ops=cost)
+
+    # -- Iteration 3 (Algorithms 8–10): mining + decomposition --------------
+
+    def _iteration_3(self, task: Task, ctx: ComputeContext) -> ComputeOutcome:
+        config = ctx.config
+        graph = task.graph
+        assert graph is not None
+        stats = MiningStats()
+        job = MiningJob(
+            graph=graph,
+            gamma=self.gamma,
+            min_size=self.min_size,
+            sink=self.sink,
+            options=self.options,
+            stats=stats,
+        )
+        new_tasks: list[Task] = []
+        materialize_seconds = 0.0
+        materialize_ops = 0
+
+        def spawn_subtask(s_prime: list[int], ext_prime: list[int]) -> None:
+            nonlocal materialize_seconds, materialize_ops
+            t0 = time.perf_counter()
+            members = set(s_prime) | set(ext_prime)
+            sub = graph.subgraph(members)
+            cost = sub.num_vertices + sub.num_edges
+            materialize_seconds += time.perf_counter() - t0
+            materialize_ops += cost
+            stats.mining_ops += cost
+            new_tasks.append(
+                Task(
+                    task_id=ctx.next_task_id(),
+                    root=task.root,
+                    iteration=3,
+                    s=list(s_prime),
+                    ext=list(ext_prime),
+                    graph=sub,
+                    generation=task.generation + 1,
+                )
+            )
+
+        t_start = time.perf_counter()
+        if not task.ext:
+            # Nothing to extend with; the subgraph collapsed to S.
+            if len(task.s) > 1 or self.min_size <= 1:
+                check_and_emit(job, list(task.s))
+        elif config.decompose == "none":
+            recursive_mine(job, list(task.s), list(task.ext))
+        elif config.decompose == "size":
+            if len(task.ext) <= config.tau_split:
+                recursive_mine(job, list(task.s), list(task.ext))
+            else:
+                size_threshold_split(job, list(task.s), list(task.ext), spawn_subtask)
+        else:  # 'timed' (Algorithm 9/10)
+            budget = make_budget(config.time_unit, config.tau_time, stats)
+            time_delayed_mine(job, list(task.s), list(task.ext), budget, spawn_subtask)
+        elapsed = time.perf_counter() - t_start
+
+        self.stats.merge(stats)
+        if ctx.record is not None:
+            ctx.record(
+                TaskRecord(
+                    task_id=task.task_id,
+                    root=task.root,
+                    generation=task.generation,
+                    subgraph_vertices=graph.num_vertices,
+                    subgraph_edges=graph.num_edges,
+                    mining_seconds=max(0.0, elapsed - materialize_seconds),
+                    mining_ops=stats.mining_ops - materialize_ops,
+                    materialize_seconds=materialize_seconds,
+                    materialize_ops=materialize_ops,
+                    subtasks_created=len(new_tasks),
+                )
+            )
+        return ComputeOutcome(
+            finished=True, new_tasks=new_tasks, cost_ops=max(1, stats.mining_ops)
+        )

@@ -1,0 +1,82 @@
+"""Time sources and decomposition budgets.
+
+The time-delayed decomposition strategy (paper Algorithm 10) needs a
+notion of "this task has mined for longer than τ_time". In the threaded
+engine that is wall-clock time, as in the paper. In the simulated
+cluster and in tests it is a deterministic *operation budget* counted in
+the miner's abstract work units (``MiningStats.mining_ops``), so that a
+run decomposes at exactly the same search-tree nodes every time — a
+property the paper's wall-clock cannot offer but our reproducibility
+needs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from ..core.options import MiningStats
+
+
+class Budget(Protocol):
+    """A τ_time budget consulted by time-delayed decomposition."""
+
+    def expired(self) -> bool: ...
+
+
+class WallClockBudget:
+    """Budget of `seconds` wall-clock time starting at construction."""
+
+    __slots__ = ("_deadline",)
+
+    def __init__(self, seconds: float):
+        self._deadline = time.monotonic() + seconds
+
+    def expired(self) -> bool:
+        return time.monotonic() > self._deadline
+
+
+class OpBudget:
+    """Deterministic budget of `ops` abstract mining operations.
+
+    Reads the per-task MiningStats, which every decomposition path
+    increments; independent of machine speed and thread interleaving.
+    """
+
+    __slots__ = ("_stats", "_limit")
+
+    def __init__(self, stats: MiningStats, ops: int):
+        self._stats = stats
+        self._limit = stats.mining_ops + ops
+
+    def expired(self) -> bool:
+        return self._stats.mining_ops > self._limit
+
+
+class NeverExpires:
+    """Budget for decompose='none': tasks always mine to completion."""
+
+    __slots__ = ()
+
+    def expired(self) -> bool:
+        return False
+
+
+class AlwaysExpired:
+    """Budget that splits at every opportunity (stress-testing aid)."""
+
+    __slots__ = ()
+
+    def expired(self) -> bool:
+        return True
+
+
+def make_budget(time_unit: str, tau_time: float, stats: MiningStats) -> Budget:
+    """Budget factory: 'wall' takes seconds, 'ops' abstract operations."""
+    if tau_time == float("inf"):
+        return NeverExpires()
+    if time_unit == "wall":
+        return WallClockBudget(tau_time)
+    if time_unit == "ops":
+        return OpBudget(stats, int(tau_time))
+    raise ValueError(f"unknown time_unit {time_unit!r} (expected 'wall' or 'ops')")

@@ -1,0 +1,58 @@
+"""Engine configuration (the paper's hyperparameters plus system knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of one G-thinker job.
+
+    The two hyperparameters the paper sweeps (Tables 3–4):
+
+    * ``tau_split`` — |ext(S)| threshold routing a task to the machine's
+      global big-task queue instead of a thread's local queue; in
+      size-threshold decomposition mode it is also the split trigger.
+    * ``tau_time``  — the time-delayed decomposition budget per task
+      execution. Interpreted in seconds when ``time_unit='wall'`` or in
+      abstract mining operations when ``time_unit='ops'`` (deterministic;
+      default, and mandatory for the simulated cluster).
+    """
+
+    num_machines: int = 1
+    threads_per_machine: int = 1
+    tau_split: int = 64
+    tau_time: float = float("inf")
+    time_unit: str = "ops"
+    #: 'timed' (Alg. 10), 'size' (Alg. 8), or 'none' (never decompose).
+    decompose: str = "timed"
+    queue_capacity: int = 512
+    batch_size: int = 16
+    cache_capacity: int = 1 << 16
+    spill_dir: str | None = None
+    steal_period_seconds: float = 0.02
+    #: Reforge ablations: the global big-task queue and big-task stealing.
+    use_global_queue: bool = True
+    use_stealing: bool = True
+    #: Simulated-cluster only: virtual cost added per remote message.
+    sim_message_cost: float = 0.0
+    #: Vertex-table partition strategy: 'hash' (paper), 'range', or
+    #: 'balanced_degree' (see repro.gthinker.partition).
+    partition: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1 or self.threads_per_machine < 1:
+            raise ValueError("need at least one machine and one thread")
+        if self.decompose not in ("timed", "size", "none"):
+            raise ValueError(f"unknown decompose mode {self.decompose!r}")
+        if self.time_unit not in ("wall", "ops"):
+            raise ValueError(f"unknown time_unit {self.time_unit!r}")
+        if self.tau_split < 0:
+            raise ValueError("tau_split must be non-negative")
+        if self.partition not in ("hash", "range", "balanced_degree"):
+            raise ValueError(f"unknown partition strategy {self.partition!r}")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_machines * self.threads_per_machine

@@ -1,0 +1,434 @@
+"""The reforged G-thinker engine (paper Section 5, Figure 8).
+
+An in-process reproduction of the distributed runtime: M machines each
+with T mining threads, a hash-partitioned vertex table, a remote vertex
+cache, per-thread local task queues, a shared per-machine global
+big-task queue, disk spilling (L_small / L_big), and master-coordinated
+big-task stealing across machines.
+
+Scheduling policy (the reforge):
+
+1. *push* — keep data-ready tasks flowing: a thread first takes a big
+   task from B_global, else a task from its B_local, and runs one
+   compute iteration; continuing tasks have their pulls resolved and
+   re-enter the ready buffers.
+2. *pop*  — else it pops from the machine's Q_global (try-lock; refill
+   a batch from L_big when low), else from its own Q_local (refill from
+   L_small, then drain B_local, then spawn new tasks from the local
+   vertex table — stopping as soon as a spawned task is big).
+
+Pull resolution is synchronous in-process (the data-serving module's
+latency collapses to zero) but ownership, caching, and message counts
+are preserved, so the *scheduling* behaviour — what the paper's reforge
+is about — is faithful.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.options import ResultSink, ThreadSafeResultSink
+from ..core.postprocess import postprocess_results
+from ..graph.adjacency import Graph
+from .app_quasiclique import ComputeContext, QuasiCliqueApp
+from .config import EngineConfig
+from .metrics import EngineMetrics, TaskRecord
+from .spill import SpillableQueue, SpillFileList
+from .stealing import plan_steals
+from .task import Task
+from .tracing import NullTracer, Tracer
+from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache
+
+
+@dataclass
+class MiningRunResult:
+    """Engine output: maximal results, raw candidates, run metrics."""
+
+    maximal: set[frozenset[int]]
+    candidates: set[frozenset[int]]
+    metrics: EngineMetrics
+
+    def __len__(self) -> int:
+        return len(self.maximal)
+
+
+class ThreadSlot:
+    """Per-mining-thread state: its local queue and ready buffer."""
+
+    def __init__(self, config: EngineConfig, lsmall: SpillFileList):
+        self.qlocal = SpillableQueue(config.queue_capacity, config.batch_size, lsmall)
+        self.blocal: deque[Task] = deque()
+
+
+class MachineState:
+    """One simulated machine: vertex table slice, queues, spawn cursor."""
+
+    def __init__(
+        self,
+        machine_id: int,
+        tables: list[LocalVertexTable],
+        config: EngineConfig,
+    ):
+        self.machine_id = machine_id
+        self.config = config
+        self.table = tables[machine_id]
+        self.cache = RemoteVertexCache(config.cache_capacity)
+        self.data = DataService(
+            machine_id, tables, self.cache,
+            partitioner=getattr(tables[machine_id], "partitioner", None),
+        )
+        self.lsmall = SpillFileList(config.spill_dir, f"m{machine_id}-small")
+        self.lbig = SpillFileList(config.spill_dir, f"m{machine_id}-big")
+        self.qglobal = SpillableQueue(config.queue_capacity, config.batch_size, self.lbig)
+        self.bglobal: deque[Task] = deque()
+        self.bglobal_lock = threading.Lock()
+        self.threads = [
+            ThreadSlot(config, self.lsmall) for _ in range(config.threads_per_machine)
+        ]
+        self.spawn_order = self.table.vertices_sorted()
+        self.spawn_pos = 0
+        self.spawn_lock = threading.Lock()
+
+    def spawn_exhausted(self) -> bool:
+        with self.spawn_lock:
+            return self.spawn_pos >= len(self.spawn_order)
+
+    def next_spawn_vertices(self, count: int) -> list[int]:
+        with self.spawn_lock:
+            chunk = self.spawn_order[self.spawn_pos : self.spawn_pos + count]
+            self.spawn_pos += len(chunk)
+            return chunk
+
+    def pop_bglobal(self) -> Task | None:
+        with self.bglobal_lock:
+            return self.bglobal.popleft() if self.bglobal else None
+
+    def push_bglobal(self, task: Task) -> None:
+        with self.bglobal_lock:
+            self.bglobal.append(task)
+
+    def pending_big(self) -> int:
+        with self.bglobal_lock:
+            ready = len(self.bglobal)
+        return ready + self.qglobal.pending_estimate()
+
+    def cleanup(self) -> None:
+        self.lsmall.cleanup()
+        self.lbig.cleanup()
+
+
+class GThinkerEngine:
+    """Run one quasi-clique mining job over the reforged runtime."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        app: QuasiCliqueApp,
+        config: EngineConfig,
+        tracer: "Tracer | NullTracer | None" = None,
+    ):
+        self.graph = graph
+        self.app = app
+        self.config = config
+        # `is not None`, not truthiness: an empty Tracer is falsy (len 0).
+        self.tracer = tracer if tracer is not None else NullTracer()
+        from .partition import make_partitioner
+
+        partitioner = (
+            None
+            if config.partition == "hash"
+            else make_partitioner(config.partition, graph, config.num_machines)
+        )
+        tables = LocalVertexTable.partition(
+            graph, config.num_machines, partitioner=partitioner
+        )
+        self.machines = [MachineState(m, tables, config) for m in range(config.num_machines)]
+        self._task_ids = itertools.count()
+        self._task_id_lock = threading.Lock()
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._peak_active = 0
+        self._done = threading.Event()
+        self.metrics = EngineMetrics()
+        self._metrics_lock = threading.Lock()
+        self._worker_error: BaseException | None = None
+
+    # -- shared counters ---------------------------------------------------
+
+    def _next_task_id(self) -> int:
+        with self._task_id_lock:
+            return next(self._task_ids)
+
+    def _task_born(self) -> None:
+        with self._active_lock:
+            self._active += 1
+            self._peak_active = max(self._peak_active, self._active)
+
+    def _task_finished(self) -> None:
+        with self._active_lock:
+            self._active -= 1
+
+    def _all_spawned(self) -> bool:
+        return all(m.spawn_exhausted() for m in self.machines)
+
+    def _maybe_finish(self) -> None:
+        if self._all_spawned():
+            with self._active_lock:
+                if self._active == 0:
+                    self._done.set()
+
+    # -- task routing --------------------------------------------------------
+
+    def add_task(self, task: Task, machine: MachineState, slot: ThreadSlot) -> None:
+        """Queue a task: big → machine's global queue, small → the thread's."""
+        self._task_born()
+        if self.config.use_global_queue and task.is_big(self.config.tau_split):
+            machine.qglobal.push(task)
+            self.tracer.emit("route_global", task.task_id, machine.machine_id)
+        else:
+            slot.qlocal.push(task)
+            self.tracer.emit("route_local", task.task_id, machine.machine_id)
+
+    # -- one scheduling step ---------------------------------------------------
+
+    def _execute(
+        self, task: Task, machine: MachineState, slot: ThreadSlot, metrics: EngineMetrics
+    ) -> None:
+        """Run compute iterations until the task finishes or re-enters a buffer."""
+
+        def record(rec: TaskRecord) -> None:
+            metrics.record_task(rec)
+
+        ctx = ComputeContext(config=self.config, next_task_id=self._next_task_id, record=record)
+        while True:
+            if task.pulls:
+                frontier = machine.data.resolve(task.pulls)
+                task.pulls = []
+            else:
+                frontier = {}
+            self.tracer.emit("execute", task.task_id, machine.machine_id)
+            outcome = self.app.compute(task, frontier, ctx)
+            if outcome.new_tasks:
+                self.tracer.emit(
+                    "decompose", task.task_id, machine.machine_id,
+                    detail=f"children={len(outcome.new_tasks)}",
+                )
+            for new_task in outcome.new_tasks:
+                self.add_task(new_task, machine, slot)
+            if outcome.finished:
+                self.tracer.emit("finish", task.task_id, machine.machine_id)
+                self._task_finished()
+                self._maybe_finish()
+                return
+            if task.pulls:
+                # Suspend-for-data point: resolve next round through the
+                # ready buffers to preserve big-task priority.
+                if self.config.use_global_queue and task.is_big(self.config.tau_split):
+                    machine.push_bglobal(task)
+                    self.tracer.emit("ready_global", task.task_id, machine.machine_id)
+                else:
+                    slot.blocal.append(task)
+                    self.tracer.emit("ready_local", task.task_id, machine.machine_id)
+                return
+            # No pulls pending (e.g. iteration 2 → 3): continue inline,
+            # mirroring G-thinker scheduling the next iteration right away.
+
+    def _refill_qlocal(self, machine: MachineState, slot: ThreadSlot) -> None:
+        """Refill priority: L_small, then B_local, then spawn new tasks."""
+        if slot.qlocal.refill_from_spill():
+            return
+        if slot.blocal:
+            while slot.blocal and len(slot.qlocal) < self.config.batch_size:
+                slot.qlocal.push(slot.blocal.popleft())
+            return
+        self._spawn_batch(machine, slot)
+
+    def _spawn_batch(self, machine: MachineState, slot: ThreadSlot) -> None:
+        """Spawn up to one batch of tasks; stop early once one is big.
+
+        Vertices are taken from the cursor one at a time so the early
+        stop (the paper's guard against flooding the global queue with
+        big tasks) never skips a vertex.
+        """
+        spawned = 0
+        while spawned < self.config.batch_size:
+            vertices = machine.next_spawn_vertices(1)
+            if not vertices:
+                return
+            v = vertices[0]
+            adjacency = machine.table.get(v)
+            assert adjacency is not None
+            task = self.app.spawn(v, adjacency, self._next_task_id())
+            if task is None:
+                continue
+            with self._metrics_lock:
+                self.metrics.tasks_spawned += 1
+            self.tracer.emit("spawn", task.task_id, machine.machine_id, detail=f"root={v}")
+            self.add_task(task, machine, slot)
+            spawned += 1
+            if self.config.use_global_queue and task.is_big(self.config.tau_split):
+                return
+
+    def _step(self, machine: MachineState, slot: ThreadSlot, metrics: EngineMetrics) -> bool:
+        """One scheduling step; True iff any work was performed."""
+        # Phase 1 (push): data-ready tasks, big ones first.
+        task = machine.pop_bglobal() if self.config.use_global_queue else None
+        if task is None and slot.blocal:
+            task = slot.blocal.popleft()
+        if task is not None:
+            self._execute(task, machine, slot, metrics)
+            return True
+        # Phase 2 (pop): global queue first (try-lock), then local.
+        if self.config.use_global_queue:
+            if machine.qglobal.needs_refill():
+                machine.qglobal.refill_from_spill()
+            acquired, task = machine.qglobal.try_pop()
+            if not acquired:
+                task = None
+            elif task is not None:
+                self.tracer.emit("pop_global", task.task_id, machine.machine_id)
+        if task is None:
+            if slot.qlocal.needs_refill():
+                self._refill_qlocal(machine, slot)
+            task = slot.qlocal.pop()
+            if task is not None:
+                self.tracer.emit("pop_local", task.task_id, machine.machine_id)
+        if task is None:
+            return False
+        self._execute(task, machine, slot, metrics)
+        return True
+
+    # -- stealing ------------------------------------------------------------
+
+    def _apply_steals(self) -> None:
+        counts = [m.pending_big() for m in self.machines]
+        moves = plan_steals(counts, self.config.batch_size)
+        for move in moves:
+            batch = self.machines[move.src].qglobal.pop_batch(move.count)
+            if not batch:
+                continue
+            self.machines[move.dst].qglobal.push_batch(batch)
+            for stolen in batch:
+                self.tracer.emit(
+                    "steal", stolen.task_id, move.dst,
+                    detail=f"from=m{move.src}",
+                )
+            with self._metrics_lock:
+                self.metrics.steals += 1
+                self.metrics.stolen_tasks += len(batch)
+
+    def _stealing_loop(self) -> None:
+        while not self._done.wait(self.config.steal_period_seconds):
+            self._apply_steals()
+
+    # -- drivers ----------------------------------------------------------------
+
+    def run(self) -> MiningRunResult:
+        """Execute the job; serial fast path when only one thread exists."""
+        start = time.perf_counter()
+        if self.config.total_threads == 1:
+            self._run_serial()
+        else:
+            self._run_threaded()
+        if self._worker_error is not None:
+            for m in self.machines:
+                m.cleanup()
+            raise RuntimeError("a mining thread failed") from self._worker_error
+        self.metrics.wall_seconds = time.perf_counter() - start
+        self._collect_metrics()
+        candidates = self.app.sink.results()
+        maximal = postprocess_results(candidates)
+        self.metrics.results = len(maximal)
+        for m in self.machines:
+            m.cleanup()
+        return MiningRunResult(maximal=maximal, candidates=candidates, metrics=self.metrics)
+
+    def _run_serial(self) -> None:
+        machine = self.machines[0]
+        slot = machine.threads[0]
+        local = EngineMetrics()
+        while True:
+            if not self._step(machine, slot, local):
+                self._maybe_finish()
+                if self._done.is_set():
+                    break
+        with self._metrics_lock:
+            self.metrics.merge(local)
+
+    def _run_threaded(self) -> None:
+        def worker(machine: MachineState, slot: ThreadSlot) -> None:
+            local = EngineMetrics()
+            idle_spins = 0
+            try:
+                while not self._done.is_set():
+                    if self._step(machine, slot, local):
+                        idle_spins = 0
+                        continue
+                    idle_spins += 1
+                    self._maybe_finish()
+                    time.sleep(min(0.002, 0.0001 * idle_spins))
+            except BaseException as exc:  # noqa: BLE001 - repropagated in run()
+                # A dead worker with queued work would hang the job on
+                # the active counter; record the failure and stop the
+                # whole job so run() can re-raise it loudly.
+                with self._metrics_lock:
+                    if self._worker_error is None:
+                        self._worker_error = exc
+                self._done.set()
+            finally:
+                with self._metrics_lock:
+                    self.metrics.merge(local)
+
+        threads: list[threading.Thread] = []
+        for machine in self.machines:
+            for slot in machine.threads:
+                t = threading.Thread(target=worker, args=(machine, slot), daemon=True)
+                threads.append(t)
+        stealer = None
+        if self.config.use_stealing and self.config.num_machines > 1:
+            stealer = threading.Thread(target=self._stealing_loop, daemon=True)
+            stealer.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if stealer is not None:
+            stealer.join()
+
+    def _collect_metrics(self) -> None:
+        m = self.metrics
+        for machine in self.machines:
+            m.remote_messages += machine.data.remote_messages
+            m.cache_hits += machine.cache.hits
+            m.cache_misses += machine.cache.misses
+            for spill in (machine.lsmall, machine.lbig):
+                m.spill_batches += spill.batches_spilled
+                m.spill_bytes += spill.bytes_written
+                m.spill_bytes_peak = max(m.spill_bytes_peak, spill.bytes_peak)
+        m.peak_pending_tasks = self._peak_active
+        m.mining_stats.merge(self.app.stats)
+
+
+def mine_parallel(
+    graph: Graph,
+    gamma: float,
+    min_size: int,
+    config: EngineConfig | None = None,
+    options=None,
+) -> MiningRunResult:
+    """Convenience front-end: mine `graph` on the reforged engine."""
+    from ..core.options import DEFAULT_OPTIONS
+
+    config = config or EngineConfig()
+    sink: ResultSink = ThreadSafeResultSink() if config.total_threads > 1 else ResultSink()
+    app = QuasiCliqueApp(
+        gamma=gamma,
+        min_size=min_size,
+        sink=sink,
+        options=options or DEFAULT_OPTIONS,
+    )
+    return GThinkerEngine(graph, app, config).run()

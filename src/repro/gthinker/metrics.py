@@ -1,0 +1,124 @@
+"""Run metrics: per-task timing and engine-wide accounting.
+
+The paper's evaluation reads directly off these counters:
+
+* Figures 1–3 — per-task (root, |V(g)|, mining time) records;
+* Table 2   — wall time, peak RAM estimate, peak spilled disk bytes,
+  result count;
+* Table 6   — cumulative mining time vs cumulative subgraph
+  materialization time as τ_time varies.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..core.options import MiningStats
+
+
+@dataclass
+class TaskRecord:
+    """One executed mining task (iteration-3 work only)."""
+
+    task_id: int
+    root: int
+    generation: int
+    subgraph_vertices: int
+    subgraph_edges: int
+    mining_seconds: float
+    mining_ops: int
+    materialize_seconds: float
+    materialize_ops: int
+    subtasks_created: int
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregated over one engine run (merge per-thread copies at the end)."""
+
+    wall_seconds: float = 0.0
+    virtual_makespan: float = 0.0  # simulated engines only
+    tasks_spawned: int = 0
+    tasks_executed: int = 0
+    subtasks_created: int = 0
+    tasks_decomposed: int = 0
+    total_mining_seconds: float = 0.0
+    total_mining_ops: int = 0
+    total_materialize_seconds: float = 0.0
+    total_materialize_ops: int = 0
+    remote_messages: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    spill_batches: int = 0
+    spill_bytes: int = 0
+    spill_bytes_peak: int = 0
+    steals: int = 0
+    stolen_tasks: int = 0
+    results: int = 0
+    peak_pending_tasks: int = 0
+    task_records: list[TaskRecord] = field(default_factory=list)
+    mining_stats: MiningStats = field(default_factory=MiningStats)
+
+    def record_task(self, record: TaskRecord) -> None:
+        self.task_records.append(record)
+        self.tasks_executed += 1
+        self.total_mining_seconds += record.mining_seconds
+        self.total_mining_ops += record.mining_ops
+        self.total_materialize_seconds += record.materialize_seconds
+        self.total_materialize_ops += record.materialize_ops
+        self.subtasks_created += record.subtasks_created
+        if record.subtasks_created:
+            self.tasks_decomposed += 1
+
+    def merge(self, other: "EngineMetrics") -> None:
+        self.tasks_spawned += other.tasks_spawned
+        self.tasks_executed += other.tasks_executed
+        self.subtasks_created += other.subtasks_created
+        self.tasks_decomposed += other.tasks_decomposed
+        self.total_mining_seconds += other.total_mining_seconds
+        self.total_mining_ops += other.total_mining_ops
+        self.total_materialize_seconds += other.total_materialize_seconds
+        self.total_materialize_ops += other.total_materialize_ops
+        self.remote_messages += other.remote_messages
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.spill_batches += other.spill_batches
+        self.spill_bytes += other.spill_bytes
+        self.spill_bytes_peak = max(self.spill_bytes_peak, other.spill_bytes_peak)
+        self.steals += other.steals
+        self.stolen_tasks += other.stolen_tasks
+        self.peak_pending_tasks = max(self.peak_pending_tasks, other.peak_pending_tasks)
+        self.task_records.extend(other.task_records)
+        self.mining_stats.merge(other.mining_stats)
+
+    # -- evaluation-facing views ------------------------------------------
+
+    def mining_vs_materialization_ratio(self) -> float:
+        """Table 6 ratio; ops-based so it is meaningful in simulation too."""
+        if self.total_materialize_ops == 0:
+            return float("inf")
+        return self.total_mining_ops / self.total_materialize_ops
+
+    def per_root_times(self) -> dict[int, float]:
+        """Figure 1/2 series: total mining seconds per spawned root."""
+        out: dict[int, float] = {}
+        for r in self.task_records:
+            out[r.root] = out.get(r.root, 0.0) + r.mining_seconds
+        return out
+
+    def top_task_times(self, k: int = 100) -> list[float]:
+        """Figure 2 series: the k largest per-task mining times, sorted."""
+        times = sorted((r.mining_seconds for r in self.task_records), reverse=True)
+        return times[:k]
+
+    def size_time_pairs(self) -> list[tuple[int, float]]:
+        """Figure 3 series: (subgraph |V|, mining seconds) per task."""
+        return [(r.subgraph_vertices, r.mining_seconds) for r in self.task_records]
+
+
+class ThreadLocalMetrics(threading.local):
+    """Per-thread EngineMetrics so hot paths never contend on a lock."""
+
+    def __init__(self) -> None:
+        self.metrics = EngineMetrics()

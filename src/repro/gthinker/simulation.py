@@ -1,0 +1,312 @@
+"""Discrete-event simulated cluster (scalability experiments).
+
+This box has one physical CPU core and a GIL, so the paper's
+scalability tables (Table 5) cannot be reproduced with wall-clock
+speedups. Instead, every task is executed *once*, serially, while a
+virtual clock schedules it onto M machines × T virtual mining threads
+following the same reforged policy as the real engine: big tasks route
+to a per-machine global queue that all threads drain first, small tasks
+to per-thread local queues, idle-spawn happens in batches that stop at
+the first big task, and a master rebalances big tasks across machines
+every steal period.
+
+The virtual cost of a task is its deterministic operation count
+(``ComputeOutcome.cost_ops``), so makespans are exactly reproducible:
+the same job simulated at 4 and at 32 threads runs the identical task
+set, and the makespan ratio *is* the schedulability of the workload —
+which is precisely what Table 5 measures.
+
+Event semantics: when a virtual thread picks a task at time t, the task
+really runs (we learn its cost c and its children); its children become
+visible to the queues only at t+c, so no thread can observe work that
+has not yet "happened" in virtual time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.options import ResultSink
+from ..core.postprocess import postprocess_results
+from ..graph.adjacency import Graph
+from .app_quasiclique import ComputeContext, QuasiCliqueApp
+from .config import EngineConfig
+from .metrics import EngineMetrics, TaskRecord
+from .stealing import plan_steals
+from .task import Task
+from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache
+
+
+@dataclass
+class SimOutcome:
+    """Result of a simulated run."""
+
+    maximal: set[frozenset[int]]
+    candidates: set[frozenset[int]]
+    metrics: EngineMetrics
+    makespan: float
+    total_work: float
+    busy_per_thread: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan <= 0:
+            return 1.0
+        slots = len(self.busy_per_thread)
+        return self.total_work / (self.makespan * max(1, slots))
+
+    def speedup_against(self, baseline_makespan: float) -> float:
+        return baseline_makespan / self.makespan if self.makespan else float("inf")
+
+
+class _SimMachine:
+    """Queue state of one virtual machine."""
+
+    def __init__(self, machine_id: int, table: LocalVertexTable, threads: int):
+        self.machine_id = machine_id
+        self.table = table
+        self.qglobal: list[Task] = []
+        self.qlocal: list[list[Task]] = [[] for _ in range(threads)]
+        self.spawn_order = table.vertices_sorted()
+        self.spawn_pos = 0
+
+    def spawn_exhausted(self) -> bool:
+        return self.spawn_pos >= len(self.spawn_order)
+
+
+class SimulatedClusterEngine:
+    """Virtual-time execution of a quasi-clique job on M×T workers."""
+
+    def __init__(self, graph: Graph, app: QuasiCliqueApp, config: EngineConfig):
+        if config.time_unit != "ops":
+            raise ValueError(
+                "the simulated cluster requires time_unit='ops' so task costs "
+                "and decomposition points are deterministic"
+            )
+        self.graph = graph
+        self.app = app
+        self.config = config
+        from .partition import make_partitioner
+
+        partitioner = (
+            None
+            if config.partition == "hash"
+            else make_partitioner(config.partition, graph, config.num_machines)
+        )
+        tables = LocalVertexTable.partition(
+            graph, config.num_machines, partitioner=partitioner
+        )
+        self.machines = [
+            _SimMachine(m, tables[m], config.threads_per_machine)
+            for m in range(config.num_machines)
+        ]
+        self.caches = [RemoteVertexCache(config.cache_capacity) for _ in self.machines]
+        self.data = [
+            DataService(m, tables, self.caches[m], partitioner=partitioner)
+            for m in range(config.num_machines)
+        ]
+        self._task_ids = itertools.count()
+        self.metrics = EngineMetrics()
+        self._outstanding = 0  # tasks sitting in queues
+        self._executing = 0  # tasks between pick and completion event
+
+    # -- helpers -----------------------------------------------------------
+
+    def _next_task_id(self) -> int:
+        return next(self._task_ids)
+
+    def _route(self, task: Task, machine: _SimMachine, thread: int) -> None:
+        self._outstanding += 1
+        self.metrics.peak_pending_tasks = max(
+            self.metrics.peak_pending_tasks, self._outstanding
+        )
+        if self.config.use_global_queue and task.is_big(self.config.tau_split):
+            machine.qglobal.append(task)
+        else:
+            machine.qlocal[thread].append(task)
+
+    def _spawn_batch(self, machine: _SimMachine, thread: int) -> int:
+        spawned = 0
+        while spawned < self.config.batch_size and not machine.spawn_exhausted():
+            v = machine.spawn_order[machine.spawn_pos]
+            machine.spawn_pos += 1
+            adjacency = machine.table.get(v)
+            assert adjacency is not None
+            task = self.app.spawn(v, adjacency, self._next_task_id())
+            if task is None:
+                continue
+            self.metrics.tasks_spawned += 1
+            self._route(task, machine, thread)
+            spawned += 1
+            if self.config.use_global_queue and task.is_big(self.config.tau_split):
+                break
+        return spawned
+
+    def _pick(self, machine: _SimMachine, thread: int) -> Task | None:
+        if self.config.use_global_queue and machine.qglobal:
+            return machine.qglobal.pop(0)
+        q = machine.qlocal[thread]
+        if not q:
+            self._spawn_batch(machine, thread)
+        if q:
+            return q.pop(0)
+        # Local queue still empty — maybe spawning routed only big tasks.
+        if self.config.use_global_queue and machine.qglobal:
+            return machine.qglobal.pop(0)
+        return None
+
+    def _execute(self, task: Task, machine_id: int) -> tuple[float, list[Task]]:
+        """Run one scheduling quantum of the task.
+
+        A quantum resolves the task's pending pulls, then chains compute
+        iterations until the task either finishes or issues new pulls —
+        the suspend-for-data point where the real engine re-buffers the
+        task and re-evaluates its big/small routing. A task that issued
+        pulls is returned among the children so the caller re-routes it
+        at the quantum's completion time.
+        """
+        record_box: list[TaskRecord] = []
+        ctx = ComputeContext(
+            config=self.config,
+            next_task_id=self._next_task_id,
+            record=record_box.append,
+        )
+        data = self.data[machine_id]
+        cost = 0.0
+        children: list[Task] = []
+        while True:
+            if task.pulls:
+                before = data.remote_messages
+                frontier = data.resolve(task.pulls)
+                cost += (data.remote_messages - before) * self.config.sim_message_cost
+                task.pulls = []
+            else:
+                frontier = {}
+            outcome = self.app.compute(task, frontier, ctx)
+            cost += outcome.cost_ops
+            children.extend(outcome.new_tasks)
+            if outcome.finished:
+                break
+            if task.pulls:
+                # Suspend point: the task goes back through the queues
+                # with its new pull scope deciding big/small routing.
+                children.append(task)
+                break
+        for rec in record_box:
+            self.metrics.record_task(rec)
+        return cost, children
+
+    # -- main event loop -------------------------------------------------------
+
+    def run(self) -> SimOutcome:
+        config = self.config
+        threads = [
+            (m, t)
+            for m in range(config.num_machines)
+            for t in range(config.threads_per_machine)
+        ]
+        busy: dict[tuple[int, int], float] = {slot: 0.0 for slot in threads}
+        #: (time, seq, kind, payload); kinds: 'free' thread slot, 'steal' tick.
+        #: payload for 'free': (slot, children, is_completion).
+        events: list[tuple[float, int, str, object]] = []
+        seq = itertools.count()
+        for slot in threads:
+            heapq.heappush(events, (0.0, next(seq), "free", (slot, [], False)))
+        steal_enabled = config.use_stealing and config.num_machines > 1
+        steal_period = max(1.0, config.steal_period_seconds)
+        if steal_enabled:
+            heapq.heappush(events, (steal_period, next(seq), "steal", None))
+        idle: set[tuple[int, int]] = set()
+        makespan = 0.0
+        total_work = 0.0
+
+        def wake_idle(now: float) -> None:
+            for slot in list(idle):
+                idle.discard(slot)
+                heapq.heappush(events, (now, next(seq), "free", (slot, [], False)))
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == "steal":
+                counts = [
+                    len(m.qglobal) for m in self.machines
+                ]
+                for move in plan_steals(counts, config.batch_size):
+                    src = self.machines[move.src]
+                    dst = self.machines[move.dst]
+                    batch = src.qglobal[-move.count :]
+                    del src.qglobal[-move.count :]
+                    dst.qglobal.extend(batch)
+                    if batch:
+                        self.metrics.steals += 1
+                        self.metrics.stolen_tasks += len(batch)
+                if (
+                    self._outstanding > 0
+                    or self._executing > 0
+                    or not all(m.spawn_exhausted() for m in self.machines)
+                ):
+                    heapq.heappush(events, (now + steal_period, next(seq), "steal", None))
+                if any(m.qglobal for m in self.machines):
+                    wake_idle(now)
+                continue
+
+            slot, finished_children, is_completion = payload  # type: ignore[misc]
+            machine_id, thread_id = slot
+            machine = self.machines[machine_id]
+            if is_completion:
+                self._executing -= 1
+            if finished_children:
+                for child in finished_children:
+                    self._route(child, machine, thread_id)
+                wake_idle(now)
+            task = self._pick(machine, thread_id)
+            if task is None:
+                idle.add(slot)
+                continue
+            self._outstanding -= 1
+            self._executing += 1
+            cost, children = self._execute(task, machine_id)
+            cost = max(cost, 1.0)
+            busy[slot] += cost
+            total_work += cost
+            makespan = max(makespan, now + cost)
+            heapq.heappush(events, (now + cost, next(seq), "free", (slot, children, True)))
+
+        self.metrics.virtual_makespan = makespan
+        for m, data in enumerate(self.data):
+            self.metrics.remote_messages += data.remote_messages
+            self.metrics.cache_hits += self.caches[m].hits
+            self.metrics.cache_misses += self.caches[m].misses
+        self.metrics.mining_stats.merge(self.app.stats)
+        candidates = self.app.sink.results()
+        maximal = postprocess_results(candidates)
+        self.metrics.results = len(maximal)
+        return SimOutcome(
+            maximal=maximal,
+            candidates=candidates,
+            metrics=self.metrics,
+            makespan=makespan,
+            total_work=total_work,
+            busy_per_thread=busy,
+        )
+
+
+def simulate_cluster(
+    graph: Graph,
+    gamma: float,
+    min_size: int,
+    config: EngineConfig,
+    options=None,
+) -> SimOutcome:
+    """Front-end: simulate one job and return results + virtual makespan."""
+    from ..core.options import DEFAULT_OPTIONS
+
+    app = QuasiCliqueApp(
+        gamma=gamma,
+        min_size=min_size,
+        sink=ResultSink(),
+        options=options or DEFAULT_OPTIONS,
+    )
+    return SimulatedClusterEngine(graph, app, config).run()

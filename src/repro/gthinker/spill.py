@@ -1,0 +1,185 @@
+"""Disk spilling of task batches (paper Section 5, L_small / L_big).
+
+When a bounded task queue overflows, a batch of C tasks from its tail
+is serialized to one file on local disk; files are tracked in a list
+(L_small per thread-set, L_big for the global queue) and reloaded in
+LIFO file order when queues run low — batched both ways to stay
+IO-efficient, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import pickle
+
+from .task import Task
+
+
+class SpillFileList:
+    """A list of spill files plus byte accounting (one L_small / L_big)."""
+
+    def __init__(self, spill_dir: str | None, name: str):
+        self._dir = spill_dir or tempfile.mkdtemp(prefix=f"gthinker-{name}-")
+        os.makedirs(self._dir, exist_ok=True)
+        self._name = name
+        self._files: list[str] = []
+        self._counter = 0
+        self._lock = threading.Lock()
+        self.bytes_written = 0
+        self.bytes_peak = 0
+        self.batches_spilled = 0
+        self.batches_loaded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._files)
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return sum(os.path.getsize(p) for p in self._files if os.path.exists(p))
+
+    def spill(self, tasks: list[Task]) -> str:
+        """Write one batch to a new file; returns the path."""
+        blob = pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._counter += 1
+            path = os.path.join(self._dir, f"{self._name}-{self._counter:08d}.tasks")
+        with open(path, "wb") as f:
+            f.write(blob)
+        with self._lock:
+            self._files.append(path)
+            self.bytes_written += len(blob)
+            self.batches_spilled += 1
+            self.bytes_peak = max(self.bytes_peak, self.bytes_written)
+        return path
+
+    def load_batch(self) -> list[Task]:
+        """Pop the most recent spill file and return its tasks ([] if none).
+
+        A truncated or corrupted spill file raises a RuntimeError naming
+        the file — losing queued tasks silently would silently lose
+        mining results, the one failure mode this engine must never have.
+        """
+        with self._lock:
+            if not self._files:
+                return []
+            path = self._files.pop()
+            self.batches_loaded += 1
+        try:
+            with open(path, "rb") as f:
+                tasks = pickle.loads(f.read())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            raise RuntimeError(
+                f"spill file {path!r} is unreadable or corrupted: {exc}"
+            ) from exc
+        if not isinstance(tasks, list) or not all(isinstance(t, Task) for t in tasks):
+            raise RuntimeError(f"spill file {path!r} did not decode to a task batch")
+        os.remove(path)
+        return tasks
+
+    def pending_task_estimate(self, batch_size: int) -> int:
+        """Rough count of on-disk tasks (files × batch size) for stealing plans."""
+        return len(self) * batch_size
+
+    def cleanup(self) -> None:
+        with self._lock:
+            files, self._files = self._files, []
+        for path in files:
+            if os.path.exists(path):
+                os.remove(path)
+
+
+class SpillableQueue:
+    """Bounded FIFO task queue that spills tail batches to disk when full.
+
+    push() appends at the back; when the queue holds `capacity` tasks,
+    the back-most `batch_size` tasks are spilled first (newest work goes
+    to disk, oldest stays hot — the paper's tail-spill rule). pop()
+    takes from the front. refill() loads one spilled batch back when the
+    queue is running low.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        batch_size: int,
+        spill: SpillFileList,
+        lock: threading.Lock | None = None,
+    ):
+        if batch_size < 1 or capacity < batch_size:
+            raise ValueError("need capacity >= batch_size >= 1")
+        self._items: list[Task] = []
+        self._capacity = capacity
+        self._batch = batch_size
+        self._spill = spill
+        self._lock = lock or threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def spill_list(self) -> SpillFileList:
+        return self._spill
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch
+
+    def push(self, task: Task) -> None:
+        with self._lock:
+            if len(self._items) >= self._capacity:
+                batch = self._items[-self._batch :]
+                del self._items[-self._batch :]
+                self._spill.spill(batch)
+            self._items.append(task)
+
+    def pop(self) -> Task | None:
+        with self._lock:
+            if self._items:
+                return self._items.pop(0)
+        return None
+
+    def try_pop(self) -> tuple[bool, Task | None]:
+        """(acquired, task): try-lock semantics for the global queue."""
+        if not self._lock.acquire(blocking=False):
+            return False, None
+        try:
+            task = self._items.pop(0) if self._items else None
+            return True, task
+        finally:
+            self._lock.release()
+
+    def needs_refill(self) -> bool:
+        with self._lock:
+            return len(self._items) < self._batch
+
+    def refill_from_spill(self) -> int:
+        """Load one spilled batch back into the queue; returns #tasks."""
+        batch = self._spill.load_batch()
+        if batch:
+            with self._lock:
+                self._items[:0] = batch
+        return len(batch)
+
+    def pop_batch(self, count: int) -> list[Task]:
+        """Remove up to `count` tasks from the back (stealing donor side)."""
+        with self._lock:
+            if count <= 0 or not self._items:
+                return []
+            taken = self._items[-count:]
+            del self._items[-count:]
+            return taken
+
+    def push_batch(self, tasks: list[Task]) -> None:
+        for t in tasks:
+            self.push(t)
+
+    def pending_estimate(self) -> int:
+        """In-memory + on-disk task estimate (stealing planner input)."""
+        with self._lock:
+            mem = len(self._items)
+        return mem + self._spill.pending_task_estimate(self._batch)

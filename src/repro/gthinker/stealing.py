@@ -1,0 +1,58 @@
+"""Master-coordinated big-task stealing (paper Section 5, reforged).
+
+Because only big tasks bottleneck a job, stealing moves big tasks
+exclusively. A master periodically collects each machine's number of
+pending big tasks (global queue plus its spill list), computes the
+average, and plans transfers that pull every machine toward it. Per the
+paper's throttling rule, a machine gives or takes at most one batch of
+C tasks per period, so the network is never flooded by task thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StealMove:
+    """Move `count` big tasks from machine `src` to machine `dst`."""
+
+    src: int
+    dst: int
+    count: int
+
+
+def plan_steals(pending_big: list[int], batch_size: int) -> list[StealMove]:
+    """Compute one period's stealing plan from per-machine pending counts.
+
+    Donors are machines above the average, recipients below it; each
+    machine participates in at most one move of ≤ `batch_size` tasks
+    per period (the paper's at-most-one-task-file rule).
+    """
+    n = len(pending_big)
+    if n <= 1 or batch_size < 1:
+        return []
+    avg = sum(pending_big) / n
+    donors = sorted(
+        (m for m in range(n) if pending_big[m] > avg),
+        key=lambda m: pending_big[m],
+        reverse=True,
+    )
+    recipients = sorted(
+        (m for m in range(n) if pending_big[m] < avg),
+        key=lambda m: pending_big[m],
+    )
+    moves: list[StealMove] = []
+    di, ri = 0, 0
+    while di < len(donors) and ri < len(recipients):
+        donor = donors[di]
+        recipient = recipients[ri]
+        surplus = int(pending_big[donor] - avg)
+        deficit = int(avg - pending_big[recipient] + 0.999)
+        count = min(surplus, deficit, batch_size)
+        if count <= 0:
+            break
+        moves.append(StealMove(src=donor, dst=recipient, count=count))
+        di += 1
+        ri += 1
+    return moves

@@ -1,0 +1,123 @@
+"""Structured tracing of engine scheduling decisions.
+
+For debugging and for *testing the scheduler itself*: with a tracer
+attached, the engine emits one event per lifecycle step (spawn, queue
+routing, pop origin, execution, decomposition, steal), so tests can
+assert policy properties — e.g. "a task is never executed before it was
+routed" or "global pops precede local pops while big tasks exist" —
+instead of inferring them from aggregate counters.
+
+The tracer is bounded (ring buffer) and lock-guarded; a NullTracer with
+no-op emit keeps the hot path free when tracing is off (the default).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduling decision."""
+
+    seq: int
+    kind: str
+    task_id: int
+    machine: int
+    thread: int
+    detail: str = ""
+
+
+#: Event kinds the engine emits.
+KINDS = (
+    "spawn",  # task created from the vertex table
+    "route_global",  # task added to a machine's global big-task queue
+    "route_local",  # task added to a thread's local queue
+    "pop_global",  # task taken from the global queue
+    "pop_local",  # task taken from a local queue
+    "ready_global",  # data-ready big task buffered (B_global)
+    "ready_local",  # data-ready small task buffered (B_local)
+    "execute",  # one compute round starts
+    "finish",  # task completed
+    "decompose",  # task produced subtasks
+    "steal",  # batch moved between machines
+)
+
+
+class Tracer:
+    """Bounded, thread-safe event recorder."""
+
+    def __init__(self, capacity: int = 100_000):
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def emit(
+        self, kind: str, task_id: int, machine: int = -1, thread: int = -1,
+        detail: str = "",
+    ) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown trace kind {kind!r}")
+        with self._lock:
+            self._events.append(
+                TraceEvent(
+                    seq=next(self._seq), kind=kind, task_id=task_id,
+                    machine=machine, thread=thread, detail=detail,
+                )
+            )
+
+    def events(self, kind: str | None = None, task_id: int | None = None) -> list[TraceEvent]:
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if task_id is not None:
+            out = [e for e in out if e.task_id == task_id]
+        return out
+
+    def counts(self) -> dict[str, int]:
+        summary: dict[str, int] = {}
+        for e in self.events():
+            summary[e.kind] = summary.get(e.kind, 0) + 1
+        return summary
+
+    def dump_jsonl(self, path: str | os.PathLike) -> int:
+        """Write events as JSON lines; returns the count written."""
+        events = self.events()
+        with open(path, "w") as f:
+            for e in events:
+                f.write(json.dumps(asdict(e)) + "\n")
+        return len(events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class NullTracer:
+    """No-op tracer (the default; keeps the scheduling hot path clean)."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(self, *args, **kwargs) -> None:
+        return None
+
+    def events(self, *args, **kwargs) -> list[TraceEvent]:
+        return []
+
+    def counts(self) -> dict[str, int]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0

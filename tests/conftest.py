@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.graph.adjacency import Graph
+
+#: γ values used across parameterized tests — all in the paper's γ ≥ 0.5
+#: regime, including a non-dyadic rational to exercise float guards.
+GAMMAS = [0.5, 0.6, 2 / 3, 0.75, 0.8, 0.9, 1.0]
+
+
+def make_random_graph(n: int, p: float, seed: int) -> Graph:
+    """Small G(n, p) with all n vertices present (isolated ones too)."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v) for u, v in itertools.combinations(range(n), 2) if rng.random() < p
+    ]
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+@pytest.fixture
+def figure4_graph() -> Graph:
+    """The paper's Figure 4 example graph (a..i mapped to 0..8).
+
+    Γ(d) = {a, c, e, h, i} (degree 5), B(e) = {f, g, h, i}, and
+    S1 = {a, b, c, d}, S2 = S1 ∪ {e} are both 0.6-quasi-cliques with
+    S1 non-maximal — the exact properties the paper's Section 3 walks
+    through, asserted in tests.
+    """
+    ids = {x: i for i, x in enumerate("abcdefghi")}
+    edges = [
+        ("a", "b"), ("a", "c"), ("a", "d"), ("a", "e"),
+        ("b", "c"), ("b", "e"),
+        ("c", "d"), ("c", "e"),
+        ("d", "e"), ("d", "h"), ("d", "i"),
+        ("f", "g"), ("f", "h"),
+        ("g", "h"),
+        ("h", "i"),
+        ("b", "f"), ("c", "g"),
+    ]
+    return Graph.from_edges([(ids[u], ids[v]) for u, v in edges])
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def two_cliques_bridge() -> Graph:
+    """Two 4-cliques joined by a single bridge edge."""
+    edges = list(itertools.combinations(range(4), 2))
+    edges += [(u + 4, v + 4) for u, v in itertools.combinations(range(4), 2)]
+    edges.append((3, 4))
+    return Graph.from_edges(edges)

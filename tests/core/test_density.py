@@ -1,0 +1,109 @@
+"""Tests for the edge-density dense-subgraph utilities."""
+
+import random
+
+import pytest
+
+from repro.core.density import (
+    average_degree_density,
+    densest_subgraph_peel,
+    edge_density,
+    enumerate_dense_subgraphs,
+    filter_by_density,
+    gamma_implies_density_bound,
+    internal_edge_count,
+    is_dense_subgraph,
+)
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.naive import enumerate_quasicliques
+from repro.graph.adjacency import Graph
+
+from conftest import make_random_graph
+
+
+class TestDensity:
+    def test_basic_values(self, triangle_graph, path_graph):
+        assert edge_density(triangle_graph, {0, 1, 2}) == 1.0
+        assert edge_density(path_graph, {0, 1, 2}) == pytest.approx(2 / 3)
+        assert edge_density(path_graph, {0}) == 1.0
+        assert edge_density(path_graph, set()) == 0.0
+
+    def test_internal_edges(self, two_cliques_bridge):
+        assert internal_edge_count(two_cliques_bridge, {0, 1, 2, 3}) == 6
+        assert internal_edge_count(two_cliques_bridge, {3, 4}) == 1
+
+    def test_average_degree(self, triangle_graph):
+        assert average_degree_density(triangle_graph, {0, 1, 2}) == 1.0
+
+    def test_predicate(self, path_graph):
+        assert is_dense_subgraph(path_graph, {0, 1}, 1.0)
+        assert not is_dense_subgraph(path_graph, {0, 1, 2}, 0.7)
+
+
+class TestCharikarPeel:
+    def brute_densest(self, g):
+        best = 0.0
+        vertices = sorted(g.vertices())
+        from itertools import combinations
+
+        for r in range(1, len(vertices) + 1):
+            for combo in combinations(vertices, r):
+                best = max(best, average_degree_density(g, set(combo)))
+        return best
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_half_approximation(self, seed):
+        g = make_random_graph(10, 0.4, seed=seed)
+        if g.num_edges == 0:
+            return
+        result = densest_subgraph_peel(g)
+        opt = self.brute_densest(g)
+        assert result.density == pytest.approx(
+            average_degree_density(g, result.vertices)
+        )
+        assert result.density >= opt / 2 - 1e-9
+
+    def test_clique_plus_tail(self):
+        # 5-clique with a pendant path: the peel must find the clique.
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(4, 5), (5, 6), (6, 7)]
+        g = Graph.from_edges(edges)
+        result = densest_subgraph_peel(g)
+        assert set(range(5)) <= result.vertices
+        assert result.density >= 2.0
+
+    def test_empty(self):
+        result = densest_subgraph_peel(Graph())
+        assert result.vertices == set()
+        assert result.density == 0.0
+
+
+class TestEnumeration:
+    def test_matches_manual(self, two_cliques_bridge):
+        dense = enumerate_dense_subgraphs(two_cliques_bridge, 1.0, 3)
+        assert frozenset({0, 1, 2, 3}) in dense
+        assert frozenset({4, 5, 6, 7}) in dense
+        assert all(edge_density(two_cliques_bridge, set(s)) == 1.0 for s in dense)
+
+    def test_quasicliques_are_dense(self):
+        # Every γ-quasi-clique clears the γ edge-density bound.
+        for seed in range(5):
+            g = make_random_graph(9, 0.6, seed=seed + 17)
+            for gamma in (0.5, 0.75, 0.9):
+                for qc in enumerate_quasicliques(g, gamma, 2):
+                    bound = gamma_implies_density_bound(gamma, len(qc))
+                    assert edge_density(g, set(qc)) >= bound - 1e-9
+                    assert bound >= gamma - 1e-9
+
+
+class TestDoubleConstraint:
+    def test_filter_keeps_dense_results(self):
+        rng = random.Random(5)
+        g = make_random_graph(12, 0.55, seed=31)
+        mined = mine_maximal_quasicliques(g, 0.6, 3).maximal
+        kept = filter_by_density(g, mined, threshold=0.8)
+        assert kept <= mined
+        for s in kept:
+            assert edge_density(g, set(s)) >= 0.8
+        # Thresholds at or below γ pass everything (density ≥ γ bound).
+        assert filter_by_density(g, mined, threshold=0.6) == mined

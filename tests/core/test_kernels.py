@@ -1,0 +1,112 @@
+"""Tests for kernel-expansion top-k mining (paper §8 future work, [32])."""
+
+import random
+
+import pytest
+
+from repro.core.kernels import (
+    expand_kernel,
+    expansion_candidates,
+    mine_kernels,
+    top_k_quasicliques,
+)
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.quasiclique import is_quasi_clique
+from repro.graph.adjacency import Graph
+from repro.graph.generators import planted_quasicliques
+
+from conftest import make_random_graph
+
+
+class TestExpansion:
+    def test_candidates_are_frontier(self, two_cliques_bridge):
+        assert expansion_candidates(two_cliques_bridge, {0, 1}) == {2, 3}
+        assert expansion_candidates(two_cliques_bridge, {3}) == {0, 1, 2, 4}
+
+    def test_expansion_keeps_validity_invariant(self):
+        for seed in range(10):
+            g = make_random_graph(14, 0.5, seed=seed + 3)
+            rng = random.Random(seed)
+            gamma = rng.choice([0.5, 0.75, 0.9])
+            # Any single vertex is a valid kernel.
+            v = rng.choice(sorted(g.vertices()))
+            grown = expand_kernel(g, frozenset({v}), gamma)
+            assert v in grown
+            assert is_quasi_clique(g, grown, gamma)
+
+    def test_expands_clique_kernel_into_quasiclique(self, figure4_graph):
+        # Kernel {a,b,c} (a triangle) should grow into the 0.6-QC S2.
+        grown = expand_kernel(figure4_graph, frozenset({0, 1, 2}), 0.6)
+        assert {0, 1, 2} <= grown
+        assert len(grown) >= 5
+        assert is_quasi_clique(figure4_graph, grown, 0.6)
+
+    def test_stalls_when_nothing_can_join(self, two_cliques_bridge):
+        grown = expand_kernel(two_cliques_bridge, frozenset({0, 1, 2, 3}), 1.0)
+        assert grown == frozenset({0, 1, 2, 3})
+
+    def test_deterministic(self):
+        g = make_random_graph(16, 0.45, seed=9)
+        a = expand_kernel(g, frozenset({0}), 0.6)
+        b = expand_kernel(g, frozenset({0}), 0.6)
+        assert a == b
+
+
+class TestMineKernels:
+    def test_kernels_are_valid_at_kernel_gamma(self):
+        g = make_random_graph(12, 0.6, seed=5)
+        kernels, _ = mine_kernels(g, 0.9, 3)
+        for kernel in kernels:
+            assert is_quasi_clique(g, kernel, 0.9)
+
+    def test_stricter_gamma_fewer_or_equal_kernels(self):
+        g = make_random_graph(12, 0.6, seed=6)
+        loose, _ = mine_kernels(g, 0.75, 3)
+        strict, _ = mine_kernels(g, 1.0, 3)
+        assert len(strict) <= len(loose)
+
+
+class TestTopK:
+    def test_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            top_k_quasicliques(triangle_graph, 0.9, 0, 2)
+        with pytest.raises(ValueError):
+            top_k_quasicliques(triangle_graph, 0.9, 1, 2, kernel_gamma=0.6)
+
+    def test_results_are_valid_and_sorted(self):
+        g = make_random_graph(14, 0.55, seed=11)
+        result = top_k_quasicliques(g, 0.6, k=3, min_size=3)
+        sizes = [len(s) for s in result.top_k]
+        assert sizes == sorted(sizes, reverse=True)
+        for s in result.top_k:
+            assert is_quasi_clique(g, s, 0.6)
+
+    def test_recovers_planted_top_quasicliques(self):
+        pg = planted_quasicliques(
+            n=200, avg_degree=4, num_plants=3, plant_size=10, gamma=0.9, seed=13
+        )
+        result = top_k_quasicliques(pg.graph, 0.9, k=3, min_size=8)
+        assert len(result.top_k) == 3
+        for plant in pg.planted:
+            assert any(plant <= found or len(found & plant) >= 8
+                       for found in result.top_k), (
+                f"planted core {sorted(plant)} not recovered"
+            )
+
+    def test_heuristic_close_to_exact_top_size(self):
+        # [32]'s claim: the error vs the exact top-k is small. On small
+        # graphs we can compare against the exact miner directly.
+        for seed in range(5):
+            g = make_random_graph(13, 0.55, seed=seed + 29)
+            exact = mine_maximal_quasicliques(g, 0.6, 3).maximal
+            if not exact:
+                continue
+            exact_best = max(len(s) for s in exact)
+            heur = top_k_quasicliques(g, 0.6, k=1, min_size=3)
+            if heur.top_k:
+                assert len(heur.top_k[0]) >= exact_best - 2
+
+    def test_kernel_gamma_defaults_to_midpoint(self):
+        g = make_random_graph(10, 0.6, seed=2)
+        result = top_k_quasicliques(g, 0.8, k=1, min_size=2)
+        assert result.kernel_gamma == pytest.approx(0.9)

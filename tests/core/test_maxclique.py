@@ -1,0 +1,87 @@
+"""Tests for the branch-and-bound maximum clique solver (networkx oracle)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.maxclique import (
+    branch_max_clique,
+    greedy_color_order,
+    is_clique,
+    max_clique,
+    max_clique_size,
+)
+from repro.graph.adjacency import Graph
+
+from conftest import make_random_graph
+
+
+def nx_max_clique_size(g: Graph) -> int:
+    h = nx.Graph()
+    h.add_nodes_from(g.vertices())
+    h.add_edges_from(g.edges())
+    return max((len(c) for c in nx.find_cliques(h)), default=0)
+
+
+class TestMaxClique:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        g = make_random_graph(rng.randint(5, 18), rng.uniform(0.3, 0.8), seed=seed + 7)
+        clique, stats = max_clique(g)
+        assert is_clique(g, clique)
+        assert len(clique) == nx_max_clique_size(g)
+        assert stats.nodes > 0
+
+    def test_empty_and_trivial(self):
+        assert max_clique(Graph())[0] == set()
+        g = Graph.from_edges([], vertices=[5])
+        assert max_clique(g)[0] == {5}
+
+    def test_complete_graph(self):
+        g = Graph.from_edges([(u, v) for u in range(6) for v in range(u + 1, 6)])
+        assert max_clique_size(g) == 6
+
+    def test_bound_prunes_fire(self):
+        g = make_random_graph(18, 0.6, seed=3)
+        _, stats = max_clique(g)
+        assert stats.bound_prunes > 0
+
+
+class TestColoring:
+    def test_proper_coloring(self):
+        g = make_random_graph(15, 0.5, seed=4)
+        colored = greedy_color_order(g, sorted(g.vertices()))
+        color_of = dict(colored)
+        for u, v in g.edges():
+            assert color_of[u] != color_of[v]
+
+    def test_sorted_by_color(self):
+        g = make_random_graph(15, 0.5, seed=5)
+        colored = greedy_color_order(g, sorted(g.vertices()))
+        colors = [c for _, c in colored]
+        assert colors == sorted(colors)
+
+    def test_color_count_bounds_clique(self):
+        g = make_random_graph(14, 0.5, seed=6)
+        colored = greedy_color_order(g, sorted(g.vertices()))
+        max_color = max((c for _, c in colored), default=0)
+        assert max_color >= max_clique_size(g)
+
+
+class TestBranchEntry:
+    def test_beats_incumbent_or_none(self):
+        g = make_random_graph(14, 0.6, seed=8)
+        true_size = nx_max_clique_size(g)
+        found = branch_max_clique(g, [], sorted(g.vertices()), incumbent_size=0)
+        assert found is not None and len(found) == true_size
+        assert is_clique(g, found)
+        # With the incumbent already at the optimum, nothing can beat it.
+        assert branch_max_clique(g, [], sorted(g.vertices()), true_size) is None
+
+    def test_subtree_restriction(self, two_cliques_bridge):
+        # Subtree rooted at S={4} with candidates {5,6,7} can only find
+        # the second 4-clique.
+        found = branch_max_clique(two_cliques_bridge, [4], [5, 6, 7], 0)
+        assert found == {4, 5, 6, 7}

@@ -1,0 +1,116 @@
+"""End-to-end serial miner tests against the brute-force oracle."""
+
+import random
+
+import pytest
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.naive import enumerate_maximal_quasicliques
+from repro.core.options import MinerOptions
+from repro.core.quasiclique import is_quasi_clique
+from repro.graph.adjacency import Graph
+from repro.graph.generators import planted_quasicliques
+
+from conftest import GAMMAS, make_random_graph
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("mode", ["ego", "global"])
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, mode, seed):
+        rng = random.Random(seed)
+        g = make_random_graph(rng.randint(4, 12), rng.uniform(0.25, 0.8), seed=seed + 31)
+        gamma = rng.choice(GAMMAS)
+        min_size = rng.randint(1, 5)
+        got = mine_maximal_quasicliques(g, gamma, min_size, mode=mode).maximal
+        want = enumerate_maximal_quasicliques(g, gamma, min_size)
+        assert got == want
+
+    def test_figure4_runs(self, figure4_graph):
+        result = mine_maximal_quasicliques(figure4_graph, 0.6, 4)
+        assert result.maximal == enumerate_maximal_quasicliques(figure4_graph, 0.6, 4)
+        s2 = frozenset({0, 1, 2, 3, 4})
+        assert s2 in result.maximal
+
+    def test_empty_graph(self):
+        result = mine_maximal_quasicliques(Graph(), 0.9, 3)
+        assert result.maximal == set()
+
+    def test_no_results_when_thresholds_strict(self, path_graph):
+        assert mine_maximal_quasicliques(path_graph, 1.0, 3).maximal == set()
+
+    def test_min_size_one_returns_isolated_maximals(self):
+        g = Graph.from_edges([(0, 1)], vertices=range(3))
+        result = mine_maximal_quasicliques(g, 1.0, 1)
+        assert result.maximal == {frozenset({0, 1}), frozenset({2})}
+
+
+class TestPlantedRecovery:
+    def test_plants_recovered(self):
+        pg = planted_quasicliques(
+            n=150, avg_degree=4, num_plants=3, plant_size=8, gamma=0.9, seed=7
+        )
+        result = mine_maximal_quasicliques(pg.graph, 0.9, 7)
+        for plant in pg.planted:
+            # The plant (or a superset of it) must be in the output.
+            assert any(plant <= found for found in result.maximal), (
+                f"planted quasi-clique {sorted(plant)} lost"
+            )
+
+    def test_all_results_valid_and_size_filtered(self):
+        pg = planted_quasicliques(
+            n=120, avg_degree=4, num_plants=2, plant_size=8, gamma=0.85, seed=2
+        )
+        result = mine_maximal_quasicliques(pg.graph, 0.85, 6)
+        for qc in result.maximal:
+            assert len(qc) >= 6
+            assert is_quasi_clique(pg.graph, qc, 0.85)
+
+
+class TestStatsAndInputs:
+    def test_stats_populated(self, figure4_graph):
+        result = mine_maximal_quasicliques(figure4_graph, 0.6, 3)
+        assert result.stats.mining_ops > 0
+        assert result.stats.candidates_emitted >= len(result.maximal)
+
+    def test_invalid_mode(self, triangle_graph):
+        with pytest.raises(ValueError):
+            mine_maximal_quasicliques(triangle_graph, 0.6, 2, mode="nope")
+
+    def test_gamma_below_half_rejected(self, triangle_graph):
+        with pytest.raises(ValueError, match="0.5"):
+            mine_maximal_quasicliques(triangle_graph, 0.4, 2)
+
+    def test_maximal_subset_of_candidates(self, figure4_graph):
+        result = mine_maximal_quasicliques(figure4_graph, 0.6, 3)
+        assert result.maximal <= result.candidates
+
+
+class TestAblationConsistency:
+    """Disabling any individual pruning family must not change results."""
+
+    @pytest.mark.parametrize(
+        "disabled",
+        [
+            "use_diameter_prune",
+            "use_degree_prune",
+            "use_upper_bound",
+            "use_lower_bound",
+            "use_critical_vertex",
+            "use_cover_vertex",
+            "use_lookahead",
+            "kcore_preprocess",
+        ],
+    )
+    def test_toggle_preserves_results(self, disabled):
+        opts = MinerOptions(**{disabled: False})
+        for seed in range(5):
+            rng = random.Random(seed)
+            g = make_random_graph(10, 0.55, seed=seed + 101)
+            gamma = rng.choice(GAMMAS)
+            min_size = rng.randint(2, 4)
+            base = mine_maximal_quasicliques(g, gamma, min_size).maximal
+            toggled = mine_maximal_quasicliques(
+                g, gamma, min_size, options=opts, mode="global"
+            ).maximal
+            assert toggled == base, f"{disabled} off changed results"

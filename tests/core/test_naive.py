@@ -1,0 +1,50 @@
+"""Tests for the brute-force oracle itself (hand-verified tiny cases)."""
+
+import pytest
+
+from repro.core.naive import (
+    MAX_ORACLE_VERTICES,
+    enumerate_maximal_quasicliques,
+    enumerate_quasicliques,
+    is_maximal_quasiclique,
+)
+from repro.graph.adjacency import Graph
+
+
+class TestEnumerate:
+    def test_triangle(self, triangle_graph):
+        all_qcs = enumerate_quasicliques(triangle_graph, 1.0, 2)
+        assert frozenset({0, 1, 2}) in all_qcs
+        assert frozenset({0, 1}) in all_qcs
+        maximal = enumerate_maximal_quasicliques(triangle_graph, 1.0, 2)
+        assert maximal == {frozenset({0, 1, 2})}
+
+    def test_paper_s1_not_maximal(self, figure4_graph):
+        maximal = enumerate_maximal_quasicliques(figure4_graph, 0.6, 4)
+        s1 = frozenset({0, 1, 2, 3})
+        s2 = frozenset({0, 1, 2, 3, 4})
+        assert s1 not in maximal  # S1 ⊂ S2, paper Section 3.1
+        assert s2 in maximal or any(s2 < m for m in maximal)
+
+    def test_min_size_filter(self, triangle_graph):
+        assert enumerate_maximal_quasicliques(triangle_graph, 1.0, 4) == set()
+
+    def test_two_cliques(self, two_cliques_bridge):
+        maximal = enumerate_maximal_quasicliques(two_cliques_bridge, 1.0, 3)
+        assert frozenset({0, 1, 2, 3}) in maximal
+        assert frozenset({4, 5, 6, 7}) in maximal
+        assert len(maximal) == 2
+
+    def test_size_guard(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(MAX_ORACLE_VERTICES + 2)])
+        with pytest.raises(ValueError, match="oracle limited"):
+            enumerate_quasicliques(g, 0.5, 2)
+
+
+class TestMaximalityOracle:
+    def test_basic(self, two_cliques_bridge):
+        assert is_maximal_quasiclique(two_cliques_bridge, frozenset({0, 1, 2, 3}), 1.0)
+        assert not is_maximal_quasiclique(two_cliques_bridge, frozenset({0, 1, 2}), 1.0)
+
+    def test_invalid_set_is_not_maximal(self, path_graph):
+        assert not is_maximal_quasiclique(path_graph, frozenset({0, 4}), 0.9)

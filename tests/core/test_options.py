@@ -1,0 +1,89 @@
+"""Tests for miner options, stats, and result sinks."""
+
+import threading
+
+import pytest
+
+from repro.core.options import (
+    DEFAULT_OPTIONS,
+    MinerOptions,
+    MiningJob,
+    MiningStats,
+    ResultSink,
+    ThreadSafeResultSink,
+)
+from repro.graph.adjacency import Graph
+
+
+class TestMinerOptions:
+    def test_defaults_are_full_algorithm(self):
+        assert DEFAULT_OPTIONS.kcore_preprocess
+        assert DEFAULT_OPTIONS.use_lower_bound
+        assert DEFAULT_OPTIONS.check_before_critical_expand
+        assert DEFAULT_OPTIONS.check_empty_ext_candidate
+
+    def test_critical_vertex_needs_lower_bound(self):
+        opts = MinerOptions(use_lower_bound=False)
+        assert not opts.critical_vertex_enabled()
+        assert MinerOptions().critical_vertex_enabled()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_OPTIONS.use_lookahead = False  # type: ignore[misc]
+
+
+class TestMiningJobValidation:
+    def test_gamma_range(self, triangle_graph=None):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            MiningJob(graph=g, gamma=0.0, min_size=2, sink=ResultSink())
+        with pytest.raises(ValueError):
+            MiningJob(graph=g, gamma=1.5, min_size=2, sink=ResultSink())
+        with pytest.raises(ValueError, match="0.5"):
+            MiningJob(graph=g, gamma=0.3, min_size=2, sink=ResultSink())
+
+    def test_min_size(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            MiningJob(graph=g, gamma=0.9, min_size=0, sink=ResultSink())
+
+
+class TestStats:
+    def test_merge(self):
+        a = MiningStats(nodes_expanded=2, type1_pruned=3, mining_ops=10)
+        b = MiningStats(nodes_expanded=1, type2_pruned=4, mining_ops=5)
+        a.merge(b)
+        assert a.nodes_expanded == 3
+        assert a.type1_pruned == 3
+        assert a.type2_pruned == 4
+        assert a.mining_ops == 15
+
+
+class TestSinks:
+    def test_dedup(self):
+        sink = ResultSink()
+        sink.emit([1, 2, 3])
+        sink.emit([3, 2, 1])
+        assert len(sink) == 1
+        assert sink.results() == {frozenset({1, 2, 3})}
+
+    def test_results_returns_copy(self):
+        sink = ResultSink()
+        sink.emit([1])
+        out = sink.results()
+        out.add(frozenset({9}))
+        assert len(sink) == 1
+
+    def test_thread_safe_sink_under_contention(self):
+        sink = ThreadSafeResultSink()
+
+        def writer(base):
+            for i in range(200):
+                sink.emit([base * 1000 + i, base * 1000 + i + 500])
+
+        threads = [threading.Thread(target=writer, args=(b,)) for b in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(sink) == 4 * 200

@@ -1,0 +1,63 @@
+"""Tests for maximality postprocessing."""
+
+import random
+
+import pytest
+
+from repro.core.postprocess import postprocess_results, remove_non_maximal
+from repro.graph.adjacency import Graph
+
+from conftest import make_random_graph
+
+
+def quadratic_reference(results):
+    results = set(results)
+    return {s for s in results if not any(s < other for other in results)}
+
+
+class TestRemoveNonMaximal:
+    def test_basic(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({4})]
+        assert remove_non_maximal(sets) == {frozenset({1, 2, 3}), frozenset({4})}
+
+    def test_keeps_incomparable(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3})]
+        assert remove_non_maximal(sets) == set(sets)
+
+    def test_duplicates_collapse(self):
+        sets = [frozenset({1, 2}), frozenset({2, 1})]
+        assert remove_non_maximal(sets) == {frozenset({1, 2})}
+
+    def test_empty_inputs(self):
+        assert remove_non_maximal([]) == set()
+        assert remove_non_maximal([frozenset()]) == set()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_quadratic_reference(self, seed):
+        rng = random.Random(seed)
+        universe = list(range(12))
+        sets = [
+            frozenset(rng.sample(universe, rng.randint(1, 6))) for _ in range(40)
+        ]
+        assert remove_non_maximal(sets) == quadratic_reference(sets)
+
+    def test_chain_of_subsets(self):
+        chain = [frozenset(range(i)) for i in range(1, 8)]
+        assert remove_non_maximal(chain) == {frozenset(range(7))}
+
+
+class TestPostprocessVerify:
+    def test_verify_drops_invalid(self, triangle_graph):
+        candidates = [frozenset({0, 1, 2}), frozenset({0, 9}), frozenset({0})]
+        out = postprocess_results(
+            candidates, graph=triangle_graph, gamma=1.0, min_size=2, verify=True
+        )
+        assert out == {frozenset({0, 1, 2})}
+
+    def test_verify_requires_args(self):
+        with pytest.raises(ValueError):
+            postprocess_results([frozenset({0})], verify=True)
+
+    def test_no_verify_passthrough(self):
+        candidates = [frozenset({0, 9}), frozenset({0})]
+        assert postprocess_results(candidates) == {frozenset({0, 9})}

@@ -1,0 +1,69 @@
+"""Hypothesis property tests over *arbitrary float* γ values.
+
+The fixed "nice" γ values elsewhere could mask float-boundary bugs;
+here γ is drawn from the full [0.5, 1] continuum. The miner and the
+oracle share `ceil_gamma`'s epsilon guard, so they must agree for every
+representable γ — this is the regression net for γ-arithmetic drift.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.naive import enumerate_maximal_quasicliques
+from repro.core.quasiclique import ceil_gamma, degree_floor, is_quasi_clique
+from repro.graph.adjacency import Graph
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 9):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    pairs = list(itertools.combinations(range(n), 2))
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    return Graph.from_edges(
+        [p for p, keep in zip(pairs, mask) if keep], vertices=range(n)
+    )
+
+
+gammas = st.floats(min_value=0.5, max_value=1.0, allow_nan=False)
+
+
+@given(graph=small_graphs(), gamma=gammas, min_size=st.integers(2, 4))
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_miner_equals_oracle_for_any_float_gamma(graph, gamma, min_size):
+    got = mine_maximal_quasicliques(graph, gamma, min_size).maximal
+    want = enumerate_maximal_quasicliques(graph, gamma, min_size)
+    assert got == want
+
+
+@given(gamma=gammas, x=st.integers(min_value=0, max_value=200))
+@settings(max_examples=200, deadline=None)
+def test_ceil_gamma_basic_properties(gamma, x):
+    c = ceil_gamma(gamma, x)
+    # In range and monotone-consistent: a true ceiling up to epsilon.
+    assert 0 <= c <= x
+    assert c + 1 > gamma * x - 1e-9
+    assert c >= gamma * x - 1e-6
+
+
+@given(gamma=gammas, x=st.integers(min_value=0, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_ceil_gamma_monotone_in_x(gamma, x):
+    assert ceil_gamma(gamma, x) <= ceil_gamma(gamma, x + 1)
+
+
+@given(gamma=gammas, size=st.integers(min_value=1, max_value=60))
+@settings(max_examples=100, deadline=None)
+def test_degree_floor_within_size(gamma, size):
+    floor = degree_floor(gamma, size)
+    assert 0 <= floor <= size - 1
+
+
+@given(graph=small_graphs(), gamma=gammas)
+@settings(max_examples=40, deadline=None)
+def test_predicate_monotone_in_gamma(graph, gamma):
+    # A γ-quasi-clique is also a γ′-quasi-clique for every γ′ ≤ γ ≥ 0.5.
+    for qc in enumerate_maximal_quasicliques(graph, gamma, 2):
+        assert is_quasi_clique(graph, qc, 0.5)

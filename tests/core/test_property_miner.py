@@ -1,0 +1,62 @@
+"""Hypothesis property tests: the miner equals the oracle on random graphs.
+
+This is the single most load-bearing test in the repository: the full
+pipeline (k-core shrink → spawn → recursive mining with all pruning
+rules → postprocessing) must produce exactly the maximal quasi-clique
+family on arbitrary small graphs, for arbitrary (γ ≥ 0.5, τ_size).
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.naive import enumerate_maximal_quasicliques
+from repro.core.postprocess import remove_non_maximal
+from repro.core.quasiclique import is_quasi_clique
+from repro.graph.adjacency import Graph
+
+GAMMA_CHOICES = [0.5, 0.6, 2 / 3, 0.7, 0.75, 0.8, 0.9, 1.0]
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 10):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    pairs = list(itertools.combinations(range(n), 2))
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [pair for pair, keep in zip(pairs, mask) if keep]
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+@given(
+    graph=small_graphs(),
+    gamma=st.sampled_from(GAMMA_CHOICES),
+    min_size=st.integers(min_value=1, max_value=5),
+    mode=st.sampled_from(["ego", "global"]),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_miner_equals_oracle(graph, gamma, min_size, mode):
+    got = mine_maximal_quasicliques(graph, gamma, min_size, mode=mode).maximal
+    want = enumerate_maximal_quasicliques(graph, gamma, min_size)
+    assert got == want
+
+
+@given(graph=small_graphs(), gamma=st.sampled_from(GAMMA_CHOICES))
+@settings(max_examples=40, deadline=None)
+def test_results_are_valid_maximal_quasicliques(graph, gamma):
+    result = mine_maximal_quasicliques(graph, gamma, 2)
+    for qc in result.maximal:
+        assert is_quasi_clique(graph, qc, gamma)
+        # No other result strictly contains it.
+        assert not any(qc < other for other in result.maximal)
+
+
+@given(graph=small_graphs(max_vertices=9), gamma=st.sampled_from(GAMMA_CHOICES))
+@settings(max_examples=30, deadline=None)
+def test_candidate_superset_property(graph, gamma):
+    """Raw candidates ⊇ maximal family; postprocessing = subset filter."""
+    result = mine_maximal_quasicliques(graph, gamma, 2)
+    want = enumerate_maximal_quasicliques(graph, gamma, 2)
+    assert want <= result.candidates
+    assert remove_non_maximal(result.candidates) == result.maximal

@@ -1,0 +1,111 @@
+"""Tests for quasi-clique definitions and γ-arithmetic."""
+
+import math
+
+import pytest
+
+from repro.core.quasiclique import (
+    ceil_gamma,
+    degree_floor,
+    diameter_bound,
+    floor_div_gamma,
+    is_quasi_clique,
+    is_valid_quasi_clique,
+    kcore_threshold,
+    quasi_clique_deficits,
+)
+from repro.graph.adjacency import Graph
+
+
+class TestGammaArithmetic:
+    def test_ceil_gamma_basic(self):
+        assert ceil_gamma(0.9, 9) == 9  # 8.1 → 9
+        assert ceil_gamma(0.5, 4) == 2
+        assert ceil_gamma(1.0, 7) == 7
+        assert ceil_gamma(0.9, 0) == 0
+
+    def test_ceil_gamma_float_guard(self):
+        # 2/3 · 3 must be exactly 2, not 3 (naive ceil of 2.0000000004).
+        assert ceil_gamma(2 / 3, 3) == 2
+        assert ceil_gamma(0.1 + 0.2, 10) == 3
+
+    def test_floor_div_gamma(self):
+        assert floor_div_gamma(9, 0.9) == 10
+        assert floor_div_gamma(2, 2 / 3) == 3
+        with pytest.raises(ValueError):
+            floor_div_gamma(1, 0)
+
+    def test_degree_floor(self):
+        # A member of a 0.9-QC of size 18 needs ≥ ceil(0.9·17) = 16.
+        assert degree_floor(0.9, 18) == 16
+
+    def test_kcore_threshold_matches_paper(self):
+        # Table 2 settings: YouTube (0.9, 18) → 16; DBLP (0.8, 70) → 56.
+        assert kcore_threshold(0.9, 18) == 16
+        assert kcore_threshold(0.8, 70) == 56
+
+
+class TestIsQuasiClique:
+    def test_paper_example_s1_s2(self, figure4_graph):
+        # S1 = {a,b,c,d}, S2 = S1 ∪ {e}; both are 0.6-quasi-cliques.
+        s1 = {0, 1, 2, 3}
+        s2 = s1 | {4}
+        assert is_quasi_clique(figure4_graph, s1, 0.6)
+        assert is_quasi_clique(figure4_graph, s2, 0.6)
+
+    def test_degree_violation(self, path_graph):
+        # Path 0-1-2: vertex 0 has 1 neighbor < ceil(0.9·2) = 2.
+        assert not is_quasi_clique(path_graph, {0, 1, 2}, 0.9)
+        assert is_quasi_clique(path_graph, {0, 1, 2}, 0.5)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        # γ=0.3 would pass degrees but the subgraph is disconnected.
+        assert not is_quasi_clique(g, {0, 1, 2, 3}, 0.3)
+        assert is_quasi_clique(g, {0, 1, 2, 3}, 0.3, require_connected=False)
+
+    def test_singleton_and_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        assert is_quasi_clique(g, {0}, 1.0)
+        assert is_quasi_clique(g, {0, 1}, 1.0)
+        assert not is_quasi_clique(g, set(), 0.5)
+
+    def test_clique_is_1_quasiclique(self):
+        g = Graph.from_edges([(u, v) for u in range(5) for v in range(u + 1, 5)])
+        assert is_quasi_clique(g, set(range(5)), 1.0)
+
+    def test_validity_includes_size(self, figure4_graph):
+        s2 = {0, 1, 2, 3, 4}
+        assert is_valid_quasi_clique(figure4_graph, s2, 0.6, 5)
+        assert not is_valid_quasi_clique(figure4_graph, s2, 0.6, 6)
+
+
+class TestDeficits:
+    def test_zero_for_valid(self, triangle_graph):
+        assert quasi_clique_deficits(triangle_graph, {0, 1, 2}, 1.0) == {
+            0: 0, 1: 0, 2: 0,
+        }
+
+    def test_positive_for_missing_edges(self, path_graph):
+        d = quasi_clique_deficits(path_graph, {0, 1, 2}, 1.0)
+        assert d[0] == 1 and d[2] == 1 and d[1] == 0
+
+
+class TestDiameterBound:
+    def test_gamma_half_and_up(self):
+        assert diameter_bound(0.5) == 2
+        assert diameter_bound(0.9) == 2
+        assert diameter_bound(1.0) == 2
+
+    def test_small_gamma(self):
+        assert diameter_bound(0.4) >= 3
+        with pytest.raises(ValueError):
+            diameter_bound(0.0)
+
+    def test_bound_holds_empirically(self, figure4_graph):
+        from repro.core.naive import enumerate_quasicliques
+        from repro.graph.traversal import diameter
+
+        for gamma in (0.5, 0.6, 0.75):
+            for qc in enumerate_quasicliques(figure4_graph, gamma, 3):
+                assert diameter(figure4_graph.subgraph(qc)) <= 2

@@ -1,0 +1,89 @@
+"""Tests for query-driven quasi-clique search."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.naive import enumerate_maximal_quasicliques, enumerate_quasicliques
+from repro.core.query import best_community, mine_containing, query_candidates
+from repro.core.quasiclique import is_quasi_clique
+from repro.graph.adjacency import Graph
+
+from conftest import GAMMAS, make_random_graph
+
+
+def oracle_containing(g, query, gamma, min_size):
+    """Maximal quasi-cliques containing `query` via brute force.
+
+    Maximality here is judged against ALL quasi-cliques of the graph —
+    a superset of a QC ⊇ Q also contains Q, so restricting to the
+    Q-containing family is sound.
+    """
+    all_max = enumerate_maximal_quasicliques(g, gamma, min_size)
+    containing = {s for s in all_max if query <= s}
+    # Non-maximal-globally sets that are maximal among Q-containing ones
+    # do not exist: any superset of a Q-containing QC contains Q too.
+    return containing
+
+
+class TestQueryCandidates:
+    def test_two_hop_intersection(self, figure4_graph):
+        # Candidates for {e}: everything within 2 hops of e.
+        cands = query_candidates(figure4_graph, {4})
+        assert cands == set(range(9)) - {4}
+
+    def test_multi_query_intersects(self, two_cliques_bridge):
+        # 0 and 7 are 3 hops apart; only the bridge endpoints sit in
+        # both 2-hop balls (the mining itself then proves no QC exists).
+        assert query_candidates(two_cliques_bridge, {0, 7}) == {3, 4}
+        cands = query_candidates(two_cliques_bridge, {0, 1})
+        assert 2 in cands and 3 in cands
+
+
+class TestMineContaining:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        g = make_random_graph(rng.randint(5, 11), rng.uniform(0.35, 0.8), seed=seed + 3)
+        gamma = rng.choice(GAMMAS)
+        min_size = rng.randint(1, 4)
+        vertices = sorted(g.vertices())
+        query = set(rng.sample(vertices, rng.randint(1, 2)))
+        got = mine_containing(g, query, gamma, min_size).maximal
+        want = oracle_containing(g, query, gamma, min_size)
+        assert got == want, (
+            f"query={sorted(query)} gamma={gamma} min_size={min_size}"
+        )
+
+    def test_results_contain_query(self, figure4_graph):
+        result = mine_containing(figure4_graph, {0, 2}, 0.6, 3)
+        for s in result.maximal:
+            assert {0, 2} <= s
+            assert is_quasi_clique(figure4_graph, s, 0.6)
+
+    def test_query_itself_when_nothing_larger(self, two_cliques_bridge):
+        result = mine_containing(two_cliques_bridge, {0, 1, 2, 3}, 1.0, 2)
+        assert result.maximal == {frozenset({0, 1, 2, 3})}
+
+    def test_empty_when_query_unsatisfiable(self, two_cliques_bridge):
+        # 0 and 7 can never share a γ ≥ 0.5 quasi-clique (3 hops apart).
+        result = mine_containing(two_cliques_bridge, {0, 7}, 0.5, 2)
+        assert result.maximal == set()
+
+    def test_validation(self, triangle_graph):
+        with pytest.raises(ValueError, match="at least one"):
+            mine_containing(triangle_graph, [], 0.9)
+        with pytest.raises(ValueError, match="not in the graph"):
+            mine_containing(triangle_graph, [99], 0.9)
+
+
+class TestBestCommunity:
+    def test_returns_largest(self, figure4_graph):
+        best = best_community(figure4_graph, {4}, 0.6, 3)
+        assert best is not None
+        # S2 = {a,b,c,d,e} is the 0.6-community of e.
+        assert best == frozenset({0, 1, 2, 3, 4})
+
+    def test_none_when_unsatisfiable(self, two_cliques_bridge):
+        assert best_community(two_cliques_bridge, {0, 7}, 0.5, 2) is None

@@ -1,0 +1,98 @@
+"""Focused unit tests for Algorithm 2's mechanics (beyond oracle equivalence)."""
+
+import random
+
+import pytest
+
+from repro.core.options import DEFAULT_OPTIONS, MinerOptions, MiningJob, ResultSink
+from repro.core.quasiclique import is_quasi_clique
+from repro.core.recursive_mine import (
+    order_with_cover_tail,
+    recursive_mine,
+    select_cover_tail,
+)
+from repro.graph.adjacency import Graph
+
+from conftest import GAMMAS, make_random_graph
+
+
+def make_job(graph, gamma, min_size, options=DEFAULT_OPTIONS):
+    return MiningJob(graph=graph, gamma=gamma, min_size=min_size,
+                     sink=ResultSink(), options=options)
+
+
+class TestCoverTailOrdering:
+    def test_covered_vertices_parked_at_tail(self):
+        order, pivots = order_with_cover_tail([1, 2, 3, 4, 5], covered={2, 4})
+        assert order == [1, 3, 5, 2, 4]
+        assert pivots == 3
+
+    def test_empty_cover(self):
+        order, pivots = order_with_cover_tail([3, 1, 2], covered=set())
+        assert order == [3, 1, 2]
+        assert pivots == 3
+
+    def test_all_covered(self):
+        order, pivots = order_with_cover_tail([1, 2], covered={1, 2})
+        assert order == [1, 2]
+        assert pivots == 0
+
+    def test_select_cover_tail_disabled(self, figure4_graph):
+        job = make_job(figure4_graph, 0.6, 3,
+                       options=MinerOptions(use_cover_vertex=False))
+        assert select_cover_tail(job, [0], [1, 2, 3, 4]) == set()
+
+
+class TestReturnFlagSemantics:
+    def test_true_iff_strict_superset_emitted(self):
+        # Figure-4-style: S={a} extends into S2; found must be True.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)])
+        job = make_job(g, 0.6, 2)
+        found = recursive_mine(job, [0], [1, 2, 3])
+        assert found
+        assert any(len(s) > 1 for s in job.sink.results())
+
+    def test_false_when_nothing_extends(self):
+        # Isolated root with an unreachable candidate at γ=1.
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        job = make_job(g, 1.0, 3)
+        found = recursive_mine(job, [0], [1, 2])
+        assert not found
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flag_consistent_with_emissions(self, seed):
+        rng = random.Random(seed)
+        g = make_random_graph(rng.randint(5, 10), rng.uniform(0.4, 0.8), seed=seed + 71)
+        gamma = rng.choice(GAMMAS)
+        min_size = rng.randint(2, 4)
+        job = make_job(g, gamma, min_size)
+        root = min(g.vertices())
+        ext = sorted(v for v in g.vertices() if v > root)
+        found = recursive_mine(job, [root], ext)
+        bigger = [s for s in job.sink.results() if len(s) > 1 and root in s]
+        if found:
+            assert bigger, "found=True requires an emitted superset of {root}"
+
+
+class TestEmissionValidity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_emissions_valid(self, seed):
+        rng = random.Random(seed + 100)
+        g = make_random_graph(rng.randint(5, 11), rng.uniform(0.4, 0.8), seed=seed)
+        gamma = rng.choice(GAMMAS)
+        min_size = rng.randint(2, 4)
+        job = make_job(g, gamma, min_size)
+        for root in sorted(g.vertices()):
+            ext = sorted(v for v in g.vertices() if v > root)
+            if ext:
+                recursive_mine(job, [root], ext)
+        for s in job.sink.results():
+            assert len(s) >= min_size
+            assert is_quasi_clique(g, s, gamma)
+
+    def test_size_guard_stops_loop(self):
+        # min_size larger than |S|+|ext| must terminate without emissions.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        job = make_job(g, 0.5, 10)
+        assert not recursive_mine(job, [0], [1, 2])
+        assert len(job.sink.results()) == 0

@@ -1,0 +1,77 @@
+"""Tests for result-file persistence and streaming postprocessing."""
+
+import pytest
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.options import MiningJob
+from repro.core.resultsio import (
+    FileResultSink,
+    postprocess_file,
+    read_results,
+    write_results,
+)
+from repro.core.recursive_mine import recursive_mine
+
+from conftest import make_random_graph
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        results = {frozenset({3, 1, 2}), frozenset({7})}
+        path = tmp_path / "res.txt"
+        count = write_results(results, path, header="demo run")
+        assert count == 2
+        assert read_results(path) == results
+        assert path.read_text().startswith("# demo run\n")
+
+    def test_size_descending_order(self, tmp_path):
+        results = {frozenset({1}), frozenset({1, 2, 3}), frozenset({4, 5})}
+        path = tmp_path / "res.txt"
+        write_results(results, path)
+        lines = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        assert lines == ["1 2 3", "4 5", "1"]
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        assert write_results(set(), path) == 0
+        assert read_results(path) == set()
+
+
+class TestPostprocessFile:
+    def test_removes_non_maximal(self, tmp_path):
+        src = tmp_path / "raw.txt"
+        dst = tmp_path / "max.txt"
+        write_results({frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({9})}, src)
+        read, kept = postprocess_file(src, dst)
+        assert (read, kept) == (3, 2)
+        assert read_results(dst) == {frozenset({1, 2, 3}), frozenset({9})}
+
+
+class TestFileSink:
+    def test_streaming_dedup_and_flush(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        with FileResultSink(path) as sink:
+            sink.emit([2, 1])
+            sink.emit([1, 2])  # duplicate
+            sink.emit([5])
+            assert len(sink) == 2
+            # Flushed immediately: visible before close.
+            assert len(read_results(path)) == 2
+        assert read_results(path) == {frozenset({1, 2}), frozenset({5})}
+
+    def test_usable_as_mining_sink(self, tmp_path):
+        g = make_random_graph(10, 0.6, seed=44)
+        path = tmp_path / "mine.txt"
+        with FileResultSink(path) as sink:
+            job = MiningJob(graph=g, gamma=0.75, min_size=3, sink=sink)
+            for root in sorted(g.vertices()):
+                ext = sorted(v for v in g.vertices() if v > root)
+                if ext:
+                    recursive_mine(job, [root], ext)
+        on_disk = read_results(path)
+        assert on_disk == sink.results()
+        # The persisted candidates postprocess to the exact answer.
+        dst = tmp_path / "max.txt"
+        postprocess_file(path, dst)
+        want = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        assert read_results(dst) == want

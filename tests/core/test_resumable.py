@@ -1,0 +1,90 @@
+"""Tests for checkpointed, resumable mining."""
+
+import pytest
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.resumable import ResumableMiner, load_checkpoint
+
+from conftest import make_random_graph
+
+
+class TestResumableMiner:
+    def test_single_run_matches_plain_miner(self, tmp_path):
+        g = make_random_graph(12, 0.55, seed=8)
+        miner = ResumableMiner(g, 0.75, 3, str(tmp_path / "ckpt"))
+        result = miner.run()
+        want = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        assert result.maximal == want
+        assert miner.remaining_roots() == 0
+
+    def test_stop_and_resume(self, tmp_path):
+        g = make_random_graph(14, 0.5, seed=9)
+        ckpt = str(tmp_path / "ckpt")
+        first = ResumableMiner(g, 0.75, 3, ckpt)
+        first.run(stop_after_roots=4)
+        assert first.remaining_roots() > 0
+        # Fresh miner instance = process restart.
+        second = ResumableMiner(g, 0.75, 3, ckpt)
+        result = second.run()
+        want = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        assert result.maximal == want
+        assert second.remaining_roots() == 0
+
+    def test_crash_mid_run_then_resume(self, tmp_path):
+        g = make_random_graph(14, 0.5, seed=10)
+        ckpt = str(tmp_path / "ckpt")
+
+        class Boom(RuntimeError):
+            pass
+
+        miner = ResumableMiner(g, 0.75, 3, ckpt)
+        # Simulate a crash: monkeypatch spawn_subgraph to explode after
+        # a few roots, leaving a half-written checkpoint behind.
+        import repro.core.resumable as mod
+
+        real = mod.spawn_subgraph
+        calls = {"n": 0}
+
+        def flaky(base, root, k):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise Boom()
+            return real(base, root, k)
+
+        mod.spawn_subgraph = flaky
+        try:
+            with pytest.raises(Boom):
+                miner.run()
+        finally:
+            mod.spawn_subgraph = real
+
+        resumed = ResumableMiner(g, 0.75, 3, ckpt).run()
+        want = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        assert resumed.maximal == want
+
+    def test_rerun_after_completion_is_noop(self, tmp_path):
+        g = make_random_graph(10, 0.5, seed=11)
+        ckpt = str(tmp_path / "ckpt")
+        ResumableMiner(g, 0.75, 3, ckpt).run()
+        again = ResumableMiner(g, 0.75, 3, ckpt)
+        result = again.run()
+        want = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        assert result.maximal == want
+
+    def test_checkpoint_loader(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "roots.journal").write_text("1\n5\n9\n")
+        (ckpt / "candidates.txt").write_text("1 2 3\n")
+        state = load_checkpoint(
+            str(ckpt / "candidates.txt"), str(ckpt / "roots.journal")
+        )
+        assert state.completed_roots == {1, 5, 9}
+        assert state.candidates == {frozenset({1, 2, 3})}
+
+    def test_min_size_one_isolated_roots(self, tmp_path):
+        from repro.graph.adjacency import Graph
+
+        g = Graph.from_edges([(0, 1)], vertices=range(3))
+        result = ResumableMiner(g, 1.0, 1, str(tmp_path / "c")).run()
+        assert result.maximal == {frozenset({0, 1}), frozenset({2})}

@@ -1,0 +1,144 @@
+"""Tests for temporal quasi-clique pattern mining."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.temporal import (
+    TemporalGraph,
+    TemporalPattern,
+    diversified_top_k,
+    mine_temporal_patterns,
+    verify_pattern,
+)
+
+
+def clique_edges(members):
+    return list(itertools.combinations(sorted(members), 2))
+
+
+@pytest.fixture
+def two_phase_graph():
+    """Community A lives in t=0..2, community B in t=2..4, overlap at t=2."""
+    tg = TemporalGraph(num_snapshots=5)
+    for u, v in clique_edges(range(4)):
+        tg.add_edge(u, v, [0, 1, 2])
+    for u, v in clique_edges(range(4, 8)):
+        tg.add_edge(u, v, [2, 3, 4])
+    tg.add_edge(0, 4, [2])
+    return tg
+
+
+class TestTemporalGraph:
+    def test_snapshot_and_stable(self, two_phase_graph):
+        g0 = two_phase_graph.snapshot(0)
+        assert g0.has_edge(0, 1)
+        assert not g0.has_edge(4, 5)
+        stable = two_phase_graph.stable_graph(0, 2)
+        assert stable.has_edge(0, 1)
+        assert not stable.has_edge(0, 4)  # only active at t=2
+
+    def test_validation(self):
+        tg = TemporalGraph(3)
+        with pytest.raises(ValueError):
+            tg.add_edge(0, 1, [5])
+        with pytest.raises(ValueError):
+            tg.stable_graph(2, 1)
+        with pytest.raises(ValueError):
+            TemporalGraph(0)
+
+    def test_self_loops_ignored(self):
+        tg = TemporalGraph(2)
+        tg.add_edge(1, 1, [0])
+        assert tg.num_vertices == 0
+
+    def test_edge_timestamps_accumulate(self):
+        tg = TemporalGraph(4)
+        tg.add_edge(0, 1, [0])
+        tg.add_edge(1, 0, [2, 3])
+        assert tg.edge_timestamps(0, 1) == {0, 2, 3}
+
+
+class TestPattern:
+    def test_cells_and_duration(self):
+        p = TemporalPattern(frozenset({1, 2}), start=1, end=2)
+        assert p.duration == 2
+        assert p.cells() == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_domination(self):
+        small = TemporalPattern(frozenset({1, 2}), 1, 2)
+        bigger_set = TemporalPattern(frozenset({1, 2, 3}), 1, 2)
+        longer = TemporalPattern(frozenset({1, 2}), 0, 3)
+        unrelated = TemporalPattern(frozenset({9}), 1, 2)
+        assert bigger_set.dominates(small)
+        assert longer.dominates(small)
+        assert not small.dominates(bigger_set)
+        assert not unrelated.dominates(small)
+        assert not small.dominates(small)
+
+
+class TestMining:
+    def test_finds_both_communities_with_full_windows(self, two_phase_graph):
+        result = mine_temporal_patterns(two_phase_graph, 1.0, 4, min_duration=2)
+        a = TemporalPattern(frozenset(range(4)), 0, 2)
+        b = TemporalPattern(frozenset(range(4, 8)), 2, 4)
+        assert a in result.patterns
+        assert b in result.patterns
+        for p in result.patterns:
+            assert verify_pattern(two_phase_graph, p, 1.0)
+
+    def test_maximality_no_dominated_patterns(self, two_phase_graph):
+        result = mine_temporal_patterns(two_phase_graph, 1.0, 3, min_duration=1)
+        patterns = list(result.patterns)
+        for p in patterns:
+            assert not any(q.dominates(p) for q in patterns)
+
+    def test_min_duration_filter(self, two_phase_graph):
+        result = mine_temporal_patterns(two_phase_graph, 1.0, 4, min_duration=4)
+        assert result.patterns == set()
+        assert result.windows_mined == 3  # windows of length 4 and 5
+
+    def test_windows_counted(self):
+        tg = TemporalGraph(3)
+        tg.add_edge(0, 1, [0, 1, 2])
+        result = mine_temporal_patterns(tg, 1.0, 2)
+        assert result.windows_mined == 6  # T(T+1)/2 windows for T=3
+        # {0,1} persists over the whole horizon → single maximal pattern.
+        assert result.patterns == {TemporalPattern(frozenset({0, 1}), 0, 2)}
+
+    def test_patterns_valid_per_snapshot(self):
+        rng = random.Random(5)
+        tg = TemporalGraph(4)
+        for u, v in itertools.combinations(range(8), 2):
+            times = [t for t in range(4) if rng.random() < 0.6]
+            if times:
+                tg.add_edge(u, v, times)
+        result = mine_temporal_patterns(tg, 0.75, 3)
+        for p in result.patterns:
+            assert verify_pattern(tg, p, 0.75)
+
+
+class TestDiversification:
+    def test_greedy_coverage(self):
+        p1 = TemporalPattern(frozenset({1, 2, 3}), 0, 2)  # 9 cells
+        p2 = TemporalPattern(frozenset({1, 2}), 0, 2)  # subset of p1's cells
+        p3 = TemporalPattern(frozenset({8, 9}), 0, 0)  # disjoint, 2 cells
+        top = diversified_top_k([p1, p2, p3], k=2)
+        assert top[0] == p1
+        assert top[1] == p3  # p2 adds nothing new
+
+    def test_stops_when_no_gain(self):
+        p1 = TemporalPattern(frozenset({1}), 0, 0)
+        p2 = TemporalPattern(frozenset({1}), 0, 0)
+        assert len(diversified_top_k([p1, p2], k=5)) == 1
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            diversified_top_k([], k=0)
+
+    def test_deterministic(self, two_phase_graph):
+        result = mine_temporal_patterns(two_phase_graph, 1.0, 3)
+        a = diversified_top_k(result.patterns, k=3)
+        b = diversified_top_k(result.patterns, k=3)
+        assert a == b

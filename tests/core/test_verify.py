@@ -1,0 +1,54 @@
+"""Tests for the result verifier."""
+
+import pytest
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.verify import verify_results
+from repro.graph.adjacency import Graph
+
+from conftest import make_random_graph
+
+
+class TestVerifyResults:
+    def test_clean_results_pass(self):
+        g = make_random_graph(10, 0.55, seed=3)
+        results = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        report = verify_results(g, results, 0.75, 3, against_oracle=True)
+        assert report.ok
+        assert report.oracle_checked
+        assert "OK" in report.summary()
+
+    def test_detects_invalid_set(self, path_graph):
+        bad = {frozenset({0, 4})}  # not connected / degree-deficient
+        report = verify_results(path_graph, bad, 0.9, 2)
+        assert not report.ok
+        assert bad <= set(report.invalid)
+        assert "FAILED" in report.summary()
+
+    def test_detects_undersized(self, triangle_graph):
+        report = verify_results(triangle_graph, {frozenset({0, 1})}, 1.0, 3)
+        assert report.undersized
+
+    def test_detects_dominated_pair(self, triangle_graph):
+        results = {frozenset({0, 1}), frozenset({0, 1, 2})}
+        report = verify_results(triangle_graph, results, 1.0, 2)
+        assert report.dominated
+        small, big = report.dominated[0]
+        assert small < big
+
+    def test_detects_missing_vs_oracle(self, two_cliques_bridge):
+        results = {frozenset({0, 1, 2, 3})}  # second clique missing
+        report = verify_results(two_cliques_bridge, results, 1.0, 3,
+                                against_oracle=True)
+        assert frozenset({4, 5, 6, 7}) in report.missing
+        assert not report.ok
+
+    def test_oracle_size_guard(self):
+        g = make_random_graph(25, 0.2, seed=1)
+        with pytest.raises(ValueError, match="limited"):
+            verify_results(g, set(), 0.9, 3, against_oracle=True)
+
+    def test_empty_results_on_empty_truth(self):
+        g = Graph.from_edges([(0, 1)])
+        report = verify_results(g, set(), 1.0, 3, against_oracle=True)
+        assert report.ok

@@ -1,0 +1,54 @@
+"""Tests for the dataset disk cache."""
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.datasets.cache import (
+    get_or_build,
+    is_cached,
+    load_dataset,
+    save_dataset,
+)
+
+
+class TestCacheRoundTrip:
+    def test_save_load(self, tmp_path):
+        pg = build_dataset("cx_gse1730")
+        save_dataset(str(tmp_path), "cx_gse1730", pg)
+        loaded = load_dataset(str(tmp_path), "cx_gse1730")
+        # Edge lists drop isolated vertices; compare edges + planted.
+        assert sorted(loaded.graph.edges()) == sorted(
+            (u, v) for u, v in pg.graph.edges()
+        )
+        assert loaded.planted == pg.planted
+
+    def test_is_cached_lifecycle(self, tmp_path):
+        assert not is_cached(str(tmp_path), "ca_grqc")
+        get_or_build(str(tmp_path), "ca_grqc")
+        assert is_cached(str(tmp_path), "ca_grqc")
+
+    def test_get_or_build_idempotent(self, tmp_path):
+        a = get_or_build(str(tmp_path), "ca_grqc")
+        b = get_or_build(str(tmp_path), "ca_grqc")
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert a.planted == b.planted
+
+    def test_fingerprint_invalidation(self, tmp_path):
+        get_or_build(str(tmp_path), "ca_grqc")
+        meta = tmp_path / "ca_grqc" / "meta.txt"
+        meta.write_text("stale fingerprint\n")
+        assert not is_cached(str(tmp_path), "ca_grqc")
+        # Rebuild heals the cache.
+        get_or_build(str(tmp_path), "ca_grqc")
+        assert is_cached(str(tmp_path), "ca_grqc")
+
+    def test_cached_graph_mines_identically(self, tmp_path):
+        from repro.core.miner import mine_maximal_quasicliques
+        from repro.datasets import get_dataset
+
+        spec = get_dataset("cx_gse1730")
+        original = build_dataset("cx_gse1730")
+        cached = get_or_build(str(tmp_path), "cx_gse1730")
+        a = mine_maximal_quasicliques(original.graph, spec.gamma, spec.min_size)
+        b = mine_maximal_quasicliques(cached.graph, spec.gamma, spec.min_size)
+        assert a.maximal == b.maximal

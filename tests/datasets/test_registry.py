@@ -1,0 +1,60 @@
+"""Tests for the dataset registry (Table 1 analogs)."""
+
+import pytest
+
+from repro.core.quasiclique import is_quasi_clique
+from repro.datasets import DatasetSpec, build_dataset, dataset_names, get_dataset
+
+
+class TestRegistry:
+    def test_all_eight_paper_datasets_present(self):
+        names = dataset_names()
+        assert names == [
+            "cx_gse1730", "cx_gse10158", "ca_grqc", "enron",
+            "dblp", "amazon", "hyves", "youtube",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("friendster")
+
+    def test_paper_facts_match_table1(self):
+        # Spot checks against the paper's Table 1 / Table 2 rows.
+        yt = get_dataset("youtube")
+        assert yt.paper_vertices == 1_134_890
+        assert yt.paper_edges == 2_987_624
+        assert yt.paper_gamma == 0.9 and yt.paper_min_size == 18
+        assert yt.paper_result_count == 1_320
+        enron = get_dataset("enron")
+        assert enron.paper_vertices == 36_692
+        assert enron.paper_tau_time == 0.01
+
+    def test_build_is_memoized(self):
+        a = build_dataset("cx_gse1730")
+        b = build_dataset("cx_gse1730")
+        assert a is b
+
+    def test_build_deterministic(self):
+        spec = get_dataset("ca_grqc")
+        assert spec.build().graph == spec.build().graph
+
+    @pytest.mark.parametrize("name", ["cx_gse1730", "ca_grqc", "hyves"])
+    def test_plants_are_mineable_quasicliques(self, name):
+        spec = get_dataset(name)
+        pg = build_dataset(name)
+        assert pg.graph.num_vertices == spec.analog_vertices
+        for plant in pg.planted:
+            assert is_quasi_clique(pg.graph, plant, spec.gamma)
+            assert len(plant) >= spec.min_size
+
+    def test_gamma_regime(self):
+        for name in dataset_names():
+            spec = get_dataset(name)
+            assert 0.5 <= spec.gamma <= 1.0
+            assert spec.min_size >= 2
+
+    def test_bad_kind_rejected(self):
+        spec = get_dataset("enron")
+        broken = DatasetSpec(**{**spec.__dict__, "kind": "mystery"})
+        with pytest.raises(ValueError):
+            broken.build()

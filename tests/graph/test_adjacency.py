@@ -1,0 +1,146 @@
+"""Unit tests for the Graph container."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+
+from conftest import make_random_graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_isolated_vertices_via_vertices_arg(self):
+        g = Graph.from_edges([(0, 1)], vertices=range(5))
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_self_loops_dropped(self):
+        g = Graph.from_edges([(0, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicate_edges_dropped(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_mapping(self):
+        g = Graph({0: [1, 2], 1: [2]})
+        assert g.num_edges == 3
+
+    def test_add_edge_returns_flag(self):
+        g = Graph()
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(0, 1) is False
+        assert g.add_edge(2, 2) is False
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges([(5, 1), (5, 9), (5, 3)])
+        assert g.neighbors(5) == [1, 3, 9]
+
+    def test_neighbor_set(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert g.neighbor_set(0) == {1, 2}
+
+    def test_degree(self, figure4_graph):
+        # Γ(d) = {a, c, e, h, i} in the paper's example.
+        assert figure4_graph.degree(3) == 5
+
+    def test_edges_each_once(self):
+        g = make_random_graph(12, 0.5, seed=1)
+        edges = list(g.edges())
+        assert len(edges) == g.num_edges
+        assert len(set(edges)) == len(edges)
+        assert all(u < v for u, v in edges)
+
+    def test_contains_iter_len(self):
+        g = Graph.from_edges([(0, 1)])
+        assert 0 in g and 2 not in g
+        assert sorted(g) == [0, 1]
+        assert len(g) == 2
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        b.add_edge(0, 2)
+        assert a != b
+
+    def test_degree_in_and_neighbors_in(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (2, 3)])
+        assert g.degree_in(0, {1, 2}) == 2
+        assert g.degree_in(0, set()) == 0
+        assert g.neighbors_in(0, {3, 1}) == [1, 3]
+
+    def test_degree_in_both_scan_directions(self):
+        # degree_in picks the smaller side to scan; both must agree.
+        g = make_random_graph(15, 0.4, seed=3)
+        big = set(range(12))
+        for v in g.vertices():
+            expected = sum(1 for u in g.neighbors(v) if u in big)
+            assert g.degree_in(v, big) == expected
+
+
+class TestMutation:
+    def test_remove_vertex(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        g.remove_vertex(1)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert not g.has_vertex(1)
+        assert g.neighbors(0) == [2]
+
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+        assert not g.has_vertex(2)
+
+
+class TestSubgraph:
+    def test_subgraph_preserves_ids(self):
+        g = Graph.from_edges([(10, 20), (20, 30), (10, 30), (30, 40)])
+        s = g.subgraph({10, 20, 30})
+        assert sorted(s.vertices()) == [10, 20, 30]
+        assert s.num_edges == 3
+        assert not s.has_vertex(40)
+
+    def test_subgraph_ignores_unknown_vertices(self):
+        g = Graph.from_edges([(0, 1)])
+        s = g.subgraph({0, 1, 99})
+        assert sorted(s.vertices()) == [0, 1]
+
+    def test_subgraph_of_random_graph_is_induced(self):
+        g = make_random_graph(14, 0.5, seed=7)
+        keep = set(range(0, 14, 2))
+        s = g.subgraph(keep)
+        for u in keep:
+            for v in keep:
+                if u < v:
+                    assert s.has_edge(u, v) == g.has_edge(u, v)
+
+    def test_empty_subgraph(self):
+        g = Graph.from_edges([(0, 1)])
+        s = g.subgraph(set())
+        assert s.num_vertices == 0
+
+    def test_subgraph_independent_of_parent(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        s = g.subgraph({0, 1})
+        s.add_edge(0, 5)
+        assert not g.has_vertex(5)

@@ -1,0 +1,118 @@
+"""Tests for the CSR backend: interface-equivalent to the dict Graph."""
+
+import random
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.io import relabel_compact
+
+from conftest import make_random_graph
+
+
+def pair(seed=3, n=20, p=0.3):
+    g = make_random_graph(n, p, seed=seed)
+    return g, CSRGraph.from_graph(g)
+
+
+class TestConstruction:
+    def test_from_edges_drops_dupes_and_loops(self):
+        csr = CSRGraph.from_edges(4, [(0, 1), (1, 0), (2, 2), (1, 3)])
+        assert csr.num_edges == 2
+        assert not csr.has_edge(2, 2)
+
+    def test_from_edges_range_check(self):
+        with pytest.raises(ValueError, match="outside"):
+            CSRGraph.from_edges(3, [(0, 5)])
+
+    def test_from_graph_requires_compact_ids(self):
+        g = Graph.from_edges([(10, 20)])
+        with pytest.raises(ValueError, match="compact"):
+            CSRGraph.from_graph(g)
+        compact, _ = relabel_compact(g)
+        assert CSRGraph.from_graph(compact).num_edges == 1
+
+    def test_round_trip(self):
+        g, csr = pair(seed=9)
+        assert csr.to_graph() == g
+
+
+class TestInterfaceEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_read_methods_match_dict_graph(self, seed):
+        g, csr = pair(seed=seed)
+        assert csr.num_vertices == g.num_vertices
+        assert csr.num_edges == g.num_edges
+        assert sorted(csr.vertices()) == sorted(g.vertices())
+        assert sorted(csr.edges()) == sorted(g.edges())
+        for v in g.vertices():
+            assert list(csr.neighbors(v)) == g.neighbors(v)
+            assert csr.neighbor_set(v) == g.neighbor_set(v)
+            assert csr.degree(v) == g.degree(v)
+        for u in range(g.num_vertices):
+            for v in range(g.num_vertices):
+                assert csr.has_edge(u, v) == g.has_edge(u, v)
+
+    def test_degree_in_and_neighbors_in(self):
+        g, csr = pair(seed=11)
+        subset = set(range(0, 20, 3))
+        for v in g.vertices():
+            assert csr.degree_in(v, subset) == g.degree_in(v, subset)
+            assert csr.neighbors_in(v, subset) == g.neighbors_in(v, subset)
+
+    def test_subgraph_matches(self):
+        g, csr = pair(seed=13)
+        keep = set(range(0, 20, 2)) | {99}  # 99 unknown → ignored
+        assert csr.subgraph(keep) == g.subgraph(keep - {99})
+
+    def test_dunder_protocol(self):
+        _, csr = pair(seed=1, n=5, p=0.5)
+        assert len(csr) == 5
+        assert 4 in csr and 5 not in csr
+        assert sorted(csr) == [0, 1, 2, 3, 4]
+
+
+class TestAlgorithmsOnCSR:
+    """The mining stack must run on the CSR backend unchanged."""
+
+    def test_kcore_on_csr(self):
+        from repro.graph.kcore import core_numbers, k_core_vertices
+
+        g, csr = pair(seed=17, n=25, p=0.25)
+        assert core_numbers(csr) == core_numbers(g)
+        assert k_core_vertices(csr, 3) == k_core_vertices(g, 3)
+
+    def test_traversal_on_csr(self):
+        from repro.graph.traversal import bfs_distances, two_hop_neighbors
+
+        g, csr = pair(seed=19, n=25, p=0.2)
+        for v in (0, 5, 12):
+            assert bfs_distances(csr, v) == bfs_distances(g, v)
+            assert two_hop_neighbors(csr, v) == two_hop_neighbors(g, v)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mining_on_csr_equals_dict_graph(self, seed):
+        from repro.core.miner import mine_maximal_quasicliques
+
+        rng = random.Random(seed)
+        g, csr = pair(seed=seed + 23, n=rng.randint(8, 14), p=rng.uniform(0.35, 0.7))
+        gamma = rng.choice([0.5, 0.75, 0.9])
+        want = mine_maximal_quasicliques(g, gamma, 3).maximal
+        got = mine_maximal_quasicliques(csr, gamma, 3).maximal
+        assert got == want
+
+    def test_engine_on_csr(self):
+        from repro.core.naive import enumerate_maximal_quasicliques
+        from repro.gthinker import EngineConfig, mine_parallel
+
+        g, csr = pair(seed=29, n=11, p=0.5)
+        config = EngineConfig(decompose="timed", tau_time=10, time_unit="ops", tau_split=3)
+        out = mine_parallel(csr, 0.75, 3, config)
+        assert out.maximal == enumerate_maximal_quasicliques(g, 0.75, 3)
+
+    def test_stats_on_csr(self):
+        from repro.graph.stats import graph_stats
+
+        g, csr = pair(seed=31)
+        assert graph_stats(csr) == graph_stats(g)

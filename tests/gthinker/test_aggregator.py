@@ -1,0 +1,83 @@
+"""Tests for job-level aggregators and the triangle-counting app."""
+
+import threading
+
+import networkx as nx
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.stats import triangle_count
+from repro.gthinker.aggregator import Aggregator, MaxSetAggregator, SumAggregator
+from repro.gthinker.app_triangles import TriangleCountApp, count_triangles_parallel
+from repro.gthinker.config import EngineConfig
+
+from conftest import make_random_graph
+
+
+class TestAggregators:
+    def test_generic_combine(self):
+        agg = Aggregator(1, lambda a, b: a * b)
+        agg.update(3)
+        agg.update(4)
+        assert agg.get() == 12
+
+    def test_sum(self):
+        agg = SumAggregator()
+        agg.add()
+        agg.add(5)
+        assert agg.get() == 6
+
+    def test_sum_under_contention(self):
+        agg = SumAggregator()
+
+        def worker():
+            for _ in range(500):
+                agg.add()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert agg.get() == 2000
+
+    def test_max_set(self):
+        agg = MaxSetAggregator()
+        assert agg.offer({1})
+        assert not agg.offer({2})  # equal size loses
+        assert agg.offer({2, 3})
+        assert agg.best() == {2, 3}
+        assert agg.size == 2
+
+
+class TestTriangleApp:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_serial_count(self, seed):
+        g = make_random_graph(20, 0.35, seed=seed + 41)
+        count, metrics = count_triangles_parallel(g)
+        assert count == triangle_count(g)
+        h = nx.Graph()
+        h.add_nodes_from(g.vertices())
+        h.add_edges_from(g.edges())
+        assert count == sum(nx.triangles(h).values()) // 3
+
+    def test_threaded(self):
+        g = make_random_graph(25, 0.4, seed=3)
+        config = EngineConfig(num_machines=2, threads_per_machine=2)
+        count, _ = count_triangles_parallel(g, config)
+        assert count == triangle_count(g)
+
+    def test_no_triangles(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        count, _ = count_triangles_parallel(g)
+        assert count == 0
+
+    def test_single_triangle(self, triangle_graph):
+        count, _ = count_triangles_parallel(triangle_graph)
+        assert count == 1
+
+    def test_spawn_declines_thin_vertices(self, triangle_graph):
+        app = TriangleCountApp()
+        # Vertex 2 has no two larger neighbors.
+        assert app.spawn(2, triangle_graph.neighbors(2), 0) is None
+        assert app.spawn(0, triangle_graph.neighbors(0), 0) is not None

@@ -1,0 +1,105 @@
+"""Tests for the quasi-clique application UDFs (Algorithms 4–7)."""
+
+import pytest
+
+from repro.core.options import DEFAULT_OPTIONS, ResultSink
+from repro.core.quasiclique import kcore_threshold
+from repro.gthinker.app_quasiclique import ComputeContext, QuasiCliqueApp
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.task import Task
+from repro.graph.adjacency import Graph
+from repro.graph.kcore import k_core
+from repro.graph.traversal import bfs_distances
+
+from conftest import make_random_graph
+
+
+def run_to_iteration3(app, graph, root):
+    """Drive one task through iterations 1–2 with direct frontier service."""
+    task = app.spawn(root, graph.neighbors(root), task_id=0)
+    if task is None:
+        return None
+    ctx = ComputeContext(config=EngineConfig(), next_task_id=lambda: 99)
+    while task.iteration < 3:
+        frontier = {v: (graph.neighbors(v) if graph.has_vertex(v) else []) for v in task.pulls}
+        task.pulls = []
+        outcome = app.compute(task, frontier, ctx)
+        if outcome.finished:
+            return None
+    return task
+
+
+class TestSpawn:
+    def test_low_degree_declined(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (1, 3), (2, 3)])
+        app = QuasiCliqueApp(gamma=0.9, min_size=3, sink=ResultSink())
+        assert app.k == kcore_threshold(0.9, 3)
+        assert app.spawn(0, g.neighbors(0), 0) is None  # degree 1 < k=2
+
+    def test_spawn_pulls_only_larger_ids(self):
+        g = Graph.from_edges([(2, 0), (2, 1), (2, 3), (2, 4)])
+        app = QuasiCliqueApp(gamma=0.5, min_size=3, sink=ResultSink())
+        task = app.spawn(2, g.neighbors(2), 0)
+        assert task is not None
+        assert task.pulls == [3, 4]
+
+    def test_min_size_one_emits_singleton(self):
+        g = Graph.from_edges([(0, 1)])
+        sink = ResultSink()
+        app = QuasiCliqueApp(gamma=0.9, min_size=1, sink=sink)
+        app.spawn(0, g.neighbors(0), 0)
+        assert frozenset({0}) in sink.results()
+
+
+class TestSubgraphConstruction:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_task_graph_is_kcore_of_restricted_ego(self, seed):
+        g = make_random_graph(25, 0.3, seed=seed + 7)
+        gamma, min_size = 0.8, 4
+        app = QuasiCliqueApp(gamma=gamma, min_size=min_size, sink=ResultSink())
+        k = app.k
+        for root in list(g.vertices())[:8]:
+            if g.degree(root) < k:
+                continue
+            task = run_to_iteration3(app, g, root)
+            if task is None:
+                continue
+            tg = task.graph
+            assert root in tg
+            # Every vertex: ID ≥ root, degree ≥ k inside the task graph,
+            # within 2 hops of root in G.
+            dist = bfs_distances(g, root, max_depth=2)
+            for v in tg.vertices():
+                assert v >= root
+                assert tg.degree(v) >= k
+                assert v in dist
+            # The task graph is its own k-core (stable under peeling).
+            assert k_core(tg, k) == tg
+            # ext(S) is everything except the root, sorted.
+            assert task.s == [root]
+            assert task.ext == sorted(set(tg.vertices()) - {root})
+
+    def test_task_graph_edges_exist_in_g(self):
+        g = make_random_graph(20, 0.35, seed=3)
+        app = QuasiCliqueApp(gamma=0.8, min_size=3, sink=ResultSink())
+        for root in list(g.vertices())[:6]:
+            if g.degree(root) < app.k:
+                continue
+            task = run_to_iteration3(app, g, root)
+            if task is None:
+                continue
+            for u, v in task.graph.edges():
+                assert g.has_edge(u, v)
+
+    def test_root_peeled_terminates_task(self):
+        # Star center with ID 0: neighbors have degree 1 < k → all pruned,
+        # the root loses its support and the task dies in iteration 1.
+        g = Graph.from_edges([(0, i) for i in range(1, 6)])
+        app = QuasiCliqueApp(gamma=0.9, min_size=3, sink=ResultSink())
+        task = app.spawn(0, g.neighbors(0), 0)
+        assert task is not None
+        ctx = ComputeContext(config=EngineConfig(), next_task_id=lambda: 1)
+        frontier = {v: g.neighbors(v) for v in task.pulls}
+        task.pulls = []
+        outcome = app.compute(task, frontier, ctx)
+        assert outcome.finished

@@ -1,0 +1,80 @@
+"""Tests for the max-clique engine application (engine generality)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.gthinker.app_maxclique import (
+    MaxCliqueApp,
+    SharedIncumbent,
+    find_max_clique_parallel,
+)
+from repro.gthinker.config import EngineConfig
+from repro.core.maxclique import is_clique
+from repro.graph.adjacency import Graph
+
+from conftest import make_random_graph
+
+
+def nx_max_clique_size(g: Graph) -> int:
+    h = nx.Graph()
+    h.add_nodes_from(g.vertices())
+    h.add_edges_from(g.edges())
+    return max((len(c) for c in nx.find_cliques(h)), default=0)
+
+
+class TestSharedIncumbent:
+    def test_monotone(self):
+        inc = SharedIncumbent()
+        assert inc.offer({1, 2})
+        assert not inc.offer({3})
+        assert inc.offer({1, 2, 3})
+        assert inc.best() == {1, 2, 3}
+        assert inc.size == 3
+
+    def test_best_returns_copy(self):
+        inc = SharedIncumbent()
+        inc.offer({1})
+        inc.best().add(99)
+        assert inc.size == 1
+
+
+class TestParallelMaxClique:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle_serial_engine(self, seed):
+        rng = random.Random(seed)
+        g = make_random_graph(rng.randint(6, 16), rng.uniform(0.35, 0.75), seed=seed + 13)
+        clique, _ = find_max_clique_parallel(g, EngineConfig(decompose="size", tau_split=4))
+        assert is_clique(g, clique)
+        assert len(clique) == nx_max_clique_size(g)
+
+    def test_matches_oracle_threaded(self):
+        g = make_random_graph(14, 0.6, seed=21)
+        config = EngineConfig(
+            num_machines=2, threads_per_machine=2, decompose="size", tau_split=4
+        )
+        clique, metrics = find_max_clique_parallel(g, config)
+        assert len(clique) == nx_max_clique_size(g)
+        assert metrics.tasks_spawned > 0
+
+    def test_decomposition_creates_subtasks(self):
+        g = make_random_graph(24, 0.6, seed=5)
+        config = EngineConfig(decompose="size", tau_split=2)
+        clique, metrics = find_max_clique_parallel(g, config)
+        assert len(clique) == nx_max_clique_size(g)
+        assert metrics.tasks_spawned > 0
+
+    def test_empty_graph(self):
+        clique, _ = find_max_clique_parallel(Graph())
+        assert clique == set()
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges([], vertices=range(4))
+        clique, _ = find_max_clique_parallel(g)
+        assert len(clique) == 1
+
+    def test_two_cliques(self, two_cliques_bridge):
+        clique, _ = find_max_clique_parallel(two_cliques_bridge)
+        assert len(clique) == 4
+        assert is_clique(two_cliques_bridge, clique)

@@ -1,0 +1,66 @@
+"""Tests for decomposition budgets."""
+
+import time
+
+import pytest
+
+from repro.core.options import MiningStats
+from repro.gthinker.clock import (
+    AlwaysExpired,
+    NeverExpires,
+    OpBudget,
+    WallClockBudget,
+    make_budget,
+)
+
+
+class TestOpBudget:
+    def test_expires_after_ops(self):
+        stats = MiningStats()
+        budget = OpBudget(stats, ops=10)
+        assert not budget.expired()
+        stats.mining_ops += 10
+        assert not budget.expired()  # boundary: strictly greater
+        stats.mining_ops += 1
+        assert budget.expired()
+
+    def test_relative_to_current_count(self):
+        stats = MiningStats(mining_ops=100)
+        budget = OpBudget(stats, ops=5)
+        stats.mining_ops = 105
+        assert not budget.expired()
+        stats.mining_ops = 106
+        assert budget.expired()
+
+
+class TestWallClock:
+    def test_expires(self):
+        budget = WallClockBudget(0.01)
+        assert not WallClockBudget(10).expired()
+        time.sleep(0.02)
+        assert budget.expired()
+
+
+class TestSentinels:
+    def test_never_and_always(self):
+        assert not NeverExpires().expired()
+        assert AlwaysExpired().expired()
+
+
+class TestFactory:
+    def test_ops_budget(self):
+        stats = MiningStats()
+        b = make_budget("ops", 5, stats)
+        assert isinstance(b, OpBudget)
+
+    def test_wall_budget(self):
+        b = make_budget("wall", 100.0, MiningStats())
+        assert isinstance(b, WallClockBudget)
+
+    def test_infinite_tau_never_expires(self):
+        b = make_budget("ops", float("inf"), MiningStats())
+        assert isinstance(b, NeverExpires)
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError):
+            make_budget("cycles", 5, MiningStats())

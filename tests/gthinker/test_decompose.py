@@ -1,0 +1,135 @@
+"""Unit tests for the decomposition strategies (Algorithms 8 and 10)."""
+
+import random
+
+import pytest
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.options import DEFAULT_OPTIONS, MiningJob, ResultSink
+from repro.core.postprocess import remove_non_maximal
+from repro.core.quasiclique import is_quasi_clique
+from repro.gthinker.clock import AlwaysExpired, NeverExpires, OpBudget
+from repro.gthinker.decompose import size_threshold_split, time_delayed_mine
+
+from conftest import GAMMAS, make_random_graph
+
+
+def make_job(graph, gamma, min_size):
+    return MiningJob(graph=graph, gamma=gamma, min_size=min_size, sink=ResultSink())
+
+
+def drain_subtasks(job, spawned, budget_factory):
+    """Run wrapped subtasks to completion (simulating the engine loop)."""
+    while spawned:
+        s, ext = spawned.pop()
+        sub_spawned = []
+        time_delayed_mine(
+            job, list(s), list(ext), budget_factory(),
+            lambda s2, e2: sub_spawned.append((list(s2), list(e2))),
+        )
+        spawned.extend(sub_spawned)
+
+
+class TestTimeDelayed:
+    def test_never_expiring_budget_equals_plain_mining(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            g = make_random_graph(10, 0.55, seed=seed + 23)
+            gamma = rng.choice(GAMMAS)
+            min_size = rng.randint(2, 4)
+            want = mine_maximal_quasicliques(g, gamma, min_size).maximal
+            job = make_job(g, gamma, min_size)
+            spawned = []
+            for root in sorted(g.vertices()):
+                ext = sorted(u for u in g.vertices() if u > root)
+                if ext:
+                    time_delayed_mine(
+                        job, [root], ext, NeverExpires(),
+                        lambda s, e: spawned.append((list(s), list(e))),
+                    )
+            assert spawned == [], "no subtasks may spawn without a timeout"
+            assert remove_non_maximal(job.sink.results()) == want
+
+    def test_always_expired_spawns_and_stays_correct(self):
+        for seed in range(6):
+            rng = random.Random(seed + 50)
+            g = make_random_graph(9, 0.6, seed=seed + 61)
+            gamma = rng.choice(GAMMAS)
+            min_size = rng.randint(2, 4)
+            want = mine_maximal_quasicliques(g, gamma, min_size).maximal
+            job = make_job(g, gamma, min_size)
+            spawned = []
+            for root in sorted(g.vertices()):
+                ext = sorted(u for u in g.vertices() if u > root)
+                if ext:
+                    time_delayed_mine(
+                        job, [root], ext, AlwaysExpired(),
+                        lambda s, e: spawned.append((list(s), list(e))),
+                    )
+            drain_subtasks(job, spawned, AlwaysExpired)
+            assert remove_non_maximal(job.sink.results()) == want
+
+    def test_op_budget_bounds_in_task_mining(self):
+        g = make_random_graph(12, 0.6, seed=5)
+        job = make_job(g, 0.6, 3)
+        budget = OpBudget(job.stats, ops=30)
+        spawned = []
+        root = min(g.vertices())
+        ext = sorted(u for u in g.vertices() if u > root)
+        time_delayed_mine(job, [root], ext, budget, lambda s, e: spawned.append((s, e)))
+        # With such a small budget on a dense graph the walk must have
+        # hit the timeout and wrapped remaining work as subtasks.
+        assert spawned, "expected timeout-driven subtask creation"
+
+    def test_spawned_subtasks_satisfy_invariants(self):
+        g = make_random_graph(12, 0.6, seed=9)
+        job = make_job(g, 0.6, 3)
+        spawned = []
+        root = min(g.vertices())
+        ext = sorted(u for u in g.vertices() if u > root)
+        time_delayed_mine(
+            job, [root], ext, OpBudget(job.stats, 10),
+            lambda s, e: spawned.append((list(s), list(e))),
+        )
+        for s, e in spawned:
+            assert e, "wrapped subtasks always have work left"
+            assert len(s) + len(e) >= job.min_size
+            assert root in s
+
+
+class TestSizeThresholdSplit:
+    def test_children_cover_all_results(self):
+        for seed in range(6):
+            rng = random.Random(seed + 11)
+            g = make_random_graph(9, 0.6, seed=seed + 43)
+            gamma = rng.choice(GAMMAS)
+            min_size = rng.randint(2, 4)
+            want = mine_maximal_quasicliques(g, gamma, min_size).maximal
+            job = make_job(g, gamma, min_size)
+            pending = []
+            for root in sorted(g.vertices()):
+                ext = sorted(u for u in g.vertices() if u > root)
+                if ext:
+                    size_threshold_split(
+                        job, [root], ext, lambda s, e: pending.append((list(s), list(e)))
+                    )
+            # Recursively split children until below threshold, then mine.
+            from repro.core.recursive_mine import recursive_mine
+
+            while pending:
+                s, e = pending.pop()
+                if len(e) > 2:
+                    size_threshold_split(
+                        job, s, e, lambda s2, e2: pending.append((list(s2), list(e2)))
+                    )
+                else:
+                    recursive_mine(job, s, e)
+            assert remove_non_maximal(job.sink.results()) == want
+
+    def test_emissions_are_valid(self):
+        g = make_random_graph(10, 0.6, seed=77)
+        job = make_job(g, 0.75, 3)
+        size_threshold_split(job, [0], sorted(v for v in g.vertices() if v > 0),
+                             lambda s, e: None)
+        for cand in job.sink.results():
+            assert is_quasi_clique(g, cand, 0.75)

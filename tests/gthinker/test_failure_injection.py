@@ -1,0 +1,50 @@
+"""Failure-injection tests: the engine must fail loudly, never silently."""
+
+import pickle
+
+import pytest
+
+from repro.gthinker.spill import SpillFileList
+from repro.gthinker.task import Task
+
+
+def make_tasks(n):
+    return [Task(task_id=i, root=i, iteration=3) for i in range(n)]
+
+
+class TestSpillCorruption:
+    def test_truncated_file_raises(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "x")
+        path = spill.spill(make_tasks(3))
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(RuntimeError, match="corrupted"):
+            spill.load_batch()
+
+    def test_garbage_file_raises(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "x")
+        path = spill.spill(make_tasks(2))
+        open(path, "wb").write(b"not a pickle at all")
+        with pytest.raises(RuntimeError, match="corrupted"):
+            spill.load_batch()
+
+    def test_wrong_payload_raises(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "x")
+        path = spill.spill(make_tasks(2))
+        open(path, "wb").write(pickle.dumps({"not": "tasks"}))
+        with pytest.raises(RuntimeError, match="did not decode"):
+            spill.load_batch()
+
+    def test_deleted_file_raises(self, tmp_path):
+        import os
+
+        spill = SpillFileList(str(tmp_path), "x")
+        path = spill.spill(make_tasks(2))
+        os.remove(path)
+        with pytest.raises(RuntimeError, match="unreadable"):
+            spill.load_batch()
+
+    def test_healthy_file_still_loads(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "x")
+        spill.spill(make_tasks(4))
+        assert len(spill.load_batch()) == 4

@@ -1,0 +1,71 @@
+"""Tests for engine metrics accounting and evaluation-facing views."""
+
+import pytest
+
+from repro.gthinker.metrics import EngineMetrics, TaskRecord
+
+
+def record(task_id=0, root=0, gen=0, nv=10, ne=20, mine_s=1.0, mine_ops=100,
+           mat_s=0.1, mat_ops=10, subs=0):
+    return TaskRecord(
+        task_id=task_id, root=root, generation=gen,
+        subgraph_vertices=nv, subgraph_edges=ne,
+        mining_seconds=mine_s, mining_ops=mine_ops,
+        materialize_seconds=mat_s, materialize_ops=mat_ops,
+        subtasks_created=subs,
+    )
+
+
+class TestRecordTask:
+    def test_accumulates(self):
+        m = EngineMetrics()
+        m.record_task(record(mine_ops=100, mat_ops=10, subs=2))
+        m.record_task(record(task_id=1, mine_ops=50, mat_ops=0, subs=0))
+        assert m.tasks_executed == 2
+        assert m.total_mining_ops == 150
+        assert m.total_materialize_ops == 10
+        assert m.subtasks_created == 2
+        assert m.tasks_decomposed == 1
+
+    def test_ratio(self):
+        m = EngineMetrics()
+        m.record_task(record(mine_ops=280, mat_ops=1))
+        assert m.mining_vs_materialization_ratio() == pytest.approx(280.0)
+        empty = EngineMetrics()
+        assert empty.mining_vs_materialization_ratio() == float("inf")
+
+
+class TestViews:
+    def test_per_root_times(self):
+        m = EngineMetrics()
+        m.record_task(record(task_id=0, root=5, mine_s=1.0))
+        m.record_task(record(task_id=1, root=5, mine_s=0.5))
+        m.record_task(record(task_id=2, root=7, mine_s=2.0))
+        times = m.per_root_times()
+        assert times[5] == pytest.approx(1.5)
+        assert times[7] == pytest.approx(2.0)
+
+    def test_top_task_times(self):
+        m = EngineMetrics()
+        for i, s in enumerate([0.1, 5.0, 2.0, 0.3]):
+            m.record_task(record(task_id=i, mine_s=s))
+        assert m.top_task_times(2) == [5.0, 2.0]
+        assert m.top_task_times(10) == [5.0, 2.0, 0.3, 0.1]
+
+    def test_size_time_pairs(self):
+        m = EngineMetrics()
+        m.record_task(record(nv=12, mine_s=3.0))
+        assert m.size_time_pairs() == [(12, 3.0)]
+
+
+class TestMerge:
+    def test_merge_sums_and_maxes(self):
+        a = EngineMetrics(tasks_spawned=2, spill_bytes_peak=100, peak_pending_tasks=5)
+        b = EngineMetrics(tasks_spawned=3, spill_bytes_peak=400, peak_pending_tasks=2)
+        b.record_task(record())
+        a.merge(b)
+        assert a.tasks_spawned == 5
+        assert a.spill_bytes_peak == 400
+        assert a.peak_pending_tasks == 5
+        assert a.tasks_executed == 1
+        assert len(a.task_records) == 1

@@ -1,0 +1,124 @@
+"""Hypothesis stateful (model-based) tests for the engine's data structures.
+
+The spillable queue and the remote vertex cache sit under every task the
+engine moves; these machines compare them against trivially-correct
+in-memory models under arbitrary operation interleavings.
+"""
+
+import tempfile
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.gthinker.spill import SpillableQueue, SpillFileList
+from repro.gthinker.task import Task
+from repro.gthinker.vertex_store import RemoteVertexCache
+
+
+class SpillableQueueMachine(RuleBasedStateMachine):
+    """Model: the queue + its spill files behave like one FIFO list.
+
+    Subtlety encoded by the model: a push that overflows capacity spills
+    the batch at the *tail* (newest work) to disk, and a refill loads the
+    most recent file back to the *front*. We model the exact task-id
+    sequence the structure must eventually yield.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.dir = tempfile.mkdtemp(prefix="hypq-")
+        self.spill = SpillFileList(self.dir, "hyp")
+        self.capacity = 6
+        self.batch = 2
+        self.queue = SpillableQueue(self.capacity, self.batch, self.spill)
+        self.model_mem: list[int] = []  # in-memory ids, front first
+        self.model_disk: list[list[int]] = []  # spilled batches, oldest first
+        self.next_id = 0
+
+    @rule()
+    def push(self):
+        if len(self.model_mem) >= self.capacity:
+            batch = self.model_mem[-self.batch :]
+            del self.model_mem[-self.batch :]
+            self.model_disk.append(batch)
+        task = Task(task_id=self.next_id, root=self.next_id, iteration=3)
+        self.model_mem.append(self.next_id)
+        self.next_id += 1
+        self.queue.push(task)
+
+    @rule()
+    def pop(self):
+        got = self.queue.pop()
+        if self.model_mem:
+            assert got is not None and got.task_id == self.model_mem.pop(0)
+        else:
+            assert got is None
+
+    @precondition(lambda self: True)
+    @rule()
+    def refill(self):
+        count = self.queue.refill_from_spill()
+        if self.model_disk:
+            batch = self.model_disk.pop()
+            self.model_mem[:0] = batch
+            assert count == len(batch)
+        else:
+            assert count == 0
+
+    @rule(n=st.integers(min_value=1, max_value=4))
+    def pop_batch(self, n):
+        got = self.queue.pop_batch(n)
+        take = min(n, len(self.model_mem))
+        expected = self.model_mem[len(self.model_mem) - take :] if take else []
+        del self.model_mem[len(self.model_mem) - take :]
+        assert [t.task_id for t in got] == expected
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.queue) == len(self.model_mem)
+        assert len(self.spill) == len(self.model_disk)
+
+    def teardown(self):
+        self.spill.cleanup()
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Model: bounded LRU — hits refresh recency; eviction is oldest-first."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 4
+        self.cache = RemoteVertexCache(self.capacity)
+        self.model: dict[int, list[int]] = {}  # insertion-ordered = LRU order
+
+    @rule(key=st.integers(min_value=0, max_value=9))
+    def put(self, key):
+        value = [key, key + 1]
+        self.cache.put(key, value)
+        self.model.pop(key, None)
+        self.model[key] = value
+        while len(self.model) > self.capacity:
+            oldest = next(iter(self.model))
+            del self.model[oldest]
+
+    @rule(key=st.integers(min_value=0, max_value=9))
+    def get(self, key):
+        got = self.cache.get(key)
+        want = self.model.get(key)
+        assert got == want
+        if want is not None:
+            # Refresh recency in the model.
+            del self.model[key]
+            self.model[key] = want
+
+    @invariant()
+    def size_bounded(self):
+        assert len(self.cache) <= self.capacity
+        assert len(self.cache) == len(self.model)
+
+
+TestSpillableQueueStateful = SpillableQueueMachine.TestCase
+TestSpillableQueueStateful.settings = settings(max_examples=40, deadline=None)
+TestCacheStateful = CacheMachine.TestCase
+TestCacheStateful.settings = settings(max_examples=40, deadline=None)

@@ -1,0 +1,117 @@
+"""Tests for the discrete-event simulated cluster."""
+
+import random
+
+import pytest
+
+from repro.core.naive import enumerate_maximal_quasicliques
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.simulation import simulate_cluster
+from repro.graph.generators import planted_quasicliques
+
+from conftest import GAMMAS, make_random_graph
+
+
+def sim_config(**kw):
+    base = dict(
+        num_machines=1, threads_per_machine=1, tau_time=50,
+        time_unit="ops", tau_split=4, decompose="timed",
+    )
+    base.update(kw)
+    return EngineConfig(**base)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("machines,threads", [(1, 1), (1, 4), (2, 2), (4, 2)])
+    def test_matches_oracle(self, machines, threads):
+        rng = random.Random(machines * 7 + threads)
+        g = make_random_graph(11, 0.55, seed=machines * 3 + threads)
+        gamma = rng.choice(GAMMAS)
+        min_size = rng.randint(2, 4)
+        out = simulate_cluster(
+            g, gamma, min_size, sim_config(num_machines=machines, threads_per_machine=threads)
+        )
+        assert out.maximal == enumerate_maximal_quasicliques(g, gamma, min_size)
+
+
+class TestDeterminism:
+    def test_same_run_same_makespan(self):
+        g = make_random_graph(14, 0.5, seed=8)
+        a = simulate_cluster(g, 0.75, 3, sim_config(threads_per_machine=4))
+        b = simulate_cluster(g, 0.75, 3, sim_config(threads_per_machine=4))
+        assert a.makespan == b.makespan
+        assert a.total_work == b.total_work
+        assert a.maximal == b.maximal
+
+    def test_total_work_independent_of_parallelism(self):
+        # Same ops-based decomposition → identical task set at any scale.
+        g = make_random_graph(14, 0.5, seed=8)
+        works = {
+            simulate_cluster(
+                g, 0.75, 3, sim_config(threads_per_machine=t)
+            ).total_work
+            for t in (1, 2, 8)
+        }
+        assert len(works) == 1
+
+
+class TestScalabilityShape:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return planted_quasicliques(
+            n=250, avg_degree=5, num_plants=5, plant_size=11, gamma=0.85, seed=4
+        ).graph
+
+    def test_more_threads_never_slower(self, workload):
+        spans = []
+        for t in (1, 2, 4, 8):
+            out = simulate_cluster(
+                workload, 0.8, 8, sim_config(threads_per_machine=t, tau_time=300)
+            )
+            spans.append(out.makespan)
+        for a, b in zip(spans, spans[1:]):
+            assert b <= a * 1.01  # allow scheduling noise at saturation
+
+    def test_vertical_speedup_materializes(self, workload):
+        one = simulate_cluster(workload, 0.8, 8, sim_config(tau_time=300))
+        eight = simulate_cluster(
+            workload, 0.8, 8, sim_config(threads_per_machine=8, tau_time=300)
+        )
+        assert one.makespan / eight.makespan > 2.0
+
+    def test_utilization_bounded(self, workload):
+        out = simulate_cluster(
+            workload, 0.8, 8, sim_config(threads_per_machine=4, tau_time=300)
+        )
+        assert 0.0 < out.utilization <= 1.0 + 1e-9
+
+    def test_horizontal_scaling_with_stealing(self, workload):
+        # One thread per machine so machine count is the binding
+        # constraint (at 4 threads the critical path already dominates).
+        one = simulate_cluster(workload, 0.8, 8, sim_config(tau_time=300))
+        four = simulate_cluster(
+            workload, 0.8, 8,
+            sim_config(num_machines=4, threads_per_machine=1, tau_time=300),
+        )
+        assert four.makespan < one.makespan * 0.7
+        assert four.metrics.steals > 0, "expected big-task stealing activity"
+        assert four.maximal == one.maximal
+
+
+class TestGuards:
+    def test_wall_clock_rejected(self):
+        g = make_random_graph(6, 0.5, seed=1)
+        with pytest.raises(ValueError, match="ops"):
+            simulate_cluster(g, 0.75, 3, EngineConfig(time_unit="wall", tau_time=1))
+
+    def test_message_cost_increases_makespan(self):
+        g = make_random_graph(20, 0.4, seed=5)
+        free = simulate_cluster(
+            g, 0.75, 3, sim_config(num_machines=4, threads_per_machine=1)
+        )
+        costly = simulate_cluster(
+            g, 0.75, 3,
+            sim_config(num_machines=4, threads_per_machine=1, sim_message_cost=50.0),
+        )
+        assert costly.makespan > free.makespan
+        assert costly.maximal == free.maximal

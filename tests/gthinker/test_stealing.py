@@ -1,0 +1,56 @@
+"""Tests for the big-task stealing planner."""
+
+import random
+
+from repro.gthinker.stealing import plan_steals
+
+
+class TestPlanInvariants:
+    def test_balanced_no_moves(self):
+        assert plan_steals([5, 5, 5], batch_size=4) == []
+
+    def test_single_machine_no_moves(self):
+        assert plan_steals([100], batch_size=4) == []
+
+    def test_skewed_load_moves_toward_average(self):
+        moves = plan_steals([12, 0, 0, 0], batch_size=4)
+        assert moves
+        for m in moves:
+            assert m.src == 0
+            assert m.count <= 4
+
+    def test_batch_cap(self):
+        moves = plan_steals([1000, 0], batch_size=7)
+        assert all(m.count <= 7 for m in moves)
+
+    def test_at_most_one_move_per_machine(self):
+        counts = [30, 20, 1, 0, 0]
+        moves = plan_steals(counts, batch_size=8)
+        donors = [m.src for m in moves]
+        recipients = [m.dst for m in moves]
+        assert len(donors) == len(set(donors))
+        assert len(recipients) == len(set(recipients))
+        assert not set(donors) & set(recipients)
+
+    def test_moves_reduce_imbalance(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            counts = [rng.randint(0, 40) for _ in range(rng.randint(2, 8))]
+            before = max(counts) - min(counts)
+            moves = plan_steals(counts, batch_size=5)
+            after = counts[:]
+            for m in moves:
+                after[m.src] -= m.count
+                after[m.dst] += m.count
+            assert sum(after) == sum(counts), "tasks must be conserved"
+            if moves:
+                assert max(after) - min(after) <= before
+
+    def test_donor_never_goes_below_average(self):
+        counts = [10, 0]
+        moves = plan_steals(counts, batch_size=100)
+        # avg = 5; donor gives at most surplus (5).
+        assert all(m.count <= 5 for m in moves)
+
+    def test_zero_batch(self):
+        assert plan_steals([10, 0], batch_size=0) == []

@@ -1,0 +1,130 @@
+"""Tests for engine tracing and scheduling-policy assertions."""
+
+import json
+
+import pytest
+
+from repro.core.options import ResultSink
+from repro.gthinker.app_quasiclique import QuasiCliqueApp
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.engine import GThinkerEngine
+from repro.gthinker.tracing import KINDS, NullTracer, TraceEvent, Tracer
+
+from conftest import make_random_graph
+
+
+def traced_run(graph=None, **config_kwargs):
+    graph = graph or make_random_graph(14, 0.5, seed=5)
+    config = EngineConfig(**config_kwargs)
+    tracer = Tracer()
+    app = QuasiCliqueApp(gamma=0.75, min_size=3, sink=ResultSink())
+    engine = GThinkerEngine(graph, app, config, tracer=tracer)
+    result = engine.run()
+    return tracer, result, engine
+
+
+class TestTracerBasics:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit("spawn", 1, machine=0)
+        t.emit("execute", 1, machine=0)
+        t.emit("execute", 2, machine=1)
+        assert len(t) == 3
+        assert len(t.events(kind="execute")) == 2
+        assert len(t.events(task_id=1)) == 2
+        assert t.counts() == {"spawn": 1, "execute": 2}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().emit("teleport", 1)
+
+    def test_bounded(self):
+        t = Tracer(capacity=5)
+        for i in range(20):
+            t.emit("execute", i)
+        assert len(t) == 5
+        assert t.events()[0].task_id == 15
+
+    def test_dump_jsonl(self, tmp_path):
+        t = Tracer()
+        t.emit("spawn", 7, machine=2, detail="root=7")
+        path = tmp_path / "trace.jsonl"
+        assert t.dump_jsonl(path) == 1
+        event = json.loads(path.read_text())
+        assert event["kind"] == "spawn" and event["detail"] == "root=7"
+
+    def test_null_tracer_is_silent(self):
+        nt = NullTracer()
+        nt.emit("anything", 1)
+        assert len(nt) == 0
+        assert not nt.enabled
+        assert nt.counts() == {}
+
+
+class TestPolicyViaTrace:
+    def test_lifecycle_ordering_per_task(self):
+        tracer, _, _ = traced_run(decompose="timed", tau_time=10,
+                                  time_unit="ops", tau_split=3)
+        events = tracer.events()
+        first_kind_per_task: dict[int, str] = {}
+        routed: set[int] = set()
+        executed_before_route: list[int] = []
+        for e in events:
+            if e.kind in ("route_global", "route_local"):
+                routed.add(e.task_id)
+            if e.kind == "execute" and e.task_id not in routed:
+                executed_before_route.append(e.task_id)
+            first_kind_per_task.setdefault(e.task_id, e.kind)
+        assert not executed_before_route, "tasks must be routed before execution"
+        # Every task's first event is its spawn or its routing.
+        for task_id, kind in first_kind_per_task.items():
+            assert kind in ("spawn", "route_global", "route_local")
+
+    def test_every_spawn_finishes(self):
+        tracer, _, engine = traced_run(decompose="none")
+        spawned = {e.task_id for e in tracer.events(kind="spawn")}
+        finished = {e.task_id for e in tracer.events(kind="finish")}
+        assert spawned <= finished
+        assert engine._active == 0
+
+    def test_decompose_events_match_metrics(self):
+        tracer, result, _ = traced_run(
+            decompose="timed", tau_time=0, time_unit="ops", tau_split=2
+        )
+        decomposed = tracer.events(kind="decompose")
+        assert len(decomposed) == result.metrics.tasks_decomposed
+
+    def test_big_tasks_route_global(self):
+        tracer, _, _ = traced_run(tau_split=2, decompose="size")
+        assert tracer.events(kind="route_global"), (
+            "expected some big tasks with tau_split=2"
+        )
+
+    def test_steals_traced(self):
+        g = make_random_graph(30, 0.4, seed=9)
+        config = EngineConfig(num_machines=2, threads_per_machine=1, tau_split=1)
+        tracer = Tracer()
+        app = QuasiCliqueApp(gamma=0.75, min_size=3, sink=ResultSink())
+        engine = GThinkerEngine(g, app, config, tracer=tracer)
+        # Stage a skewed global queue and apply one stealing round.
+        src = engine.machines[0]
+        slot = src.threads[0]
+        from repro.graph.adjacency import Graph
+        from repro.gthinker.task import Task
+
+        tg = Graph.from_edges([(0, i) for i in range(1, 6)])
+        for i in range(6):
+            engine.add_task(
+                Task(task_id=100 + i, root=0, iteration=3, s=[0],
+                     ext=[1, 2, 3, 4, 5], graph=tg),
+                src, slot,
+            )
+        engine._apply_steals()
+        assert tracer.events(kind="steal")
+
+    def test_trace_off_by_default(self):
+        g = make_random_graph(10, 0.5, seed=2)
+        app = QuasiCliqueApp(gamma=0.75, min_size=3, sink=ResultSink())
+        engine = GThinkerEngine(g, app, EngineConfig())
+        engine.run()
+        assert isinstance(engine.tracer, NullTracer)

@@ -1,0 +1,90 @@
+"""Tests for the partitioned vertex table and remote cache."""
+
+from repro.graph.adjacency import Graph
+from repro.gthinker.vertex_store import (
+    DataService,
+    LocalVertexTable,
+    RemoteVertexCache,
+    owner_of,
+)
+
+from conftest import make_random_graph
+
+
+class TestPartition:
+    def test_ownership_by_hash(self):
+        g = make_random_graph(20, 0.3, seed=1)
+        tables = LocalVertexTable.partition(g, 4)
+        assert len(tables) == 4
+        for m, table in enumerate(tables):
+            for v in table.vertices_sorted():
+                assert owner_of(v, 4) == m
+        total = sum(len(t) for t in tables)
+        assert total == g.num_vertices
+
+    def test_adjacency_preserved(self):
+        g = make_random_graph(15, 0.4, seed=2)
+        tables = LocalVertexTable.partition(g, 3)
+        for v in g.vertices():
+            assert tables[owner_of(v, 3)].get(v) == g.neighbors(v)
+
+    def test_spawn_order_sorted(self):
+        g = make_random_graph(12, 0.3, seed=3)
+        for table in LocalVertexTable.partition(g, 2):
+            order = table.vertices_sorted()
+            assert order == sorted(order)
+
+
+class TestCache:
+    def test_hit_miss_counting(self):
+        cache = RemoteVertexCache(capacity=4)
+        assert cache.get(1) is None
+        cache.put(1, [2, 3])
+        assert cache.get(1) == [2, 3]
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = RemoteVertexCache(capacity=2)
+        cache.put(1, [])
+        cache.put(2, [])
+        cache.get(1)  # refresh 1 → 2 is LRU
+        cache.put(3, [])
+        assert cache.get(2) is None
+        assert cache.get(1) == []
+        assert cache.evictions == 1
+
+    def test_capacity_floor(self):
+        cache = RemoteVertexCache(capacity=0)
+        cache.put(1, [])
+        assert len(cache) == 1  # clamped to 1
+
+
+class TestDataService:
+    def test_local_reads_free(self):
+        g = make_random_graph(10, 0.4, seed=5)
+        tables = LocalVertexTable.partition(g, 2)
+        cache = RemoteVertexCache(16)
+        svc = DataService(0, tables, cache)
+        local_vs = tables[0].vertices_sorted()
+        out = svc.resolve(local_vs)
+        assert svc.remote_messages == 0
+        assert svc.local_reads == len(local_vs)
+        for v in local_vs:
+            assert out[v] == g.neighbors(v)
+
+    def test_remote_fetch_counts_and_caches(self):
+        g = make_random_graph(10, 0.4, seed=6)
+        tables = LocalVertexTable.partition(g, 2)
+        svc = DataService(0, tables, RemoteVertexCache(16))
+        remote_vs = tables[1].vertices_sorted()
+        svc.resolve(remote_vs)
+        assert svc.remote_messages == len(remote_vs)
+        svc.resolve(remote_vs)  # second round served from cache
+        assert svc.remote_messages == len(remote_vs)
+
+    def test_unknown_vertex_resolves_empty(self):
+        g = Graph.from_edges([(0, 1)])
+        tables = LocalVertexTable.partition(g, 1)
+        svc = DataService(0, tables, RemoteVertexCache(4))
+        assert svc.resolve([99]) == {99: []}

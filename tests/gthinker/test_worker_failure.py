@@ -1,0 +1,54 @@
+"""A failing application must abort the job loudly, never hang it."""
+
+import pytest
+
+from repro.core.options import MiningStats, ResultSink
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.engine import GThinkerEngine
+from repro.gthinker.task import ComputeOutcome, Task
+
+from conftest import make_random_graph
+
+
+class FaultyApp:
+    """Spawns normally, explodes on the third compute call."""
+
+    def __init__(self) -> None:
+        self.sink = ResultSink()
+        self.stats = MiningStats()
+        self.calls = 0
+
+    def spawn(self, vertex, adjacency, task_id):
+        return Task(task_id=task_id, root=vertex, iteration=3, s=[vertex], ext=[])
+
+    def compute(self, task, frontier, ctx):
+        self.calls += 1
+        if self.calls >= 3:
+            raise ValueError("injected fault")
+        return ComputeOutcome(finished=True)
+
+
+class TestWorkerFailure:
+    def test_threaded_job_raises_instead_of_hanging(self):
+        g = make_random_graph(20, 0.3, seed=1)
+        engine = GThinkerEngine(
+            g, FaultyApp(), EngineConfig(num_machines=1, threads_per_machine=2)
+        )
+        with pytest.raises(RuntimeError, match="mining thread failed") as excinfo:
+            engine.run()
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_serial_job_propagates_directly(self):
+        g = make_random_graph(20, 0.3, seed=2)
+        engine = GThinkerEngine(g, FaultyApp(), EngineConfig())
+        with pytest.raises(ValueError, match="injected fault"):
+            engine.run()
+
+    def test_healthy_app_unaffected(self):
+        from repro.gthinker.engine import mine_parallel
+
+        g = make_random_graph(12, 0.5, seed=3)
+        out = mine_parallel(
+            g, 0.75, 3, EngineConfig(num_machines=1, threads_per_machine=2)
+        )
+        assert out.metrics.tasks_executed >= 0

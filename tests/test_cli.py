@@ -1,0 +1,116 @@
+"""Tests for the quasiclique-mine command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# demo\n0 1\n1 2\n0 2\n2 3\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices(self):
+        args = build_parser().parse_args(["--dataset", "ca_grqc"])
+        assert args.dataset == "ca_grqc"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "friendster"])
+
+    def test_graph_and_dataset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["g.txt", "--dataset", "enron"])
+
+
+class TestMain:
+    def test_file_requires_gamma_and_min_size(self, graph_file, capsys):
+        assert main([graph_file]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_mines_triangle(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "results=1" in out
+        assert "0 1 2" in out
+
+    def test_serial_mode(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3", "--serial"]) == 0
+        assert "results=1" in capsys.readouterr().out
+
+    def test_simulate_mode(self, graph_file, capsys):
+        assert main(
+            [graph_file, "--gamma", "1.0", "--min-size", "3", "--simulate", "--quiet"]
+        ) == 0
+        assert "virtual_makespan" in capsys.readouterr().out
+
+    def test_output_file(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "res.txt"
+        assert main(
+            [graph_file, "--gamma", "1.0", "--min-size", "3",
+             "--output", str(out_path), "--quiet"]
+        ) == 0
+        assert out_path.read_text().strip() == "0 1 2"
+
+    def test_dataset_mode_defaults(self, capsys):
+        assert main(["--dataset", "ca_grqc", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma=0.8" in out
+        assert "results=" in out
+
+    def test_dataset_mode_overrides(self, capsys):
+        assert main(
+            ["--dataset", "ca_grqc", "--gamma", "0.9", "--min-size", "9", "--quiet"]
+        ) == 0
+        assert "gamma=0.9" in capsys.readouterr().out
+
+    def test_quiet_suppresses_listing(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 1 2" not in out
+
+    def test_decompose_and_threads_flags(self, graph_file, capsys):
+        assert main(
+            [graph_file, "--gamma", "1.0", "--min-size", "3",
+             "--threads", "2", "--decompose", "size", "--tau-split", "2", "--quiet"]
+        ) == 0
+        assert "results=1" in capsys.readouterr().out
+
+
+class TestExtendedModes:
+    def test_stats_mode(self, capsys):
+        assert main(["--dataset", "ca_grqc", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy=" in out and "clustering=" in out
+
+    def test_query_mode(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--query", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "query=[0]" in out and "results=1" in out
+
+    def test_postprocess_mode(self, tmp_path, capsys):
+        src = tmp_path / "raw.txt"
+        dst = tmp_path / "max.txt"
+        src.write_text("1 2\n1 2 3\n")
+        assert main(["--postprocess", str(src), str(dst)]) == 0
+        assert "read=2 kept=1" in capsys.readouterr().out
+        data_lines = [
+            line for line in dst.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert data_lines == ["1 2 3"]
+
+    def test_checkpoint_mode(self, graph_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--checkpoint-dir", ckpt, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint=" in out and "results=1" in out
+        import os
+        assert os.path.exists(os.path.join(ckpt, "roots.journal"))
