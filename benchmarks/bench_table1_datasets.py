@@ -1,7 +1,7 @@
 """Table 1 — graph datasets: paper originals vs synthetic analogs."""
 
 from repro.bench import report
-from repro.datasets import dataset_names, get_dataset, build_dataset
+from repro.datasets import dataset_names
 
 
 def test_table1_dataset_inventory(benchmark, dataset):

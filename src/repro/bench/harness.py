@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 from ..datasets.registry import DatasetSpec, build_dataset, get_dataset
 from ..graph.adjacency import Graph
+from ..gthinker.app_protocol import GThinkerApp
 from ..gthinker.config import EngineConfig
-from ..gthinker.simulation import SimOutcome, simulate_cluster
+from ..gthinker.simulation import SimOutcome, simulate_app, simulate_cluster
 
 
 def config_for(spec: DatasetSpec, machines: int = 1, threads: int = 1,
@@ -33,13 +34,29 @@ def config_for(spec: DatasetSpec, machines: int = 1, threads: int = 1,
 
 
 def run_dataset(name: str, machines: int = 1, threads: int = 1,
-                **overrides) -> SimOutcome:
+                tracer=None, **overrides) -> SimOutcome:
     """One simulated run of a registered dataset analog."""
     spec = get_dataset(name)
     graph = build_dataset(name).graph
     return simulate_cluster(
         graph, spec.gamma, spec.min_size,
         config_for(spec, machines, threads, **overrides),
+        tracer=tracer,
+    )
+
+
+def run_app_on_dataset(name: str, app: GThinkerApp, machines: int = 1,
+                       threads: int = 1, tracer=None, **overrides) -> SimOutcome:
+    """Simulate any GThinkerApp over a registered dataset analog.
+
+    The dataset's registered (τ_split, τ_time) still seed the config so
+    app sweeps stay comparable to the quasi-clique runs.
+    """
+    spec = get_dataset(name)
+    graph = build_dataset(name).graph
+    return simulate_app(
+        graph, app, config_for(spec, machines, threads, **overrides),
+        tracer=tracer,
     )
 
 

@@ -14,6 +14,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -63,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--simulate", action="store_true",
                         help="run on the discrete-event simulated cluster "
                         "(reports virtual makespan)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record scheduler events and write them as JSON "
+                        "lines to FILE (engine and --simulate modes)")
     parser.add_argument("--serial", action="store_true",
                         help="use the plain serial miner (no engine)")
     parser.add_argument("--quiet", action="store_true",
@@ -122,6 +126,21 @@ def main(argv: list[str] | None = None) -> int:
         decompose=args.decompose,
     )
 
+    tracer = None
+    if args.trace:
+        if args.serial or args.query or args.checkpoint_dir:
+            print("error: --trace requires an engine mode "
+                  "(default or --simulate)", file=sys.stderr)
+            return 2
+        trace_dir = os.path.dirname(os.path.abspath(args.trace))
+        if not os.path.isdir(trace_dir):
+            print(f"error: --trace directory does not exist: {trace_dir}",
+                  file=sys.stderr)
+            return 2
+        from .gthinker.tracing import Tracer
+
+        tracer = Tracer()
+
     start = time.perf_counter()
     if args.query:
         result = mine_containing(graph, args.query, gamma, min_size)
@@ -137,11 +156,11 @@ def main(argv: list[str] | None = None) -> int:
         maximal = result.maximal
         extra = ""
     elif args.simulate:
-        out = simulate_cluster(graph, gamma, min_size, config)
+        out = simulate_cluster(graph, gamma, min_size, config, tracer=tracer)
         maximal = out.maximal
         extra = f" virtual_makespan={out.makespan:.0f} utilization={out.utilization:.2f}"
     else:
-        out = mine_parallel(graph, gamma, min_size, config)
+        out = mine_parallel(graph, gamma, min_size, config, tracer=tracer)
         maximal = out.maximal
         extra = (
             f" tasks={out.metrics.tasks_executed}"
@@ -149,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
             f" spills={out.metrics.spill_batches}"
         )
     elapsed = time.perf_counter() - start
+
+    if tracer is not None:
+        written = tracer.dump_jsonl(args.trace)
+        extra += f" trace_events={written}"
 
     print(
         f"|V|={graph.num_vertices} |E|={graph.num_edges} gamma={gamma} "

@@ -13,7 +13,7 @@ doubles as a correctness oracle here too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..graph.adjacency import Graph
 

@@ -27,7 +27,6 @@ from .iterative_bounding import check_and_emit
 from .miner import MiningResult
 from .options import DEFAULT_OPTIONS, MinerOptions, MiningJob, MiningStats, ResultSink
 from .postprocess import postprocess_results
-from .quasiclique import is_quasi_clique
 from .recursive_mine import recursive_mine
 
 

@@ -1,14 +1,28 @@
 """The reforged G-thinker runtime and the quasi-clique application."""
 
 from .aggregator import Aggregator, MaxSetAggregator, SumAggregator
-from .app_maxclique import MaxCliqueApp, SharedIncumbent, find_max_clique_parallel
+from .app_maxclique import (
+    MaxCliqueApp,
+    SharedIncumbent,
+    find_max_clique_parallel,
+    find_max_clique_simulated,
+)
+from .app_protocol import ComputeContext, GThinkerApp, ensure_app, gthinker_app, registered_apps
 from .app_triangles import TriangleCountApp, count_triangles_parallel
 from .app_quasiclique import QuasiCliqueApp
 from .clock import AlwaysExpired, NeverExpires, OpBudget, WallClockBudget, make_budget
 from .config import EngineConfig
 from .decompose import size_threshold_split, time_delayed_mine
 from .engine import GThinkerEngine, MiningRunResult, mine_parallel
-from .simulation import SimOutcome, SimulatedClusterEngine, simulate_cluster
+from .scheduler import (
+    MachineState,
+    QuantumResult,
+    SchedulerCore,
+    ThreadSlot,
+    build_machines,
+    collect_machine_metrics,
+)
+from .simulation import SimOutcome, SimulatedClusterEngine, simulate_app, simulate_cluster
 from .metrics import EngineMetrics, TaskRecord
 from .spill import SpillableQueue, SpillFileList
 from .stealing import StealMove, plan_steals
@@ -29,8 +43,21 @@ __all__ = [
     "SimOutcome",
     "SimulatedClusterEngine",
     "find_max_clique_parallel",
+    "find_max_clique_simulated",
+    "simulate_app",
     "simulate_cluster",
+    "ComputeContext",
     "ComputeOutcome",
+    "GThinkerApp",
+    "MachineState",
+    "QuantumResult",
+    "SchedulerCore",
+    "ThreadSlot",
+    "build_machines",
+    "collect_machine_metrics",
+    "ensure_app",
+    "gthinker_app",
+    "registered_apps",
     "DataService",
     "EngineConfig",
     "EngineMetrics",

@@ -26,6 +26,7 @@ from ..core.maxclique import CliqueSearchStats, branch_max_clique, greedy_color_
 from ..core.options import MiningStats, ResultSink
 from ..graph.adjacency import Graph
 from .aggregator import MaxSetAggregator
+from .app_protocol import gthinker_app
 from .task import ComputeOutcome, Task
 
 
@@ -37,6 +38,7 @@ class SharedIncumbent(MaxSetAggregator):
     """
 
 
+@gthinker_app
 @dataclass
 class MaxCliqueApp:
     """G-thinker application computing the maximum clique of the graph."""
@@ -151,3 +153,14 @@ def find_max_clique_parallel(graph: Graph, config=None):
     engine = GThinkerEngine(graph, app, config)
     engine.run()
     return app.incumbent.best(), engine.metrics
+
+
+def find_max_clique_simulated(graph: Graph, config=None):
+    """Run the max-clique app on the simulated cluster; returns (clique, SimOutcome)."""
+    from .config import EngineConfig
+    from .simulation import SimulatedClusterEngine
+
+    config = config or EngineConfig(decompose="size", tau_split=64)
+    app = MaxCliqueApp()
+    out = SimulatedClusterEngine(graph, app, config).run()
+    return app.incumbent.best(), out

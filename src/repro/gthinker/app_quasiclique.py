@@ -24,22 +24,16 @@ from ..core.quasiclique import kcore_threshold
 from ..core.recursive_mine import recursive_mine
 from ..graph.adjacency import Graph
 from ..graph.kcore import peel_adjacency
+from .app_protocol import ComputeContext, gthinker_app
 from .clock import make_budget
-from .config import EngineConfig
 from .decompose import size_threshold_split, time_delayed_mine
 from .metrics import TaskRecord
 from .task import ComputeOutcome, Task
 
-
-@dataclass
-class ComputeContext:
-    """Per-execution services the engine hands to compute()."""
-
-    config: EngineConfig
-    next_task_id: object  # callable () -> int
-    record: object | None = None  # callable (TaskRecord) -> None
+__all__ = ["ComputeContext", "QuasiCliqueApp"]
 
 
+@gthinker_app
 @dataclass
 class QuasiCliqueApp:
     """The paper's mining application, parameterized by (γ, τ_size)."""

@@ -23,9 +23,11 @@ from dataclasses import dataclass, field
 
 from ..core.options import MiningStats, ResultSink
 from .aggregator import SumAggregator
+from .app_protocol import gthinker_app
 from .task import ComputeOutcome, Task
 
 
+@gthinker_app
 @dataclass
 class TriangleCountApp:
     """Count all triangles of the input graph on the engine."""

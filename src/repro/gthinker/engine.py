@@ -6,16 +6,12 @@ cache, per-thread local task queues, a shared per-machine global
 big-task queue, disk spilling (L_small / L_big), and master-coordinated
 big-task stealing across machines.
 
-Scheduling policy (the reforge):
-
-1. *push* — keep data-ready tasks flowing: a thread first takes a big
-   task from B_global, else a task from its B_local, and runs one
-   compute iteration; continuing tasks have their pulls resolved and
-   re-enter the ready buffers.
-2. *pop*  — else it pops from the machine's Q_global (try-lock; refill
-   a batch from L_big when low), else from its own Q_local (refill from
-   L_small, then drain B_local, then spawn new tasks from the local
-   vertex table — stopping as soon as a spawned task is big).
+All scheduling *policy* — routing, pick priority, local-queue refill
+order, spawn batching with big-task early stop, steal planning — lives
+in :mod:`repro.gthinker.scheduler` and is shared verbatim with the
+simulated cluster. This module is only the *executor*: the serial fast
+path and the real-thread driver, plus job lifecycle (active-task
+accounting, worker failure propagation, metrics collection).
 
 Pull resolution is synchronous in-process (the data-serving module's
 latency collapses to zero) but ownership, caching, and message counts
@@ -25,23 +21,26 @@ is about — is faithful.
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.options import ResultSink, ThreadSafeResultSink
 from ..core.postprocess import postprocess_results
 from ..graph.adjacency import Graph
-from .app_quasiclique import ComputeContext, QuasiCliqueApp
+from .app_protocol import GThinkerApp
+from .app_quasiclique import QuasiCliqueApp
 from .config import EngineConfig
-from .metrics import EngineMetrics, TaskRecord
-from .spill import SpillableQueue, SpillFileList
-from .stealing import plan_steals
+from .metrics import EngineMetrics
+from .scheduler import (
+    MachineState,
+    SchedulerCore,
+    ThreadSlot,
+    build_machines,
+    collect_machine_metrics,
+)
 from .task import Task
 from .tracing import NullTracer, Tracer
-from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache
 
 
 @dataclass
@@ -56,99 +55,20 @@ class MiningRunResult:
         return len(self.maximal)
 
 
-class ThreadSlot:
-    """Per-mining-thread state: its local queue and ready buffer."""
-
-    def __init__(self, config: EngineConfig, lsmall: SpillFileList):
-        self.qlocal = SpillableQueue(config.queue_capacity, config.batch_size, lsmall)
-        self.blocal: deque[Task] = deque()
-
-
-class MachineState:
-    """One simulated machine: vertex table slice, queues, spawn cursor."""
-
-    def __init__(
-        self,
-        machine_id: int,
-        tables: list[LocalVertexTable],
-        config: EngineConfig,
-    ):
-        self.machine_id = machine_id
-        self.config = config
-        self.table = tables[machine_id]
-        self.cache = RemoteVertexCache(config.cache_capacity)
-        self.data = DataService(
-            machine_id, tables, self.cache,
-            partitioner=getattr(tables[machine_id], "partitioner", None),
-        )
-        self.lsmall = SpillFileList(config.spill_dir, f"m{machine_id}-small")
-        self.lbig = SpillFileList(config.spill_dir, f"m{machine_id}-big")
-        self.qglobal = SpillableQueue(config.queue_capacity, config.batch_size, self.lbig)
-        self.bglobal: deque[Task] = deque()
-        self.bglobal_lock = threading.Lock()
-        self.threads = [
-            ThreadSlot(config, self.lsmall) for _ in range(config.threads_per_machine)
-        ]
-        self.spawn_order = self.table.vertices_sorted()
-        self.spawn_pos = 0
-        self.spawn_lock = threading.Lock()
-
-    def spawn_exhausted(self) -> bool:
-        with self.spawn_lock:
-            return self.spawn_pos >= len(self.spawn_order)
-
-    def next_spawn_vertices(self, count: int) -> list[int]:
-        with self.spawn_lock:
-            chunk = self.spawn_order[self.spawn_pos : self.spawn_pos + count]
-            self.spawn_pos += len(chunk)
-            return chunk
-
-    def pop_bglobal(self) -> Task | None:
-        with self.bglobal_lock:
-            return self.bglobal.popleft() if self.bglobal else None
-
-    def push_bglobal(self, task: Task) -> None:
-        with self.bglobal_lock:
-            self.bglobal.append(task)
-
-    def pending_big(self) -> int:
-        with self.bglobal_lock:
-            ready = len(self.bglobal)
-        return ready + self.qglobal.pending_estimate()
-
-    def cleanup(self) -> None:
-        self.lsmall.cleanup()
-        self.lbig.cleanup()
-
-
 class GThinkerEngine:
-    """Run one quasi-clique mining job over the reforged runtime."""
+    """Run one mining job over the reforged runtime with real threads."""
 
     def __init__(
         self,
         graph: Graph,
-        app: QuasiCliqueApp,
+        app: GThinkerApp,
         config: EngineConfig,
-        tracer: "Tracer | NullTracer | None" = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.graph = graph
         self.app = app
         self.config = config
-        # `is not None`, not truthiness: an empty Tracer is falsy (len 0).
-        self.tracer = tracer if tracer is not None else NullTracer()
-        from .partition import make_partitioner
-
-        partitioner = (
-            None
-            if config.partition == "hash"
-            else make_partitioner(config.partition, graph, config.num_machines)
-        )
-        tables = LocalVertexTable.partition(
-            graph, config.num_machines, partitioner=partitioner
-        )
-        self.machines = [MachineState(m, tables, config) for m in range(config.num_machines)]
-        self._task_ids = itertools.count()
-        self._task_id_lock = threading.Lock()
+        self.machines = build_machines(graph, config)
         self._active = 0
         self._active_lock = threading.Lock()
         self._peak_active = 0
@@ -156,14 +76,17 @@ class GThinkerEngine:
         self.metrics = EngineMetrics()
         self._metrics_lock = threading.Lock()
         self._worker_error: BaseException | None = None
+        self.core = SchedulerCore(
+            app, config, self.machines, tracer,
+            metrics=self.metrics,
+            metrics_lock=self._metrics_lock,
+            task_queued=self._task_born,
+        )
+        self.tracer = self.core.tracer
 
-    # -- shared counters ---------------------------------------------------
+    # -- job-lifetime accounting -------------------------------------------
 
-    def _next_task_id(self) -> int:
-        with self._task_id_lock:
-            return next(self._task_ids)
-
-    def _task_born(self) -> None:
+    def _task_born(self, task: Task) -> None:
         with self._active_lock:
             self._active += 1
             self._peak_active = max(self._peak_active, self._active)
@@ -172,160 +95,48 @@ class GThinkerEngine:
         with self._active_lock:
             self._active -= 1
 
-    def _all_spawned(self) -> bool:
-        return all(m.spawn_exhausted() for m in self.machines)
-
     def _maybe_finish(self) -> None:
-        if self._all_spawned():
+        if self.core.all_spawned():
             with self._active_lock:
                 if self._active == 0:
                     self._done.set()
 
-    # -- task routing --------------------------------------------------------
+    # -- scheduler delegation (kept for white-box tests / callers) ---------
 
     def add_task(self, task: Task, machine: MachineState, slot: ThreadSlot) -> None:
-        """Queue a task: big → machine's global queue, small → the thread's."""
-        self._task_born()
-        if self.config.use_global_queue and task.is_big(self.config.tau_split):
-            machine.qglobal.push(task)
-            self.tracer.emit("route_global", task.task_id, machine.machine_id)
-        else:
-            slot.qlocal.push(task)
-            self.tracer.emit("route_local", task.task_id, machine.machine_id)
-
-    # -- one scheduling step ---------------------------------------------------
-
-    def _execute(
-        self, task: Task, machine: MachineState, slot: ThreadSlot, metrics: EngineMetrics
-    ) -> None:
-        """Run compute iterations until the task finishes or re-enters a buffer."""
-
-        def record(rec: TaskRecord) -> None:
-            metrics.record_task(rec)
-
-        ctx = ComputeContext(config=self.config, next_task_id=self._next_task_id, record=record)
-        while True:
-            if task.pulls:
-                frontier = machine.data.resolve(task.pulls)
-                task.pulls = []
-            else:
-                frontier = {}
-            self.tracer.emit("execute", task.task_id, machine.machine_id)
-            outcome = self.app.compute(task, frontier, ctx)
-            if outcome.new_tasks:
-                self.tracer.emit(
-                    "decompose", task.task_id, machine.machine_id,
-                    detail=f"children={len(outcome.new_tasks)}",
-                )
-            for new_task in outcome.new_tasks:
-                self.add_task(new_task, machine, slot)
-            if outcome.finished:
-                self.tracer.emit("finish", task.task_id, machine.machine_id)
-                self._task_finished()
-                self._maybe_finish()
-                return
-            if task.pulls:
-                # Suspend-for-data point: resolve next round through the
-                # ready buffers to preserve big-task priority.
-                if self.config.use_global_queue and task.is_big(self.config.tau_split):
-                    machine.push_bglobal(task)
-                    self.tracer.emit("ready_global", task.task_id, machine.machine_id)
-                else:
-                    slot.blocal.append(task)
-                    self.tracer.emit("ready_local", task.task_id, machine.machine_id)
-                return
-            # No pulls pending (e.g. iteration 2 → 3): continue inline,
-            # mirroring G-thinker scheduling the next iteration right away.
-
-    def _refill_qlocal(self, machine: MachineState, slot: ThreadSlot) -> None:
-        """Refill priority: L_small, then B_local, then spawn new tasks."""
-        if slot.qlocal.refill_from_spill():
-            return
-        if slot.blocal:
-            while slot.blocal and len(slot.qlocal) < self.config.batch_size:
-                slot.qlocal.push(slot.blocal.popleft())
-            return
-        self._spawn_batch(machine, slot)
+        """Queue a task under the shared routing policy."""
+        self.core.route(task, machine, slot)
 
     def _spawn_batch(self, machine: MachineState, slot: ThreadSlot) -> None:
-        """Spawn up to one batch of tasks; stop early once one is big.
+        self.core.spawn_batch(machine, slot)
 
-        Vertices are taken from the cursor one at a time so the early
-        stop (the paper's guard against flooding the global queue with
-        big tasks) never skips a vertex.
-        """
-        spawned = 0
-        while spawned < self.config.batch_size:
-            vertices = machine.next_spawn_vertices(1)
-            if not vertices:
-                return
-            v = vertices[0]
-            adjacency = machine.table.get(v)
-            assert adjacency is not None
-            task = self.app.spawn(v, adjacency, self._next_task_id())
-            if task is None:
-                continue
-            with self._metrics_lock:
-                self.metrics.tasks_spawned += 1
-            self.tracer.emit("spawn", task.task_id, machine.machine_id, detail=f"root={v}")
-            self.add_task(task, machine, slot)
-            spawned += 1
-            if self.config.use_global_queue and task.is_big(self.config.tau_split):
-                return
+    def _apply_steals(self) -> None:
+        self.core.apply_steals()
+
+    # -- one scheduling step -----------------------------------------------
 
     def _step(self, machine: MachineState, slot: ThreadSlot, metrics: EngineMetrics) -> bool:
         """One scheduling step; True iff any work was performed."""
-        # Phase 1 (push): data-ready tasks, big ones first.
-        task = machine.pop_bglobal() if self.config.use_global_queue else None
-        if task is None and slot.blocal:
-            task = slot.blocal.popleft()
-        if task is not None:
-            self._execute(task, machine, slot, metrics)
-            return True
-        # Phase 2 (pop): global queue first (try-lock), then local.
-        if self.config.use_global_queue:
-            if machine.qglobal.needs_refill():
-                machine.qglobal.refill_from_spill()
-            acquired, task = machine.qglobal.try_pop()
-            if not acquired:
-                task = None
-            elif task is not None:
-                self.tracer.emit("pop_global", task.task_id, machine.machine_id)
-        if task is None:
-            if slot.qlocal.needs_refill():
-                self._refill_qlocal(machine, slot)
-            task = slot.qlocal.pop()
-            if task is not None:
-                self.tracer.emit("pop_local", task.task_id, machine.machine_id)
+        task = self.core.pick(machine, slot)
         if task is None:
             return False
-        self._execute(task, machine, slot, metrics)
+        result = self.core.run_quantum(task, machine, metrics.record_task)
+        # Children first: the active counter must never dip to zero while
+        # a finishing parent still has unrouted offspring.
+        for child in result.children:
+            self.core.route(child, machine, slot)
+        if result.resumed is not None:
+            self.core.buffer_ready(result.resumed, machine, slot)
+        if result.finished:
+            self._task_finished()
+            self._maybe_finish()
         return True
-
-    # -- stealing ------------------------------------------------------------
-
-    def _apply_steals(self) -> None:
-        counts = [m.pending_big() for m in self.machines]
-        moves = plan_steals(counts, self.config.batch_size)
-        for move in moves:
-            batch = self.machines[move.src].qglobal.pop_batch(move.count)
-            if not batch:
-                continue
-            self.machines[move.dst].qglobal.push_batch(batch)
-            for stolen in batch:
-                self.tracer.emit(
-                    "steal", stolen.task_id, move.dst,
-                    detail=f"from=m{move.src}",
-                )
-            with self._metrics_lock:
-                self.metrics.steals += 1
-                self.metrics.stolen_tasks += len(batch)
 
     def _stealing_loop(self) -> None:
         while not self._done.wait(self.config.steal_period_seconds):
-            self._apply_steals()
+            self.core.apply_steals()
 
-    # -- drivers ----------------------------------------------------------------
+    # -- drivers -----------------------------------------------------------
 
     def run(self) -> MiningRunResult:
         """Execute the job; serial fast path when only one thread exists."""
@@ -400,17 +211,9 @@ class GThinkerEngine:
             stealer.join()
 
     def _collect_metrics(self) -> None:
-        m = self.metrics
-        for machine in self.machines:
-            m.remote_messages += machine.data.remote_messages
-            m.cache_hits += machine.cache.hits
-            m.cache_misses += machine.cache.misses
-            for spill in (machine.lsmall, machine.lbig):
-                m.spill_batches += spill.batches_spilled
-                m.spill_bytes += spill.bytes_written
-                m.spill_bytes_peak = max(m.spill_bytes_peak, spill.bytes_peak)
-        m.peak_pending_tasks = self._peak_active
-        m.mining_stats.merge(self.app.stats)
+        collect_machine_metrics(self.metrics, self.machines)
+        self.metrics.peak_pending_tasks = self._peak_active
+        self.metrics.mining_stats.merge(self.app.stats)
 
 
 def mine_parallel(
@@ -419,6 +222,7 @@ def mine_parallel(
     min_size: int,
     config: EngineConfig | None = None,
     options=None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MiningRunResult:
     """Convenience front-end: mine `graph` on the reforged engine."""
     from ..core.options import DEFAULT_OPTIONS
@@ -431,4 +235,4 @@ def mine_parallel(
         sink=sink,
         options=options or DEFAULT_OPTIONS,
     )
-    return GThinkerEngine(graph, app, config).run()
+    return GThinkerEngine(graph, app, config, tracer=tracer).run()

@@ -1,0 +1,375 @@
+"""Backend-agnostic scheduler core (the paper's reforged policy, §5).
+
+One implementation of the reforged G-thinker scheduling rules, shared
+by every executor — the serial fast path and the threaded driver in
+:mod:`repro.gthinker.engine`, and the virtual-time driver in
+:mod:`repro.gthinker.simulation`:
+
+1. *routing*  — a new task goes to the machine's global big-task queue
+   (Q_global, spilling to L_big) iff it is big, else to the picking
+   thread's local queue (Q_local, spilling to L_small);
+2. *pick order* — B_global → B_local → Q_global (try-lock, refilled
+   from L_big) → Q_local;
+3. *refill order* — a low Q_local refills from L_small first, then
+   drains B_local, then spawns new tasks from the vertex table;
+4. *spawn batch* — at most one batch of C tasks per refill, stopping
+   early the moment a spawned task is big (the guard against flooding
+   Q_global);
+5. *stealing* — a master plans big-task moves from per-machine pending
+   counts and applies them between the machines' global queues.
+
+The core is policy only: it owns no threads and no clock. Executors
+drive it (`pick` → `run_quantum` → route children / re-buffer the
+suspended task) and observe queue transitions through three optional
+hooks (`task_queued`, `task_buffered`, `task_picked`) so each backend
+can keep its own liveness accounting — an active-task counter for the
+real engine, an outstanding-work counter for the simulator — without
+duplicating any scheduling decision.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..graph.adjacency import Graph
+from .app_protocol import ComputeContext, GThinkerApp, ensure_app
+from .config import EngineConfig
+from .metrics import EngineMetrics, TaskRecord
+from .spill import SpillableQueue, SpillFileList
+from .stealing import plan_steals
+from .task import Task
+from .tracing import NullTracer, Tracer
+from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache
+
+
+class ThreadSlot:
+    """Per-mining-thread queue state: its local queue and ready buffer."""
+
+    def __init__(self, config: EngineConfig, lsmall: SpillFileList):
+        self.qlocal = SpillableQueue(config.queue_capacity, config.batch_size, lsmall)
+        self.blocal: deque[Task] = deque()
+
+
+class MachineState:
+    """One machine: vertex table slice, caches, queues, spawn cursor.
+
+    The same state object backs the real engine (where its locks are
+    contended) and the simulated cluster (single-threaded; the locks
+    are uncontended but harmless), so the simulator exercises the
+    identical queue/spill structures as the threaded runtime.
+    """
+
+    def __init__(
+        self,
+        machine_id: int,
+        tables: list[LocalVertexTable],
+        config: EngineConfig,
+    ):
+        self.machine_id = machine_id
+        self.config = config
+        self.table = tables[machine_id]
+        self.cache = RemoteVertexCache(config.cache_capacity)
+        self.data = DataService(
+            machine_id, tables, self.cache,
+            partitioner=getattr(tables[machine_id], "partitioner", None),
+        )
+        self.lsmall = SpillFileList(config.spill_dir, f"m{machine_id}-small")
+        self.lbig = SpillFileList(config.spill_dir, f"m{machine_id}-big")
+        self.qglobal = SpillableQueue(config.queue_capacity, config.batch_size, self.lbig)
+        self.bglobal: deque[Task] = deque()
+        self.bglobal_lock = threading.Lock()
+        self.threads = [
+            ThreadSlot(config, self.lsmall) for _ in range(config.threads_per_machine)
+        ]
+        self.spawn_order = self.table.vertices_sorted()
+        self.spawn_pos = 0
+        self.spawn_lock = threading.Lock()
+
+    def spawn_exhausted(self) -> bool:
+        with self.spawn_lock:
+            return self.spawn_pos >= len(self.spawn_order)
+
+    def next_spawn_vertices(self, count: int) -> list[int]:
+        with self.spawn_lock:
+            chunk = self.spawn_order[self.spawn_pos : self.spawn_pos + count]
+            self.spawn_pos += len(chunk)
+            return chunk
+
+    def pop_bglobal(self) -> Task | None:
+        with self.bglobal_lock:
+            return self.bglobal.popleft() if self.bglobal else None
+
+    def push_bglobal(self, task: Task) -> None:
+        with self.bglobal_lock:
+            self.bglobal.append(task)
+
+    def pending_big(self) -> int:
+        with self.bglobal_lock:
+            ready = len(self.bglobal)
+        return ready + self.qglobal.pending_estimate()
+
+    def cleanup(self) -> None:
+        self.lsmall.cleanup()
+        self.lbig.cleanup()
+
+
+def build_machines(graph: Graph, config: EngineConfig) -> list[MachineState]:
+    """Partition `graph` per `config` and build each machine's state."""
+    from .partition import make_partitioner
+
+    partitioner = (
+        None
+        if config.partition == "hash"
+        else make_partitioner(config.partition, graph, config.num_machines)
+    )
+    tables = LocalVertexTable.partition(
+        graph, config.num_machines, partitioner=partitioner
+    )
+    return [MachineState(m, tables, config) for m in range(config.num_machines)]
+
+
+def collect_machine_metrics(metrics: EngineMetrics, machines: list[MachineState]) -> None:
+    """Fold per-machine data-service, cache, and spill counters into `metrics`."""
+    for machine in machines:
+        metrics.remote_messages += machine.data.remote_messages
+        metrics.cache_hits += machine.cache.hits
+        metrics.cache_misses += machine.cache.misses
+        for spill in (machine.lsmall, machine.lbig):
+            metrics.spill_batches += spill.batches_spilled
+            metrics.spill_bytes += spill.bytes_written
+            metrics.spill_bytes_peak = max(metrics.spill_bytes_peak, spill.bytes_peak)
+
+
+@dataclass
+class QuantumResult:
+    """Effects of one scheduling quantum of a task.
+
+    A quantum resolves the task's pending pulls, then chains compute
+    iterations until the task either finishes or issues new pulls (the
+    suspend-for-data point where it re-enters the ready buffers with
+    its big/small status re-evaluated). The executor applies the
+    effects: route `children`, re-buffer `resumed` — in that order, so
+    a parent's children are visible before its completion is counted.
+    """
+
+    finished: bool
+    cost: float = 0.0
+    children: list[Task] = field(default_factory=list)
+    #: The task itself iff it suspended awaiting data (None if finished).
+    resumed: Task | None = None
+
+
+class SchedulerCore:
+    """The reforged scheduling policy over a set of machine states."""
+
+    def __init__(
+        self,
+        app: GThinkerApp,
+        config: EngineConfig,
+        machines: list[MachineState],
+        tracer: Tracer | NullTracer | None = None,
+        *,
+        metrics: EngineMetrics | None = None,
+        metrics_lock: threading.Lock | None = None,
+        task_queued: Callable[[Task], None] | None = None,
+        task_buffered: Callable[[Task], None] | None = None,
+        task_picked: Callable[[Task], None] | None = None,
+    ):
+        self.app = ensure_app(app)
+        self.config = config
+        self.machines = machines
+        # `is not None`, not truthiness: an empty Tracer is falsy (len 0).
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        self._metrics_lock = metrics_lock or threading.Lock()
+        self._task_queued = task_queued
+        self._task_buffered = task_buffered
+        self._task_picked = task_picked
+        self._task_ids = itertools.count()
+        self._task_id_lock = threading.Lock()
+
+    # -- shared counters ---------------------------------------------------
+
+    def next_task_id(self) -> int:
+        with self._task_id_lock:
+            return next(self._task_ids)
+
+    def all_spawned(self) -> bool:
+        return all(m.spawn_exhausted() for m in self.machines)
+
+    # -- task routing ------------------------------------------------------
+
+    def route(self, task: Task, machine: MachineState, slot: ThreadSlot) -> None:
+        """Queue a task: big → machine's global queue, small → the thread's."""
+        if self._task_queued is not None:
+            self._task_queued(task)
+        if self.config.use_global_queue and task.is_big(self.config.tau_split):
+            machine.qglobal.push(task)
+            self.tracer.emit("route_global", task.task_id, machine.machine_id)
+        else:
+            slot.qlocal.push(task)
+            self.tracer.emit("route_local", task.task_id, machine.machine_id)
+
+    def buffer_ready(self, task: Task, machine: MachineState, slot: ThreadSlot) -> None:
+        """Re-buffer a data-ready task, preserving big-task priority."""
+        if self._task_buffered is not None:
+            self._task_buffered(task)
+        if self.config.use_global_queue and task.is_big(self.config.tau_split):
+            machine.push_bglobal(task)
+            self.tracer.emit("ready_global", task.task_id, machine.machine_id)
+        else:
+            slot.blocal.append(task)
+            self.tracer.emit("ready_local", task.task_id, machine.machine_id)
+
+    # -- spawning ----------------------------------------------------------
+
+    def spawn_batch(self, machine: MachineState, slot: ThreadSlot) -> int:
+        """Spawn up to one batch of tasks; stop early once one is big.
+
+        Vertices are taken from the cursor one at a time so the early
+        stop (the paper's guard against flooding the global queue with
+        big tasks) never skips a vertex. Returns the number spawned.
+        """
+        spawned = 0
+        while spawned < self.config.batch_size:
+            vertices = machine.next_spawn_vertices(1)
+            if not vertices:
+                break
+            v = vertices[0]
+            adjacency = machine.table.get(v)
+            assert adjacency is not None
+            task = self.app.spawn(v, adjacency, self.next_task_id())
+            if task is None:
+                continue
+            with self._metrics_lock:
+                self.metrics.tasks_spawned += 1
+            self.tracer.emit("spawn", task.task_id, machine.machine_id, detail=f"root={v}")
+            self.route(task, machine, slot)
+            spawned += 1
+            if self.config.use_global_queue and task.is_big(self.config.tau_split):
+                break
+        return spawned
+
+    def refill_qlocal(self, machine: MachineState, slot: ThreadSlot) -> None:
+        """Refill priority: L_small, then B_local, then spawn new tasks."""
+        if slot.qlocal.refill_from_spill():
+            return
+        if slot.blocal:
+            while slot.blocal and len(slot.qlocal) < self.config.batch_size:
+                slot.qlocal.push(slot.blocal.popleft())
+            return
+        self.spawn_batch(machine, slot)
+
+    # -- picking -----------------------------------------------------------
+
+    def pick(self, machine: MachineState, slot: ThreadSlot) -> Task | None:
+        """One pick under the reforged priority; None iff no work is visible.
+
+        Phase 1 (push): data-ready tasks, big ones first. Phase 2
+        (pop): the machine's global queue (try-lock; refill a batch
+        from L_big when low), then the thread's local queue (refilled
+        per `refill_qlocal`). If the local refill spawned only big
+        tasks the global queue is re-checked, so a lone thread can
+        never strand its own spawn.
+        """
+        task = machine.pop_bglobal() if self.config.use_global_queue else None
+        if task is None and slot.blocal:
+            task = slot.blocal.popleft()
+        if task is None:
+            task = self._pop_global(machine)
+        if task is None:
+            if slot.qlocal.needs_refill():
+                self.refill_qlocal(machine, slot)
+            task = slot.qlocal.pop()
+            if task is not None:
+                self.tracer.emit("pop_local", task.task_id, machine.machine_id)
+            else:
+                task = self._pop_global(machine)
+        if task is not None and self._task_picked is not None:
+            self._task_picked(task)
+        return task
+
+    def _pop_global(self, machine: MachineState) -> Task | None:
+        if not self.config.use_global_queue:
+            return None
+        if machine.qglobal.needs_refill():
+            machine.qglobal.refill_from_spill()
+        acquired, task = machine.qglobal.try_pop()
+        if acquired and task is not None:
+            self.tracer.emit("pop_global", task.task_id, machine.machine_id)
+            return task
+        return None
+
+    # -- execution ---------------------------------------------------------
+
+    def run_quantum(
+        self,
+        task: Task,
+        machine: MachineState,
+        record: Callable[[TaskRecord], None] | None = None,
+    ) -> QuantumResult:
+        """Run compute iterations until the task finishes or suspends.
+
+        Pull resolution is synchronous through the machine's data
+        service; the quantum's abstract cost (compute ops plus
+        `sim_message_cost` per remote message) feeds the simulator's
+        virtual clock and is computed identically — for free — on the
+        real engine.
+        """
+        ctx = ComputeContext(config=self.config, next_task_id=self.next_task_id, record=record)
+        data = machine.data
+        cost = 0.0
+        children: list[Task] = []
+        while True:
+            if task.pulls:
+                before = data.remote_messages
+                frontier = data.resolve(task.pulls)
+                cost += (data.remote_messages - before) * self.config.sim_message_cost
+                task.pulls = []
+            else:
+                frontier = {}
+            self.tracer.emit("execute", task.task_id, machine.machine_id)
+            outcome = self.app.compute(task, frontier, ctx)
+            cost += outcome.cost_ops
+            if outcome.new_tasks:
+                self.tracer.emit(
+                    "decompose", task.task_id, machine.machine_id,
+                    detail=f"children={len(outcome.new_tasks)}",
+                )
+                children.extend(outcome.new_tasks)
+            if outcome.finished:
+                self.tracer.emit("finish", task.task_id, machine.machine_id)
+                return QuantumResult(finished=True, cost=cost, children=children)
+            if task.pulls:
+                return QuantumResult(
+                    finished=False, cost=cost, children=children, resumed=task
+                )
+            # No pulls pending (e.g. iteration 2 → 3): continue inline,
+            # mirroring G-thinker scheduling the next iteration right away.
+
+    # -- stealing ----------------------------------------------------------
+
+    def apply_steals(self) -> int:
+        """Plan and apply one stealing period; returns tasks moved."""
+        counts = [m.pending_big() for m in self.machines]
+        moves = plan_steals(counts, self.config.batch_size)
+        moved = 0
+        for move in moves:
+            batch = self.machines[move.src].qglobal.pop_batch(move.count)
+            if not batch:
+                continue
+            self.machines[move.dst].qglobal.push_batch(batch)
+            for stolen in batch:
+                self.tracer.emit(
+                    "steal", stolen.task_id, move.dst,
+                    detail=f"from=m{move.src}",
+                )
+            with self._metrics_lock:
+                self.metrics.steals += 1
+                self.metrics.stolen_tasks += len(batch)
+            moved += len(batch)
+        return moved

@@ -3,12 +3,18 @@
 This box has one physical CPU core and a GIL, so the paper's
 scalability tables (Table 5) cannot be reproduced with wall-clock
 speedups. Instead, every task is executed *once*, serially, while a
-virtual clock schedules it onto M machines × T virtual mining threads
-following the same reforged policy as the real engine: big tasks route
-to a per-machine global queue that all threads drain first, small tasks
-to per-thread local queues, idle-spawn happens in batches that stop at
-the first big task, and a master rebalances big tasks across machines
-every steal period.
+virtual clock schedules it onto M machines × T virtual mining threads.
+
+The scheduling policy is not re-implemented here: the simulator drives
+the same :class:`repro.gthinker.scheduler.SchedulerCore` as the real
+engine — identical big-task routing, B_global → B_local → Q_global →
+Q_local pick order, L_small/L_big spilling, refill order, spawn-batch
+early stop, and master stealing — over the same machine/thread queue
+state, for any application implementing the
+:class:`~repro.gthinker.app_protocol.GThinkerApp` protocol. A policy
+change in the scheduler therefore applies to every executor at once,
+and the simulator emits the same trace-event vocabulary as the
+threaded engine.
 
 The virtual cost of a task is its deterministic operation count
 (``ComputeOutcome.cost_ops``), so makespans are exactly reproducible:
@@ -26,17 +32,18 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
 
-from ..core.options import ResultSink
 from ..core.postprocess import postprocess_results
 from ..graph.adjacency import Graph
-from .app_quasiclique import ComputeContext, QuasiCliqueApp
+from .app_protocol import GThinkerApp
+from .app_quasiclique import QuasiCliqueApp
 from .config import EngineConfig
-from .metrics import EngineMetrics, TaskRecord
-from .stealing import plan_steals
+from .metrics import EngineMetrics
+from .scheduler import SchedulerCore, build_machines, collect_machine_metrics
 from .task import Task
-from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache
+from .tracing import NullTracer, Tracer
 
 
 @dataclass
@@ -61,25 +68,16 @@ class SimOutcome:
         return baseline_makespan / self.makespan if self.makespan else float("inf")
 
 
-class _SimMachine:
-    """Queue state of one virtual machine."""
-
-    def __init__(self, machine_id: int, table: LocalVertexTable, threads: int):
-        self.machine_id = machine_id
-        self.table = table
-        self.qglobal: list[Task] = []
-        self.qlocal: list[list[Task]] = [[] for _ in range(threads)]
-        self.spawn_order = table.vertices_sorted()
-        self.spawn_pos = 0
-
-    def spawn_exhausted(self) -> bool:
-        return self.spawn_pos >= len(self.spawn_order)
-
-
 class SimulatedClusterEngine:
-    """Virtual-time execution of a quasi-clique job on M×T workers."""
+    """Virtual-time execution of any G-thinker app on M×T workers."""
 
-    def __init__(self, graph: Graph, app: QuasiCliqueApp, config: EngineConfig):
+    def __init__(
+        self,
+        graph: Graph,
+        app: GThinkerApp,
+        config: EngineConfig,
+        tracer: Tracer | NullTracer | None = None,
+    ):
         if config.time_unit != "ops":
             raise ValueError(
                 "the simulated cluster requires time_unit='ops' so task costs "
@@ -88,132 +86,48 @@ class SimulatedClusterEngine:
         self.graph = graph
         self.app = app
         self.config = config
-        from .partition import make_partitioner
-
-        partitioner = (
-            None
-            if config.partition == "hash"
-            else make_partitioner(config.partition, graph, config.num_machines)
-        )
-        tables = LocalVertexTable.partition(
-            graph, config.num_machines, partitioner=partitioner
-        )
-        self.machines = [
-            _SimMachine(m, tables[m], config.threads_per_machine)
-            for m in range(config.num_machines)
-        ]
-        self.caches = [RemoteVertexCache(config.cache_capacity) for _ in self.machines]
-        self.data = [
-            DataService(m, tables, self.caches[m], partitioner=partitioner)
-            for m in range(config.num_machines)
-        ]
-        self._task_ids = itertools.count()
+        self.machines = build_machines(graph, config)
         self.metrics = EngineMetrics()
-        self._outstanding = 0  # tasks sitting in queues
+        self._outstanding = 0  # tasks sitting in queues or ready buffers
         self._executing = 0  # tasks between pick and completion event
+        self.core = SchedulerCore(
+            app, config, self.machines, tracer,
+            metrics=self.metrics,
+            metrics_lock=threading.Lock(),
+            task_queued=self._task_enqueued,
+            task_buffered=self._task_enqueued,
+            task_picked=self._task_dequeued,
+        )
+        self.tracer = self.core.tracer
 
-    # -- helpers -----------------------------------------------------------
+    # -- outstanding-work accounting (virtual-time liveness) ---------------
 
-    def _next_task_id(self) -> int:
-        return next(self._task_ids)
-
-    def _route(self, task: Task, machine: _SimMachine, thread: int) -> None:
+    def _task_enqueued(self, task: Task) -> None:
         self._outstanding += 1
         self.metrics.peak_pending_tasks = max(
             self.metrics.peak_pending_tasks, self._outstanding
         )
-        if self.config.use_global_queue and task.is_big(self.config.tau_split):
-            machine.qglobal.append(task)
-        else:
-            machine.qlocal[thread].append(task)
 
-    def _spawn_batch(self, machine: _SimMachine, thread: int) -> int:
-        spawned = 0
-        while spawned < self.config.batch_size and not machine.spawn_exhausted():
-            v = machine.spawn_order[machine.spawn_pos]
-            machine.spawn_pos += 1
-            adjacency = machine.table.get(v)
-            assert adjacency is not None
-            task = self.app.spawn(v, adjacency, self._next_task_id())
-            if task is None:
-                continue
-            self.metrics.tasks_spawned += 1
-            self._route(task, machine, thread)
-            spawned += 1
-            if self.config.use_global_queue and task.is_big(self.config.tau_split):
-                break
-        return spawned
+    def _task_dequeued(self, task: Task) -> None:
+        self._outstanding -= 1
 
-    def _pick(self, machine: _SimMachine, thread: int) -> Task | None:
-        if self.config.use_global_queue and machine.qglobal:
-            return machine.qglobal.pop(0)
-        q = machine.qlocal[thread]
-        if not q:
-            self._spawn_batch(machine, thread)
-        if q:
-            return q.pop(0)
-        # Local queue still empty — maybe spawning routed only big tasks.
-        if self.config.use_global_queue and machine.qglobal:
-            return machine.qglobal.pop(0)
-        return None
-
-    def _execute(self, task: Task, machine_id: int) -> tuple[float, list[Task]]:
-        """Run one scheduling quantum of the task.
-
-        A quantum resolves the task's pending pulls, then chains compute
-        iterations until the task either finishes or issues new pulls —
-        the suspend-for-data point where the real engine re-buffers the
-        task and re-evaluates its big/small routing. A task that issued
-        pulls is returned among the children so the caller re-routes it
-        at the quantum's completion time.
-        """
-        record_box: list[TaskRecord] = []
-        ctx = ComputeContext(
-            config=self.config,
-            next_task_id=self._next_task_id,
-            record=record_box.append,
-        )
-        data = self.data[machine_id]
-        cost = 0.0
-        children: list[Task] = []
-        while True:
-            if task.pulls:
-                before = data.remote_messages
-                frontier = data.resolve(task.pulls)
-                cost += (data.remote_messages - before) * self.config.sim_message_cost
-                task.pulls = []
-            else:
-                frontier = {}
-            outcome = self.app.compute(task, frontier, ctx)
-            cost += outcome.cost_ops
-            children.extend(outcome.new_tasks)
-            if outcome.finished:
-                break
-            if task.pulls:
-                # Suspend point: the task goes back through the queues
-                # with its new pull scope deciding big/small routing.
-                children.append(task)
-                break
-        for rec in record_box:
-            self.metrics.record_task(rec)
-        return cost, children
-
-    # -- main event loop -------------------------------------------------------
+    # -- main event loop ---------------------------------------------------
 
     def run(self) -> SimOutcome:
         config = self.config
-        threads = [
+        core = self.core
+        slots = [
             (m, t)
             for m in range(config.num_machines)
             for t in range(config.threads_per_machine)
         ]
-        busy: dict[tuple[int, int], float] = {slot: 0.0 for slot in threads}
+        busy: dict[tuple[int, int], float] = {slot: 0.0 for slot in slots}
         #: (time, seq, kind, payload); kinds: 'free' thread slot, 'steal' tick.
-        #: payload for 'free': (slot, children, is_completion).
+        #: payload for 'free': (slot, quantum_result | None, is_completion).
         events: list[tuple[float, int, str, object]] = []
         seq = itertools.count()
-        for slot in threads:
-            heapq.heappush(events, (0.0, next(seq), "free", (slot, [], False)))
+        for slot in slots:
+            heapq.heappush(events, (0.0, next(seq), "free", (slot, None, False)))
         steal_enabled = config.use_stealing and config.num_machines > 1
         steal_period = max(1.0, config.steal_period_seconds)
         if steal_enabled:
@@ -225,64 +139,56 @@ class SimulatedClusterEngine:
         def wake_idle(now: float) -> None:
             for slot in list(idle):
                 idle.discard(slot)
-                heapq.heappush(events, (now, next(seq), "free", (slot, [], False)))
+                heapq.heappush(events, (now, next(seq), "free", (slot, None, False)))
 
         while events:
             now, _, kind, payload = heapq.heappop(events)
             if kind == "steal":
-                counts = [
-                    len(m.qglobal) for m in self.machines
-                ]
-                for move in plan_steals(counts, config.batch_size):
-                    src = self.machines[move.src]
-                    dst = self.machines[move.dst]
-                    batch = src.qglobal[-move.count :]
-                    del src.qglobal[-move.count :]
-                    dst.qglobal.extend(batch)
-                    if batch:
-                        self.metrics.steals += 1
-                        self.metrics.stolen_tasks += len(batch)
+                moved = core.apply_steals()
                 if (
                     self._outstanding > 0
                     or self._executing > 0
-                    or not all(m.spawn_exhausted() for m in self.machines)
+                    or not core.all_spawned()
                 ):
                     heapq.heappush(events, (now + steal_period, next(seq), "steal", None))
-                if any(m.qglobal for m in self.machines):
+                if moved or any(m.pending_big() for m in self.machines):
                     wake_idle(now)
                 continue
 
-            slot, finished_children, is_completion = payload  # type: ignore[misc]
+            slot, quantum, is_completion = payload  # type: ignore[misc]
             machine_id, thread_id = slot
             machine = self.machines[machine_id]
+            thread = machine.threads[thread_id]
             if is_completion:
                 self._executing -= 1
-            if finished_children:
-                for child in finished_children:
-                    self._route(child, machine, thread_id)
-                wake_idle(now)
-            task = self._pick(machine, thread_id)
+            if quantum is not None:
+                # A finished quantum's effects become visible now (t+c).
+                for child in quantum.children:
+                    core.route(child, machine, thread)
+                if quantum.resumed is not None:
+                    core.buffer_ready(quantum.resumed, machine, thread)
+                if quantum.children or quantum.resumed is not None:
+                    wake_idle(now)
+            task = core.pick(machine, thread)
             if task is None:
                 idle.add(slot)
                 continue
-            self._outstanding -= 1
             self._executing += 1
-            cost, children = self._execute(task, machine_id)
-            cost = max(cost, 1.0)
+            result = core.run_quantum(task, machine, self.metrics.record_task)
+            cost = max(result.cost, 1.0)
             busy[slot] += cost
             total_work += cost
             makespan = max(makespan, now + cost)
-            heapq.heappush(events, (now + cost, next(seq), "free", (slot, children, True)))
+            heapq.heappush(events, (now + cost, next(seq), "free", (slot, result, True)))
 
         self.metrics.virtual_makespan = makespan
-        for m, data in enumerate(self.data):
-            self.metrics.remote_messages += data.remote_messages
-            self.metrics.cache_hits += self.caches[m].hits
-            self.metrics.cache_misses += self.caches[m].misses
+        collect_machine_metrics(self.metrics, self.machines)
         self.metrics.mining_stats.merge(self.app.stats)
         candidates = self.app.sink.results()
         maximal = postprocess_results(candidates)
         self.metrics.results = len(maximal)
+        for m in self.machines:
+            m.cleanup()
         return SimOutcome(
             maximal=maximal,
             candidates=candidates,
@@ -293,15 +199,26 @@ class SimulatedClusterEngine:
         )
 
 
+def simulate_app(
+    graph: Graph,
+    app: GThinkerApp,
+    config: EngineConfig,
+    tracer: Tracer | NullTracer | None = None,
+) -> SimOutcome:
+    """Front-end: run any GThinkerApp on the simulated cluster."""
+    return SimulatedClusterEngine(graph, app, config, tracer=tracer).run()
+
+
 def simulate_cluster(
     graph: Graph,
     gamma: float,
     min_size: int,
     config: EngineConfig,
     options=None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> SimOutcome:
-    """Front-end: simulate one job and return results + virtual makespan."""
-    from ..core.options import DEFAULT_OPTIONS
+    """Front-end: simulate one quasi-clique job; returns results + makespan."""
+    from ..core.options import DEFAULT_OPTIONS, ResultSink
 
     app = QuasiCliqueApp(
         gamma=gamma,
@@ -309,4 +226,4 @@ def simulate_cluster(
         sink=ResultSink(),
         options=options or DEFAULT_OPTIONS,
     )
-    return SimulatedClusterEngine(graph, app, config).run()
+    return SimulatedClusterEngine(graph, app, config, tracer=tracer).run()

@@ -1,8 +1,6 @@
 """Tests for benchmark table rendering."""
 
-import os
 
-import pytest
 
 from repro.bench.reporting import format_table, ratio, report
 

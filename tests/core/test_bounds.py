@@ -21,7 +21,6 @@ from repro.core.bounds import (
 )
 from repro.core.degrees import compute_degrees
 from repro.core.quasiclique import is_quasi_clique
-from repro.graph.adjacency import Graph
 
 from conftest import GAMMAS, make_random_graph
 

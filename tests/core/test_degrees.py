@@ -1,7 +1,6 @@
 """Tests for SS/ES/SE/EE degree bookkeeping."""
 
 from repro.core.degrees import compute_degrees, compute_ee_degrees
-from repro.graph.adjacency import Graph
 
 from conftest import make_random_graph
 

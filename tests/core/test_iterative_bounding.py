@@ -8,7 +8,6 @@ import pytest
 from repro.core.iterative_bounding import check_and_emit, iterative_bounding
 from repro.core.options import DEFAULT_OPTIONS, MinerOptions, MiningJob, ResultSink
 from repro.core.quasiclique import is_quasi_clique
-from repro.graph.adjacency import Graph
 
 from conftest import GAMMAS, make_random_graph
 

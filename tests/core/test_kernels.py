@@ -12,7 +12,6 @@ from repro.core.kernels import (
 )
 from repro.core.miner import mine_maximal_quasicliques
 from repro.core.quasiclique import is_quasi_clique
-from repro.graph.adjacency import Graph
 from repro.graph.generators import planted_quasicliques
 
 from conftest import make_random_graph

@@ -5,9 +5,6 @@ import random
 import pytest
 
 from repro.core.postprocess import postprocess_results, remove_non_maximal
-from repro.graph.adjacency import Graph
-
-from conftest import make_random_graph
 
 
 def quadratic_reference(results):

@@ -1,6 +1,5 @@
 """Tests for quasi-clique definitions and γ-arithmetic."""
 
-import math
 
 import pytest
 

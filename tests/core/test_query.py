@@ -1,14 +1,12 @@
 """Tests for query-driven quasi-clique search."""
 
-import itertools
 import random
 
 import pytest
 
-from repro.core.naive import enumerate_maximal_quasicliques, enumerate_quasicliques
+from repro.core.naive import enumerate_maximal_quasicliques
 from repro.core.query import best_community, mine_containing, query_candidates
 from repro.core.quasiclique import is_quasi_clique
-from repro.graph.adjacency import Graph
 
 from conftest import GAMMAS, make_random_graph
 

@@ -1,6 +1,5 @@
 """Tests for result-file persistence and streaming postprocessing."""
 
-import pytest
 
 from repro.core.miner import mine_maximal_quasicliques
 from repro.core.options import MiningJob

@@ -1,6 +1,5 @@
 """Tests for the dataset disk cache."""
 
-import pytest
 
 from repro.datasets import build_dataset
 from repro.datasets.cache import (

@@ -1,6 +1,5 @@
 """Unit tests for the Graph container."""
 
-import pytest
 
 from repro.graph.adjacency import Graph
 

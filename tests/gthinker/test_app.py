@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core.options import DEFAULT_OPTIONS, ResultSink
+from repro.core.options import ResultSink
 from repro.core.quasiclique import kcore_threshold
 from repro.gthinker.app_quasiclique import ComputeContext, QuasiCliqueApp
 from repro.gthinker.config import EngineConfig
-from repro.gthinker.task import Task
 from repro.graph.adjacency import Graph
 from repro.graph.kcore import k_core
 from repro.graph.traversal import bfs_distances

@@ -5,13 +5,14 @@ import random
 import networkx as nx
 import pytest
 
+from repro.datasets.registry import build_dataset, dataset_names
 from repro.gthinker.app_maxclique import (
-    MaxCliqueApp,
     SharedIncumbent,
     find_max_clique_parallel,
+    find_max_clique_simulated,
 )
 from repro.gthinker.config import EngineConfig
-from repro.core.maxclique import is_clique
+from repro.core.maxclique import is_clique, max_clique
 from repro.graph.adjacency import Graph
 
 from conftest import make_random_graph
@@ -78,3 +79,24 @@ class TestParallelMaxClique:
         clique, _ = find_max_clique_parallel(two_cliques_bridge)
         assert len(clique) == 4
         assert is_clique(two_cliques_bridge, clique)
+
+
+class TestSimulatedClusterParity:
+    """The simulated cluster runs any GThinkerApp through the shared
+    scheduler core — max clique mined there must equal the threaded
+    engine and the serial branch-and-bound on every registry analog."""
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_matches_engine_and_serial(self, name):
+        g = build_dataset(name).graph
+        serial, _ = max_clique(g)
+        engine_clique, _ = find_max_clique_parallel(
+            g, EngineConfig(decompose="size", tau_split=32)
+        )
+        sim_clique, sim_out = find_max_clique_simulated(
+            g, EngineConfig(decompose="size", tau_split=32, threads_per_machine=4)
+        )
+        assert len(sim_clique) == len(engine_clique) == len(serial)
+        assert is_clique(g, sim_clique)
+        assert sim_out.makespan > 0
+        assert sim_out.metrics.tasks_spawned > 0

@@ -2,10 +2,9 @@
 
 import random
 
-import pytest
 
 from repro.core.miner import mine_maximal_quasicliques
-from repro.core.options import DEFAULT_OPTIONS, MiningJob, ResultSink
+from repro.core.options import MiningJob, ResultSink
 from repro.core.postprocess import remove_non_maximal
 from repro.core.quasiclique import is_quasi_clique
 from repro.gthinker.clock import AlwaysExpired, NeverExpires, OpBudget

@@ -1,6 +1,5 @@
 """White-box tests for engine scheduling internals."""
 
-import pytest
 
 from repro.core.options import ResultSink
 from repro.gthinker.app_quasiclique import QuasiCliqueApp

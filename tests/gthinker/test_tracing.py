@@ -8,7 +8,8 @@ from repro.core.options import ResultSink
 from repro.gthinker.app_quasiclique import QuasiCliqueApp
 from repro.gthinker.config import EngineConfig
 from repro.gthinker.engine import GThinkerEngine
-from repro.gthinker.tracing import KINDS, NullTracer, TraceEvent, Tracer
+from repro.gthinker.simulation import SimulatedClusterEngine
+from repro.gthinker.tracing import KINDS, NullTracer, Tracer
 
 from conftest import make_random_graph
 
@@ -128,3 +129,58 @@ class TestPolicyViaTrace:
         engine = GThinkerEngine(g, app, EngineConfig())
         engine.run()
         assert isinstance(engine.tracer, NullTracer)
+
+
+class TestSimulatorTracing:
+    """The simulator traces through the shared scheduler core, so the
+    same workload must produce the same event vocabulary as the threaded
+    engine — not merely "some events"."""
+
+    WORKLOAD = dict(
+        decompose="timed", tau_time=10, time_unit="ops", tau_split=3,
+        num_machines=2, threads_per_machine=2, queue_capacity=4, batch_size=2,
+    )
+
+    def traced_pair(self):
+        g = make_random_graph(16, 0.5, seed=11)
+        app_args = dict(gamma=0.75, min_size=3)
+        eng_tracer, sim_tracer = Tracer(), Tracer()
+        GThinkerEngine(
+            g, QuasiCliqueApp(**app_args, sink=ResultSink()),
+            EngineConfig(**self.WORKLOAD), tracer=eng_tracer,
+        ).run()
+        SimulatedClusterEngine(
+            g, QuasiCliqueApp(**app_args, sink=ResultSink()),
+            EngineConfig(**self.WORKLOAD), tracer=sim_tracer,
+        ).run()
+        return eng_tracer, sim_tracer
+
+    def test_vocabularies_match(self):
+        eng_tracer, sim_tracer = self.traced_pair()
+        eng_kinds = set(eng_tracer.counts())
+        sim_kinds = set(sim_tracer.counts())
+        # Steal rounds fire on wall-clock time in the threaded engine but
+        # on virtual time in the simulator, so only that kind may differ.
+        assert sim_kinds - {"steal"} == eng_kinds - {"steal"}
+        # The workload is shaped to exercise the whole policy surface.
+        assert {"spawn", "route_global", "route_local", "pop_global",
+                "pop_local", "execute", "decompose", "finish"} <= sim_kinds
+        assert sim_kinds <= set(KINDS)
+        assert eng_kinds <= set(KINDS)
+
+    def test_same_tasks_spawned_and_finished(self):
+        eng_tracer, sim_tracer = self.traced_pair()
+        for tracer in (eng_tracer, sim_tracer):
+            spawned = {e.task_id for e in tracer.events(kind="spawn")}
+            finished = {e.task_id for e in tracer.events(kind="finish")}
+            assert spawned <= finished
+        assert len(eng_tracer.events(kind="spawn")) == len(
+            sim_tracer.events(kind="spawn")
+        )
+
+    def test_simulator_trace_off_by_default(self):
+        g = make_random_graph(10, 0.5, seed=2)
+        app = QuasiCliqueApp(gamma=0.75, min_size=3, sink=ResultSink())
+        sim = SimulatedClusterEngine(g, app, EngineConfig(**self.WORKLOAD))
+        sim.run()
+        assert isinstance(sim.core.tracer, NullTracer)

@@ -106,6 +106,35 @@ class TestExtendedModes:
         ]
         assert data_lines == ["1 2 3"]
 
+    def test_trace_engine_mode(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--trace", str(trace_path), "--quiet"]) == 0
+        assert "trace_events=" in capsys.readouterr().out
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert events
+        assert {"spawn", "execute", "finish"} <= {e["kind"] for e in events}
+
+    def test_trace_simulate_mode(self, graph_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--simulate", "--trace", str(trace_path), "--quiet"]) == 0
+        assert "trace_events=" in capsys.readouterr().out
+        assert trace_path.exists()
+
+    def test_trace_rejects_serial(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--serial", "--trace", "t.jsonl"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_trace_rejects_missing_directory(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "missing" / "trace.jsonl"
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--trace", str(bad)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
     def test_checkpoint_mode(self, graph_file, tmp_path, capsys):
         ckpt = str(tmp_path / "ckpt")
         assert main([graph_file, "--gamma", "1.0", "--min-size", "3",

@@ -5,7 +5,6 @@ README. Each is run in-process via runpy with stdout captured.
 """
 
 import runpy
-import sys
 
 import pytest
 
