@@ -1,0 +1,117 @@
+"""Backend scaling — wall-clock comparison of the real executors.
+
+The paper's premise (Section 5) is that mining compers must occupy
+whole cores: quasi-clique mining is CPU-bound, so an executor whose
+workers share one interpreter lock cannot scale. The threaded driver
+reproduces the *scheduling* faithfully but runs under the GIL; the
+process backend gives each comper a real core.
+
+Measured analog: serial / threaded / process on one CPU-bound planted
+instance, workers ∈ {1, 2, 4}. Unlike the virtual-makespan tables these
+are honest wall-clock numbers, so the emitted JSON records `cpu_count`;
+the ≥1.5× process-over-threaded expectation at 4 workers is asserted
+only where the machine has 4 cores to give (on fewer cores every
+backend is time-sliced onto the same silicon and the process pool can
+only add IPC overhead).
+
+Artifacts: benchmarks/out/backend_scaling.txt (table) and
+benchmarks/out/backend_scaling.json (machine-readable report).
+"""
+
+import json
+import os
+
+from repro.bench import backend_comparison, report
+from repro.graph.generators import planted_quasicliques
+from repro.gthinker import EngineConfig
+
+WORKER_COUNTS = [1, 2, 4]
+
+# Six planted 0.75-quasi-cliques of 16 vertices in a 500-vertex
+# heavy-tailed background: ~0.7 s of pure set-enumeration per serial
+# run, decomposing into ~500 tasks — enough parallel slack for 4
+# workers, small enough to rerun per backend cell.
+GAMMA, MIN_SIZE = 0.75, 11
+
+
+def _instance():
+    return planted_quasicliques(
+        n=500, avg_degree=8, num_plants=6, plant_size=16, gamma=GAMMA, seed=3
+    )
+
+
+def _config():
+    return EngineConfig(
+        decompose="timed", tau_time=1500, time_unit="ops", tau_split=24
+    )
+
+
+def test_backend_scaling(benchmark):
+    pg = _instance()
+    comparison = benchmark.pedantic(
+        lambda: backend_comparison(
+            pg.graph, GAMMA, MIN_SIZE, WORKER_COUNTS,
+            base_config=_config(), repeats=2,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    rows = [["serial", 1, f"{comparison.serial_seconds:.3f}", "1.0x", "-"]]
+    for p in comparison.points:
+        rows.append([
+            p.backend, p.workers, f"{p.wall_seconds:.3f}",
+            f"{p.speedup_vs_serial:.2f}x", p.tasks_executed,
+        ])
+    threaded4 = comparison.point("threaded", 4)
+    process4 = comparison.point("process", 4)
+    process_vs_threaded = threaded4.wall_seconds / process4.wall_seconds
+    report(
+        "Backend scaling — wall clock on a CPU-bound planted instance",
+        ["backend", "workers", "seconds", "speedup vs serial", "tasks"],
+        rows,
+        notes=(
+            f"cpu_count={comparison.cpu_count}; process vs threaded at 4 "
+            f"workers: {process_vs_threaded:.2f}x. The GIL caps the threaded "
+            "driver at ~1x regardless of workers; the process backend "
+            "scales with real cores."
+        ),
+        out_name="backend_scaling",
+    )
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "instance": {
+            "n": 500, "avg_degree": 8, "num_plants": 6, "plant_size": 16,
+            "gamma": GAMMA, "min_size": MIN_SIZE,
+        },
+        "cpu_count": comparison.cpu_count,
+        "serial_seconds": comparison.serial_seconds,
+        "rows": [
+            {
+                "backend": p.backend,
+                "workers": p.workers,
+                "wall_seconds": p.wall_seconds,
+                "speedup_vs_serial": p.speedup_vs_serial,
+                "results": p.results,
+                "tasks_executed": p.tasks_executed,
+            }
+            for p in comparison.points
+        ],
+        "process_vs_threaded_at_4": process_vs_threaded,
+        "target_speedup": 1.5,
+        "target_met": (
+            process_vs_threaded >= 1.5 if comparison.cpu_count >= 4 else None
+        ),
+    }
+    with open(os.path.join(out_dir, "backend_scaling.json"), "w") as f:
+        json.dump(payload, f, indent=2)
+
+    # Correctness is asserted inside backend_comparison (all backends
+    # must agree with serial). The scaling claim needs real cores.
+    if comparison.cpu_count >= 4:
+        assert process_vs_threaded >= 1.5, (
+            f"process backend at 4 workers should beat the GIL-bound "
+            f"threaded driver by >=1.5x on {comparison.cpu_count} cores, "
+            f"got {process_vs_threaded:.2f}x"
+        )

@@ -1,9 +1,20 @@
 """Benchmark-harness helpers (table rendering, experiment plumbing)."""
 
-from .harness import config_for, hyperparameter_grid, run_dataset, scalability_sweep
+from .harness import (
+    BackendComparison,
+    BackendPoint,
+    backend_comparison,
+    config_for,
+    hyperparameter_grid,
+    run_dataset,
+    scalability_sweep,
+)
 from .reporting import format_table, ratio, report
 
 __all__ = [
+    "BackendComparison",
+    "BackendPoint",
+    "backend_comparison",
     "config_for",
     "format_table",
     "hyperparameter_grid",

@@ -9,6 +9,8 @@ registered parameters, scalability sweeps, and hyperparameter grids.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from ..datasets.registry import DatasetSpec, build_dataset, get_dataset
@@ -116,6 +118,101 @@ def scalability_sweep(
             )
         )
     return sweep
+
+
+@dataclass
+class BackendPoint:
+    """One (backend, workers) wall-clock measurement."""
+
+    backend: str
+    workers: int
+    wall_seconds: float
+    speedup_vs_serial: float
+    results: int
+    tasks_executed: int
+
+
+@dataclass
+class BackendComparison:
+    """Wall-clock comparison of the real executors on one instance.
+
+    Unlike the virtual-makespan sweeps, these are honest wall-clock
+    numbers and therefore machine-dependent: `cpu_count` records how
+    many cores the measurement actually had to work with.
+    """
+
+    cpu_count: int
+    serial_seconds: float
+    points: list[BackendPoint] = field(default_factory=list)
+
+    def point(self, backend: str, workers: int) -> BackendPoint | None:
+        for p in self.points:
+            if p.backend == backend and p.workers == workers:
+                return p
+        return None
+
+
+def backend_comparison(
+    graph: Graph,
+    gamma: float,
+    min_size: int,
+    worker_counts: list[int],
+    base_config: EngineConfig | None = None,
+    repeats: int = 1,
+) -> BackendComparison:
+    """Time the threaded and process executors against the serial one.
+
+    Each (backend, workers) cell is run `repeats` times and the best
+    wall time kept. All runs must agree on the maximal family — a
+    mismatch raises, because a backend that parallelizes by dropping
+    work would otherwise look fast.
+    """
+    from ..gthinker.engine import mine_parallel
+
+    base = base_config or EngineConfig()
+
+    def run(backend: str, workers: int):
+        cfg = EngineConfig(
+            **{
+                **base.__dict__,
+                "backend": backend,
+                "num_machines": 1,
+                "threads_per_machine": workers if backend == "threaded" else 1,
+                "num_procs": workers if backend == "process" else 0,
+            }
+        )
+        best_seconds, out = float("inf"), None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = mine_parallel(graph, gamma, min_size, cfg)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best_seconds:
+                best_seconds, out = elapsed, result
+        return best_seconds, out
+
+    serial_seconds, serial_out = run("serial", 1)
+    comparison = BackendComparison(
+        cpu_count=os.cpu_count() or 1, serial_seconds=serial_seconds
+    )
+    for backend in ("threaded", "process"):
+        for workers in worker_counts:
+            seconds, out = run(backend, workers)
+            if out.maximal != serial_out.maximal:
+                raise RuntimeError(
+                    f"{backend} x{workers} produced a different maximal family "
+                    f"({len(out.maximal)} vs {len(serial_out.maximal)} sets)"
+                )
+            comparison.points.append(
+                BackendPoint(
+                    backend=backend,
+                    workers=workers,
+                    wall_seconds=seconds,
+                    speedup_vs_serial=serial_seconds / seconds if seconds else float("inf"),
+                    results=len(out.maximal),
+                    tasks_executed=out.metrics.tasks_executed,
+                )
+            )
+    return comparison
 
 
 def hyperparameter_grid(

@@ -5,6 +5,8 @@ Examples::
     quasiclique-mine graph.txt --gamma 0.9 --min-size 18
     quasiclique-mine graph.txt --gamma 0.8 --min-size 10 \
         --machines 2 --threads 4 --tau-split 64 --tau-time 5000
+    quasiclique-mine graph.txt --gamma 0.8 --min-size 10 \
+        --backend process --num-procs 4
     quasiclique-mine --dataset hyves --simulate --machines 16 --threads 32
     quasiclique-mine graph.txt --gamma 0.9 --min-size 10 --query 42
     quasiclique-mine --postprocess raw.txt maximal.txt
@@ -26,6 +28,7 @@ from .datasets.registry import build_dataset, dataset_names, get_dataset
 from .graph.io import read_edge_list
 from .gthinker.config import EngineConfig
 from .gthinker.engine import mine_parallel
+from .gthinker.engine_mp import mine_multiprocess
 from .gthinker.simulation import simulate_cluster
 
 
@@ -61,9 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="interpret --tau-time as seconds")
     parser.add_argument("--decompose", choices=["timed", "size", "none"],
                         default="timed")
+    parser.add_argument("--backend",
+                        choices=["serial", "threaded", "process", "simulated"],
+                        default=None,
+                        help="executor: 'serial' (engine fast path), "
+                        "'threaded' (GIL-bound threads), 'process' "
+                        "(multiprocessing worker pool; true multi-core), "
+                        "'simulated' (virtual-time cluster); default picks "
+                        "serial/threaded from --machines/--threads")
+    parser.add_argument("--num-procs", type=int, default=0, metavar="N",
+                        help="process-backend worker count (0 = cpu count)")
+    parser.add_argument("--mp-start-method", default=None,
+                        choices=["fork", "spawn", "forkserver"],
+                        help="process-backend start method (default: fork "
+                        "where available, else spawn)")
     parser.add_argument("--simulate", action="store_true",
                         help="run on the discrete-event simulated cluster "
-                        "(reports virtual makespan)")
+                        "(same as --backend simulated)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record scheduler events and write them as JSON "
                         "lines to FILE (engine and --simulate modes)")
@@ -117,6 +134,24 @@ def main(argv: list[str] | None = None) -> int:
               f"density={stats.density:.5f}")
         return 0
 
+    backend = args.backend
+    if args.simulate:
+        if backend not in (None, "simulated"):
+            print("error: --simulate conflicts with "
+                  f"--backend {backend}", file=sys.stderr)
+            return 2
+        backend = "simulated"
+    if backend is not None and (args.serial or args.query or args.checkpoint_dir):
+        print("error: --backend selects an engine executor; it cannot be "
+              "combined with --serial, --query, or --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    if backend == "serial" and args.machines * args.threads != 1:
+        print("error: --backend serial runs one machine x one thread; "
+              "drop --machines/--threads or use --backend threaded",
+              file=sys.stderr)
+        return 2
+
     config = EngineConfig(
         num_machines=args.machines,
         threads_per_machine=args.threads,
@@ -124,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
         tau_time=args.tau_time,
         time_unit="wall" if args.wall_clock else "ops",
         decompose=args.decompose,
+        backend=backend or "auto",
+        num_procs=args.num_procs,
     )
 
     tracer = None
@@ -155,10 +192,20 @@ def main(argv: list[str] | None = None) -> int:
         result = mine_maximal_quasicliques(graph, gamma, min_size)
         maximal = result.maximal
         extra = ""
-    elif args.simulate:
+    elif config.backend == "simulated":
         out = simulate_cluster(graph, gamma, min_size, config, tracer=tracer)
         maximal = out.maximal
         extra = f" virtual_makespan={out.makespan:.0f} utilization={out.utilization:.2f}"
+    elif config.backend == "process":
+        out = mine_multiprocess(graph, gamma, min_size, config, tracer=tracer,
+                                start_method=args.mp_start_method)
+        maximal = out.maximal
+        extra = (
+            f" backend=process procs={config.resolved_num_procs}"
+            f" tasks={out.metrics.tasks_executed}"
+            f" decomposed={out.metrics.tasks_decomposed}"
+            f" spills={out.metrics.spill_batches}"
+        )
     else:
         out = mine_parallel(graph, gamma, min_size, config, tracer=tracer)
         maximal = out.maximal

@@ -14,6 +14,7 @@ from .clock import AlwaysExpired, NeverExpires, OpBudget, WallClockBudget, make_
 from .config import EngineConfig
 from .decompose import size_threshold_split, time_delayed_mine
 from .engine import GThinkerEngine, MiningRunResult, mine_parallel
+from .engine_mp import MultiprocessEngine, mine_multiprocess
 from .scheduler import (
     MachineState,
     QuantumResult,
@@ -64,6 +65,7 @@ __all__ = [
     "GThinkerEngine",
     "LocalVertexTable",
     "MiningRunResult",
+    "MultiprocessEngine",
     "NeverExpires",
     "OpBudget",
     "QuasiCliqueApp",
@@ -80,6 +82,7 @@ __all__ = [
     "TaskRecord",
     "WallClockBudget",
     "make_budget",
+    "mine_multiprocess",
     "mine_parallel",
     "owner_of",
     "plan_steals",

@@ -40,10 +40,22 @@ class EngineConfig:
     #: Vertex-table partition strategy: 'hash' (paper), 'range', or
     #: 'balanced_degree' (see repro.gthinker.partition).
     partition: str = "hash"
+    #: Executor selection for dispatching front-ends (mine_parallel, the
+    #: CLI): 'auto' keeps the historical rule (serial fast path at 1×1,
+    #: threaded otherwise); 'serial'/'threaded' force one driver;
+    #: 'process' runs workers in a multiprocessing pool (engine_mp);
+    #: 'simulated' marks a config for the virtual-time cluster.
+    backend: str = "auto"
+    #: Process-backend worker count; 0 means os.cpu_count().
+    num_procs: int = 0
 
     def __post_init__(self) -> None:
         if self.num_machines < 1 or self.threads_per_machine < 1:
             raise ValueError("need at least one machine and one thread")
+        if self.backend not in ("auto", "serial", "threaded", "process", "simulated"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.num_procs < 0:
+            raise ValueError("num_procs must be >= 0 (0 = cpu count)")
         if self.decompose not in ("timed", "size", "none"):
             raise ValueError(f"unknown decompose mode {self.decompose!r}")
         if self.time_unit not in ("wall", "ops"):
@@ -56,3 +68,12 @@ class EngineConfig:
     @property
     def total_threads(self) -> int:
         return self.num_machines * self.threads_per_machine
+
+    @property
+    def resolved_num_procs(self) -> int:
+        """Process-backend worker count with the 0 = cpu-count default."""
+        if self.num_procs:
+            return self.num_procs
+        import os
+
+        return os.cpu_count() or 1

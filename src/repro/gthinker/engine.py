@@ -139,9 +139,30 @@ class GThinkerEngine:
     # -- drivers -----------------------------------------------------------
 
     def run(self) -> MiningRunResult:
-        """Execute the job; serial fast path when only one thread exists."""
+        """Execute the job; serial fast path when only one thread exists.
+
+        `config.backend` can pin the driver: 'serial' and 'threaded'
+        force one of the two in-process drivers; 'auto' keeps the
+        historical rule (serial at 1×1). The 'process' and 'simulated'
+        backends are different executors — use
+        :func:`repro.gthinker.engine_mp.mine_multiprocess` /
+        :func:`repro.gthinker.simulation.simulate_cluster` (or the
+        dispatching front-end :func:`mine_parallel`).
+        """
+        backend = self.config.backend
+        if backend in ("process", "simulated"):
+            raise ValueError(
+                f"GThinkerEngine only drives in-process threads; for "
+                f"backend={backend!r} use "
+                f"{'MultiprocessEngine' if backend == 'process' else 'SimulatedClusterEngine'}"
+            )
+        if backend == "serial" and self.config.total_threads != 1:
+            raise ValueError(
+                "backend='serial' drives a single machine×thread; lower "
+                "num_machines/threads_per_machine to 1 or use 'threaded'"
+            )
         start = time.perf_counter()
-        if self.config.total_threads == 1:
+        if backend == "serial" or (backend == "auto" and self.config.total_threads == 1):
             self._run_serial()
         else:
             self._run_threaded()
@@ -224,10 +245,22 @@ def mine_parallel(
     options=None,
     tracer: Tracer | NullTracer | None = None,
 ) -> MiningRunResult:
-    """Convenience front-end: mine `graph` on the reforged engine."""
+    """Convenience front-end: mine `graph` on the reforged engine.
+
+    Dispatches on ``config.backend``: the in-process drivers run here;
+    ``backend='process'`` delegates to
+    :func:`repro.gthinker.engine_mp.mine_multiprocess` so one call site
+    can select any executor from configuration alone.
+    """
     from ..core.options import DEFAULT_OPTIONS
 
     config = config or EngineConfig()
+    if config.backend == "process":
+        from .engine_mp import mine_multiprocess
+
+        return mine_multiprocess(
+            graph, gamma, min_size, config, options=options, tracer=tracer
+        )
     sink: ResultSink = ThreadSafeResultSink() if config.total_threads > 1 else ResultSink()
     app = QuasiCliqueApp(
         gamma=gamma,

@@ -1,0 +1,500 @@
+"""Process-pool executor: SchedulerCore quanta across worker processes.
+
+The serial and threaded drivers in :mod:`repro.gthinker.engine` share
+one interpreter, so the CPU-bound backtracking that dominates
+quasi-clique mining is serialized by the GIL no matter how many threads
+run. The original G-thinker gets its scalability from one mining comper
+per core; this executor reproduces that with `multiprocessing`:
+
+* the **parent** owns every piece of scheduler state — the spawn
+  cursor, Q_global/Q_local, B_global, the L_big/L_small spill lists,
+  and steal coordination — and drives the same
+  :class:`~repro.gthinker.scheduler.SchedulerCore` policy as every
+  other executor;
+* **workers** hold a read-only copy of the input graph (fork-inherited
+  where the platform allows, rebuilt from a
+  `multiprocessing.shared_memory` buffer otherwise) plus their own copy
+  of the application, receive pickled :class:`Task` batches, run each
+  task's compute iterations to completion (pulls resolve against the
+  local graph copy, so tasks never suspend inside a worker), and ship
+  back mined candidates, per-batch :class:`EngineMetrics`, forwarded
+  tracer events, and any decomposition remainder tasks;
+* remainder tasks return to the parent, get fresh task IDs, and re-enter
+  the shared routing policy (big → Q_global, small → Q_local), so
+  time-delayed decomposition balances load across processes exactly as
+  it does across threads.
+
+Because each worker owns a whole-graph replica, pull resolution is
+always local: `remote_messages` stays 0 and the vertex cache is idle on
+this backend (the partitioned data service is a distribution model, not
+a parallelism mechanism). Everything the paper's reforge is about —
+routing, pick order, spilling, spawn batching, stealing — still runs,
+in the parent.
+
+The application must be picklable: it is shipped once to every worker
+at pool start. `MultiprocessEngine` verifies this at construction and
+raises a `TypeError` naming the app, instead of letting the first
+dispatch die inside a worker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue
+import time
+import traceback
+from array import array
+
+from ..core.options import ResultSink
+from ..core.postprocess import postprocess_results
+from ..graph.adjacency import Graph
+from .app_protocol import ComputeContext, GThinkerApp, ensure_app
+from .app_quasiclique import QuasiCliqueApp
+from .config import EngineConfig
+from .engine import MiningRunResult
+from .metrics import EngineMetrics
+from .scheduler import SchedulerCore, build_machines, collect_machine_metrics
+from .task import Task
+from .tracing import NullTracer, Tracer
+
+__all__ = ["MultiprocessEngine", "mine_multiprocess"]
+
+#: Trace-event kinds a worker may forward to the parent's tracer.
+_WORKER_EVENT_KINDS = ("execute", "finish", "decompose")
+
+
+# -- read-only graph shipping ---------------------------------------------
+
+
+def _graph_to_shm(graph: Graph):
+    """Serialize `graph` into a shared-memory int64 buffer.
+
+    Layout: [num_vertices, num_edges, v_0..v_{n-1}, u_0, w_0, ...].
+    Vertex IDs are arbitrary non-negative ints (no compaction needed).
+    """
+    from multiprocessing import shared_memory
+
+    data = array("q", [graph.num_vertices, graph.num_edges])
+    data.extend(sorted(graph.vertices()))
+    for u, w in graph.edges():
+        data.append(u)
+        data.append(w)
+    payload = data.tobytes()
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload
+    return shm, len(payload)
+
+
+def _attach_shm_untracked(name: str):
+    """Attach to a parent-owned segment without resource tracking.
+
+    The parent owns the segment's lifetime; letting workers register it
+    with the (shared) resource tracker causes spurious KeyError noise at
+    exit when several workers attach the same name (bpo-38119). Python
+    3.13 has `track=False` for exactly this; on older versions the
+    standard workaround is suppressing registration around the attach.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= not supported (< 3.13)
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _graph_from_shm(name: str, nbytes: int) -> Graph:
+    """Rebuild the read-only graph copy inside a spawned worker."""
+    shm = _attach_shm_untracked(name)
+    try:
+        data = array("q")
+        data.frombytes(bytes(shm.buf[:nbytes]))
+    finally:
+        shm.close()
+    num_vertices, num_edges = data[0], data[1]
+    vertices = data[2 : 2 + num_vertices]
+    flat = data[2 + num_vertices : 2 + num_vertices + 2 * num_edges]
+    edges = ((flat[i], flat[i + 1]) for i in range(0, len(flat), 2))
+    return Graph.from_edges(edges, vertices=vertices)
+
+
+def _resolve_graph(graph_payload) -> Graph:
+    kind = graph_payload[0]
+    if kind == "direct":  # fork: the object itself rode through the fork
+        return graph_payload[1]
+    _, name, nbytes = graph_payload  # spawn/forkserver: rebuild from shm
+    return _graph_from_shm(name, nbytes)
+
+
+# -- the worker process ----------------------------------------------------
+
+
+def _run_task(app, config, graph, task, next_task_id, metrics, events):
+    """Run one task's compute iterations to completion; returns children.
+
+    Pulls resolve against the worker's whole-graph replica, so a task
+    never suspends here — the suspend/re-buffer path belongs to the
+    executors whose data service is partitioned.
+    """
+    ctx = ComputeContext(
+        config=config, next_task_id=next_task_id, record=metrics.record_task
+    )
+    children: list[Task] = []
+    while True:
+        if task.pulls:
+            frontier = {
+                v: (graph.neighbors(v) if graph.has_vertex(v) else [])
+                for v in task.pulls
+            }
+            task.pulls = []
+        else:
+            frontier = {}
+        if events is not None:
+            events.append(("execute", task.task_id, ""))
+        outcome = app.compute(task, frontier, ctx)
+        if outcome.new_tasks:
+            children.extend(outcome.new_tasks)
+            if events is not None:
+                events.append(
+                    ("decompose", task.task_id, f"children={len(outcome.new_tasks)}")
+                )
+        if outcome.finished:
+            if events is not None:
+                events.append(("finish", task.task_id, ""))
+            return children
+
+
+def _worker_main(
+    worker_id: int,
+    graph_payload,
+    app_blob: bytes,
+    config: EngineConfig,
+    task_q,
+    result_q,
+    trace_enabled: bool,
+) -> None:
+    """Worker loop: decode batches, mine, ship results back.
+
+    Message protocol (worker → parent):
+      ("batch", worker_id, batch_id, finished, child_blobs, candidates,
+       metrics, events) per processed batch;
+      ("done", worker_id, stats_blob) on sentinel;
+      ("error", worker_id, traceback_text) on any failure.
+    """
+    try:
+        graph = _resolve_graph(graph_payload)
+        app = pickle.loads(app_blob)
+        # Provisional child IDs; the parent renumbers on receipt, so
+        # negative values can never collide with scheduler-issued IDs.
+        provisional = itertools.count(1)
+        shipped: set[frozenset[int]] = set()
+        while True:
+            item = task_q.get()
+            if item is None:
+                result_q.put(("done", worker_id, pickle.dumps(app.stats)))
+                return
+            batch_id, blobs = item
+            metrics = EngineMetrics()
+            events: list | None = [] if trace_enabled else None
+            children: list[Task] = []
+            for blob in blobs:
+                task = Task.decode(blob)
+                children.extend(
+                    _run_task(
+                        app, config, graph, task,
+                        lambda: -next(provisional), metrics, events,
+                    )
+                )
+            results = app.sink.results()
+            fresh = results - shipped
+            shipped |= fresh
+            result_q.put(
+                (
+                    "batch",
+                    worker_id,
+                    batch_id,
+                    len(blobs),
+                    [t.encode() for t in children],
+                    fresh,
+                    metrics,
+                    events or [],
+                )
+            )
+    except BaseException:
+        result_q.put(("error", worker_id, traceback.format_exc()))
+
+
+# -- the parent-side engine ------------------------------------------------
+
+
+class MultiprocessEngine:
+    """Run one mining job over a pool of worker processes.
+
+    The parent is the only scheduler: it spawns tasks from the vertex
+    table, routes and picks through `SchedulerCore`, dispatches picked
+    tasks to workers in pickled batches, and folds worker results —
+    candidates, metrics, tracer events, remainder tasks — back in.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        app: GThinkerApp,
+        config: EngineConfig,
+        tracer: Tracer | NullTracer | None = None,
+        start_method: str | None = None,
+    ):
+        self.graph = graph
+        self.app = ensure_app(app)
+        self.config = config
+        try:
+            self._app_blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                f"the process backend ships the app to every worker, but "
+                f"{type(app).__name__} is not picklable: {exc}. Keep engine "
+                f"apps free of locks, open files, and lambdas, or use the "
+                f"threaded backend."
+            ) from exc
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        elif start_method not in available:
+            raise ValueError(
+                f"start method {start_method!r} not available here "
+                f"(have: {', '.join(available)})"
+            )
+        self.start_method = start_method
+        self.num_procs = config.resolved_num_procs
+        self.machines = build_machines(graph, config)
+        self.metrics = EngineMetrics()
+        self._active = 0
+        self._peak_active = 0
+        self.core = SchedulerCore(
+            app, config, self.machines, tracer,
+            metrics=self.metrics,
+            task_queued=self._task_born,
+        )
+        self.tracer = self.core.tracer
+
+    def _task_born(self, task: Task) -> None:
+        self._active += 1
+        self._peak_active = max(self._peak_active, self._active)
+
+    # -- parent-side scheduling -------------------------------------------
+
+    def _slots(self):
+        return [
+            (machine, slot)
+            for machine in self.machines
+            for slot in machine.threads
+        ]
+
+    def _collect_batch(self, slot_cycle, num_slots: int) -> list[Task]:
+        """Pick up to one batch of tasks, round-robin across pick sources."""
+        batch: list[Task] = []
+        for _ in range(num_slots):
+            machine, slot = next(slot_cycle)
+            while len(batch) < self.config.batch_size:
+                task = self.core.pick(machine, slot)
+                if task is None:
+                    break
+                batch.append(task)
+            if len(batch) >= self.config.batch_size:
+                break
+        return batch
+
+    def _route_child(self, blob: bytes, slot_cycle) -> None:
+        child = Task.decode(blob)
+        child.task_id = self.core.next_task_id()
+        machine, slot = next(slot_cycle)
+        self.core.route(child, machine, slot)
+
+    def _forward_events(self, worker_id: int, events) -> None:
+        for kind, task_id, detail in events:
+            if kind in _WORKER_EVENT_KINDS:
+                self.tracer.emit(
+                    kind, task_id, machine=-1, thread=worker_id, detail=detail
+                )
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> MiningRunResult:
+        start = time.perf_counter()
+        ctx = multiprocessing.get_context(self.start_method)
+        shm = None
+        if self.start_method == "fork":
+            graph_payload = ("direct", self.graph)
+        else:
+            shm, nbytes = _graph_to_shm(self.graph)
+            graph_payload = ("shm", shm.name, nbytes)
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    w, graph_payload, self._app_blob, self.config,
+                    task_q, result_q, self.tracer.enabled,
+                ),
+                daemon=True,
+            )
+            for w in range(self.num_procs)
+        ]
+        try:
+            for w in workers:
+                w.start()
+            self._dispatch_loop(task_q, result_q, workers)
+            self._shutdown(task_q, result_q, workers)
+        finally:
+            for w in workers:
+                if w.is_alive():
+                    w.terminate()
+                w.join(timeout=5.0)
+            task_q.cancel_join_thread()
+            result_q.cancel_join_thread()
+            task_q.close()
+            result_q.close()
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            for m in self.machines:
+                m.cleanup()
+        self.metrics.wall_seconds = time.perf_counter() - start
+        collect_machine_metrics(self.metrics, self.machines)
+        self.metrics.peak_pending_tasks = max(
+            self.metrics.peak_pending_tasks, self._peak_active
+        )
+        self.metrics.mining_stats.merge(self.app.stats)
+        candidates = self.app.sink.results()
+        maximal = postprocess_results(candidates)
+        self.metrics.results = len(maximal)
+        return MiningRunResult(
+            maximal=maximal, candidates=candidates, metrics=self.metrics
+        )
+
+    def _dispatch_loop(self, task_q, result_q, workers) -> None:
+        config = self.config
+        core = self.core
+        slots = self._slots()
+        pick_cycle = itertools.cycle(slots)
+        route_cycle = itertools.cycle(slots)
+        batch_ids = itertools.count()
+        outstanding: set[int] = set()
+        window = self.num_procs * 2
+        steal_enabled = config.use_stealing and config.num_machines > 1
+        last_steal = time.monotonic()
+        while True:
+            while len(outstanding) < window:
+                batch = self._collect_batch(pick_cycle, len(slots))
+                if not batch:
+                    break
+                bid = next(batch_ids)
+                outstanding.add(bid)
+                task_q.put((bid, [t.encode() for t in batch]))
+            if not outstanding:
+                if core.all_spawned() and self._active == 0:
+                    return
+                # Nothing dispatchable yet (e.g. work still on spill
+                # files mid-refill); let the policy make progress.
+                if steal_enabled:
+                    core.apply_steals()
+                time.sleep(0.001)
+                continue
+            try:
+                msg = result_q.get(timeout=1.0)
+            except queue.Empty:
+                dead = [w for w in workers if not w.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"{len(dead)} worker process(es) died with in-flight "
+                        f"task batches (exit codes: "
+                        f"{[w.exitcode for w in dead]})"
+                    )
+                continue
+            if msg[0] == "error":
+                _, worker_id, tb = msg
+                raise RuntimeError(
+                    f"worker process {worker_id} failed:\n{tb}"
+                )
+            _, worker_id, bid, finished, child_blobs, fresh, metrics, events = msg
+            outstanding.discard(bid)
+            # Children first, exactly like the threaded driver: the
+            # active counter must never hit zero while a finishing
+            # parent still has unrouted offspring.
+            for blob in child_blobs:
+                self._route_child(blob, route_cycle)
+            self._active -= finished
+            self.metrics.merge(metrics)
+            for candidate in fresh:
+                self.app.sink.emit(candidate)
+            if events:
+                self._forward_events(worker_id, events)
+            if steal_enabled:
+                now = time.monotonic()
+                if now - last_steal >= config.steal_period_seconds:
+                    core.apply_steals()
+                    last_steal = now
+
+    def _shutdown(self, task_q, result_q, workers) -> None:
+        for _ in workers:
+            task_q.put(None)
+        pending = {w.pid for w in workers}
+        deadline = time.monotonic() + 30.0
+        while pending and time.monotonic() < deadline:
+            try:
+                msg = result_q.get(timeout=1.0)
+            except queue.Empty:
+                if all(not w.is_alive() for w in workers):
+                    break
+                continue
+            if msg[0] == "done":
+                _, worker_id, stats_blob = msg
+                self.metrics.mining_stats.merge(pickle.loads(stats_blob))
+                pending.discard(workers[worker_id].pid)
+            elif msg[0] == "error":
+                raise RuntimeError(
+                    f"worker process {msg[1]} failed during shutdown:\n{msg[2]}"
+                )
+            # Late "batch" messages cannot exist here: the dispatch loop
+            # only returns once every outstanding batch was folded in.
+        for w in workers:
+            w.join(timeout=5.0)
+
+
+def mine_multiprocess(
+    graph: Graph,
+    gamma: float,
+    min_size: int,
+    config: EngineConfig | None = None,
+    options=None,
+    tracer: Tracer | NullTracer | None = None,
+    start_method: str | None = None,
+) -> MiningRunResult:
+    """Convenience front-end: mine `graph` on the process-pool backend."""
+    from ..core.options import DEFAULT_OPTIONS
+
+    config = config or EngineConfig(backend="process")
+    app = QuasiCliqueApp(
+        gamma=gamma,
+        min_size=min_size,
+        sink=ResultSink(),
+        options=options or DEFAULT_OPTIONS,
+    )
+    return MultiprocessEngine(
+        graph, app, config, tracer=tracer, start_method=start_method
+    ).run()

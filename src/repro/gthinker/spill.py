@@ -10,11 +10,19 @@ IO-efficient, exactly as the paper describes.
 from __future__ import annotations
 
 import os
+import struct
 import tempfile
 import threading
 import pickle
+import warnings
 
 from .task import Task
+
+#: Spill-file framing: an 8-byte payload-length header precedes the
+#: pickled batch, so a file truncated by a writer that died mid-write
+#: (worker process killed, disk full) is detectable without attempting
+#: to unpickle a partial stream.
+_HEADER = struct.Struct("<Q")
 
 
 class SpillFileList:
@@ -31,6 +39,7 @@ class SpillFileList:
         self.bytes_peak = 0
         self.batches_spilled = 0
         self.batches_loaded = 0
+        self.batches_skipped = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -48,6 +57,7 @@ class SpillFileList:
             self._counter += 1
             path = os.path.join(self._dir, f"{self._name}-{self._counter:08d}.tasks")
         with open(path, "wb") as f:
+            f.write(_HEADER.pack(len(blob)))
             f.write(blob)
         with self._lock:
             self._files.append(path)
@@ -57,28 +67,59 @@ class SpillFileList:
         return path
 
     def load_batch(self) -> list[Task]:
-        """Pop the most recent spill file and return its tasks ([] if none).
+        """Pop the most recent readable spill file and return its tasks.
 
-        A truncated or corrupted spill file raises a RuntimeError naming
-        the file — losing queued tasks silently would silently lose
-        mining results, the one failure mode this engine must never have.
+        Returns [] once no file is left. A *truncated* file — a writer
+        (e.g. a worker process) died mid-write, so the payload is shorter
+        than its length header claims, or the file vanished — is skipped
+        with a warning and the next file is tried; a complete-but-corrupt
+        payload still raises a RuntimeError naming the file, because
+        losing queued tasks silently would silently lose mining results.
         """
+        while True:
+            with self._lock:
+                if not self._files:
+                    return []
+                path = self._files.pop()
+            try:
+                with open(path, "rb") as f:
+                    raw = f.read()
+            except OSError as exc:
+                self._skip(path, f"unreadable ({exc})")
+                continue
+            if len(raw) < _HEADER.size:
+                self._skip(path, f"truncated header ({len(raw)} bytes)")
+                continue
+            (length,) = _HEADER.unpack_from(raw)
+            blob = raw[_HEADER.size :]
+            if len(blob) != length:
+                self._skip(path, f"truncated payload ({len(blob)}/{length} bytes)")
+                continue
+            try:
+                tasks = pickle.loads(blob)
+            except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+                raise RuntimeError(
+                    f"spill file {path!r} is corrupted: {exc}"
+                ) from exc
+            if not isinstance(tasks, list) or not all(isinstance(t, Task) for t in tasks):
+                raise RuntimeError(f"spill file {path!r} did not decode to a task batch")
+            with self._lock:
+                self.batches_loaded += 1
+            os.remove(path)
+            return tasks
+
+    def _skip(self, path: str, reason: str) -> None:
+        """Drop one unloadable spill file, loudly."""
+        warnings.warn(
+            f"skipping spill file {path!r}: {reason}; its task batch is lost "
+            "(was the writer killed mid-write?)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         with self._lock:
-            if not self._files:
-                return []
-            path = self._files.pop()
-            self.batches_loaded += 1
-        try:
-            with open(path, "rb") as f:
-                tasks = pickle.loads(f.read())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
-            raise RuntimeError(
-                f"spill file {path!r} is unreadable or corrupted: {exc}"
-            ) from exc
-        if not isinstance(tasks, list) or not all(isinstance(t, Task) for t in tasks):
-            raise RuntimeError(f"spill file {path!r} did not decode to a task batch")
-        os.remove(path)
-        return tasks
+            self.batches_skipped += 1
+        if os.path.exists(path):
+            os.remove(path)
 
     def pending_task_estimate(self, batch_size: int) -> int:
         """Rough count of on-disk tasks (files × batch size) for stealing plans."""

@@ -1,11 +1,12 @@
-"""Cross-executor equivalence: one scheduling policy, three executors.
+"""Cross-executor equivalence: one scheduling policy, four executors.
 
-The serial fast path, the threaded driver, and the virtual-time
-simulator all schedule through `repro.gthinker.scheduler.SchedulerCore`.
-Whatever graph and (γ, τ_size) Hypothesis draws, all three must produce
-exactly the oracle-checked maximal quasi-clique family — the property
-that makes "a scheduling change can never silently apply to one
-executor but not the other" testable.
+The serial fast path, the threaded driver, the process-pool executor,
+and the virtual-time simulator all schedule through
+`repro.gthinker.scheduler.SchedulerCore`. Whatever graph and
+(γ, τ_size) Hypothesis draws, all four must produce exactly the
+oracle-checked maximal quasi-clique family — the property that makes
+"a scheduling change can never silently apply to one executor but not
+the other" testable.
 """
 
 import itertools
@@ -47,7 +48,7 @@ def policy_config(**kwargs) -> EngineConfig:
     min_size=st.integers(min_value=2, max_value=4),
 )
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-def test_serial_threaded_simulated_all_match_oracle(graph, gamma, min_size):
+def test_serial_threaded_process_simulated_all_match_oracle(graph, gamma, min_size):
     expected = enumerate_maximal_quasicliques(graph, gamma, min_size)
     serial = mine_parallel(graph, gamma, min_size, policy_config())
     threaded = mine_parallel(
@@ -55,10 +56,15 @@ def test_serial_threaded_simulated_all_match_oracle(graph, gamma, min_size):
         policy_config(num_machines=2, threads_per_machine=2,
                       steal_period_seconds=0.005),
     )
+    process = mine_parallel(
+        graph, gamma, min_size,
+        policy_config(backend="process", num_procs=2),
+    )
     simulated = simulate_cluster(
         graph, gamma, min_size,
         policy_config(num_machines=2, threads_per_machine=2),
     )
     assert serial.maximal == expected
     assert threaded.maximal == expected
+    assert process.maximal == expected
     assert simulated.maximal == expected

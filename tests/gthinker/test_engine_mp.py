@@ -1,0 +1,179 @@
+"""Tests for the process-pool executor (repro.gthinker.engine_mp)."""
+
+import threading
+
+import pytest
+
+from repro.core.naive import enumerate_maximal_quasicliques
+from repro.core.options import MiningStats, ResultSink
+from repro.graph.adjacency import Graph
+from repro.graph.generators import planted_quasicliques
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.engine import mine_parallel
+from repro.gthinker.engine_mp import (
+    MultiprocessEngine,
+    _graph_from_shm,
+    _graph_to_shm,
+    mine_multiprocess,
+)
+from repro.gthinker.tracing import Tracer
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_quasicliques(
+        n=90, avg_degree=5, num_plants=2, plant_size=8, gamma=0.9, seed=11
+    )
+
+
+def small_config(**overrides) -> EngineConfig:
+    base = dict(
+        backend="process", num_procs=2, tau_split=4, tau_time=100,
+        queue_capacity=4, batch_size=2, decompose="timed",
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+class TestConfig:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            EngineConfig(backend="cluster")
+
+    def test_num_procs_validation(self):
+        with pytest.raises(ValueError, match="num_procs"):
+            EngineConfig(num_procs=-1)
+
+    def test_resolved_num_procs(self):
+        assert EngineConfig(num_procs=3).resolved_num_procs == 3
+        assert EngineConfig(num_procs=0).resolved_num_procs >= 1
+
+
+class TestSharedMemoryCodec:
+    def test_round_trip(self):
+        g = Graph.from_edges([(0, 5), (5, 9), (0, 9), (9, 12)], vertices=[0, 5, 7, 9, 12])
+        shm, nbytes = _graph_to_shm(g)
+        try:
+            back = _graph_from_shm(shm.name, nbytes)
+        finally:
+            shm.close()
+            shm.unlink()
+        assert back == g
+        assert back.num_edges == g.num_edges
+
+    def test_empty_graph(self):
+        g = Graph()
+        shm, nbytes = _graph_to_shm(g)
+        try:
+            back = _graph_from_shm(shm.name, nbytes)
+        finally:
+            shm.close()
+            shm.unlink()
+        assert back.num_vertices == 0 and back.num_edges == 0
+
+
+class TestResultEquivalence:
+    def test_matches_oracle_fork(self, planted):
+        expected = mine_parallel(planted.graph, 0.9, 7, EngineConfig())
+        out = mine_multiprocess(planted.graph, 0.9, 7, small_config())
+        assert out.maximal == expected.maximal
+
+    def test_matches_oracle_spawn_shared_memory(self, planted):
+        """The spawn path must rebuild the graph from shared memory."""
+        expected = mine_parallel(planted.graph, 0.9, 7, EngineConfig())
+        out = mine_multiprocess(
+            planted.graph, 0.9, 7, small_config(), start_method="spawn"
+        )
+        assert out.maximal == expected.maximal
+
+    def test_small_oracle_graph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        expected = enumerate_maximal_quasicliques(g, 0.9, 3)
+        out = mine_multiprocess(g, 0.9, 3, small_config())
+        assert out.maximal == expected
+
+    def test_mine_parallel_dispatches_on_backend(self, planted):
+        expected = mine_parallel(planted.graph, 0.9, 7, EngineConfig())
+        out = mine_parallel(planted.graph, 0.9, 7, small_config())
+        assert out.maximal == expected.maximal
+
+    def test_multi_machine_with_stealing(self, planted):
+        expected = mine_parallel(planted.graph, 0.9, 7, EngineConfig())
+        out = mine_multiprocess(
+            planted.graph, 0.9, 7,
+            small_config(num_machines=2, threads_per_machine=2,
+                         steal_period_seconds=0.001),
+        )
+        assert out.maximal == expected.maximal
+
+
+class TestMetricsAndTracing:
+    def test_worker_metrics_merge_into_parent(self, planted):
+        out = mine_multiprocess(planted.graph, 0.9, 7, small_config())
+        m = out.metrics
+        assert m.tasks_spawned > 0
+        assert m.tasks_executed > 0
+        assert m.task_records, "per-task records must cross the process boundary"
+        assert m.mining_stats.mining_ops > 0
+        assert m.mining_stats.nodes_expanded > 0
+        assert m.wall_seconds > 0
+        assert m.results == len(out.maximal)
+
+    def test_decomposition_remainders_cross_processes(self, planted):
+        out = mine_multiprocess(
+            planted.graph, 0.9, 7, small_config(tau_time=20)
+        )
+        assert out.metrics.tasks_decomposed > 0
+        assert out.metrics.subtasks_created > 0
+
+    def test_tracer_receives_worker_events(self, planted):
+        tracer = Tracer()
+        mine_multiprocess(planted.graph, 0.9, 7, small_config(), tracer=tracer)
+        kinds = set(tracer.counts())
+        assert {"spawn", "execute", "finish"} <= kinds
+        # Worker-side events carry the worker slot in the thread field.
+        assert all(e.machine == -1 for e in tracer.events(kind="execute"))
+
+
+class _UnpicklableApp:
+    """Valid protocol surface, but carries a lock no pickle can ship."""
+
+    def __init__(self):
+        self.sink = ResultSink()
+        self.stats = MiningStats()
+        self.lock = threading.Lock()
+
+    def spawn(self, vertex, adjacency, task_id):
+        return None
+
+    def compute(self, task, frontier, ctx):
+        raise AssertionError("never runs")
+
+
+class TestFailureModes:
+    def test_unpicklable_app_raises_at_construction(self, planted):
+        """The clear error belongs in the parent, not inside a worker."""
+        with pytest.raises(TypeError, match="not picklable"):
+            MultiprocessEngine(
+                planted.graph, _UnpicklableApp(), small_config()
+            )
+
+    def test_unknown_start_method_rejected(self, planted):
+        from repro.core.options import DEFAULT_OPTIONS
+        from repro.gthinker.app_quasiclique import QuasiCliqueApp
+
+        app = QuasiCliqueApp(0.9, 7, sink=ResultSink(), options=DEFAULT_OPTIONS)
+        with pytest.raises(ValueError, match="start method"):
+            MultiprocessEngine(
+                planted.graph, app, small_config(), start_method="teleport"
+            )
+
+    def test_gthinker_engine_rejects_process_backend(self, planted):
+        from repro.core.options import DEFAULT_OPTIONS
+        from repro.gthinker.app_quasiclique import QuasiCliqueApp
+        from repro.gthinker.engine import GThinkerEngine
+
+        app = QuasiCliqueApp(0.9, 7, sink=ResultSink(), options=DEFAULT_OPTIONS)
+        engine = GThinkerEngine(planted.graph, app, small_config())
+        with pytest.raises(ValueError, match="MultiprocessEngine"):
+            engine.run()

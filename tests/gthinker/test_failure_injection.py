@@ -12,37 +12,51 @@ def make_tasks(n):
     return [Task(task_id=i, root=i, iteration=3) for i in range(n)]
 
 
+def frame(payload: bytes) -> bytes:
+    """Wrap raw bytes in the spill files' length header."""
+    import struct
+
+    return struct.pack("<Q", len(payload)) + payload
+
+
 class TestSpillCorruption:
-    def test_truncated_file_raises(self, tmp_path):
+    def test_truncated_file_skipped_with_warning(self, tmp_path):
+        # A writer dying mid-write (killed worker process, full disk)
+        # leaves a payload shorter than its header claims; that batch is
+        # lost but the run must continue — loudly, not silently.
         spill = SpillFileList(str(tmp_path), "x")
         path = spill.spill(make_tasks(3))
         data = open(path, "rb").read()
         open(path, "wb").write(data[: len(data) // 2])
-        with pytest.raises(RuntimeError, match="corrupted"):
-            spill.load_batch()
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            assert spill.load_batch() == []
+        assert spill.batches_skipped == 1
 
     def test_garbage_file_raises(self, tmp_path):
+        # A complete-per-its-header but unpicklable payload is real
+        # corruption, not a torn write: still fatal.
         spill = SpillFileList(str(tmp_path), "x")
         path = spill.spill(make_tasks(2))
-        open(path, "wb").write(b"not a pickle at all")
+        open(path, "wb").write(frame(b"not a pickle at all"))
         with pytest.raises(RuntimeError, match="corrupted"):
             spill.load_batch()
 
     def test_wrong_payload_raises(self, tmp_path):
         spill = SpillFileList(str(tmp_path), "x")
         path = spill.spill(make_tasks(2))
-        open(path, "wb").write(pickle.dumps({"not": "tasks"}))
+        open(path, "wb").write(frame(pickle.dumps({"not": "tasks"})))
         with pytest.raises(RuntimeError, match="did not decode"):
             spill.load_batch()
 
-    def test_deleted_file_raises(self, tmp_path):
+    def test_deleted_file_skipped_with_warning(self, tmp_path):
         import os
 
         spill = SpillFileList(str(tmp_path), "x")
         path = spill.spill(make_tasks(2))
         os.remove(path)
-        with pytest.raises(RuntimeError, match="unreadable"):
-            spill.load_batch()
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert spill.load_batch() == []
+        assert spill.batches_skipped == 1
 
     def test_healthy_file_still_loads(self, tmp_path):
         spill = SpillFileList(str(tmp_path), "x")

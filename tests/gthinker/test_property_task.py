@@ -1,8 +1,12 @@
 """Hypothesis property tests for Task serialization and routing."""
 
+import itertools
+import pickle
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.graph.adjacency import Graph
 from repro.gthinker.task import Task
 
 
@@ -56,3 +60,49 @@ def test_round_trip_preserves_bigness(task):
     back = Task.decode(task.encode())
     for tau in (0, 3, 10, 100):
         assert back.is_big(tau) == task.is_big(tau)
+
+
+@st.composite
+def big_remainder_tasks(draw):
+    """Iteration-3 tasks carrying a materialized subgraph — the shape a
+    time-delayed decomposition remainder has when the process backend
+    ships it from a worker back to the parent scheduler."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    pairs = list(itertools.combinations(range(n), 2))
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    graph = Graph.from_edges(
+        [p for p, keep in zip(pairs, mask) if keep], vertices=range(n)
+    )
+    root = draw(st.integers(min_value=0, max_value=n - 1))
+    s = sorted(draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=4)) | {root})
+    ext = sorted(draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)))
+    return Task(
+        task_id=draw(st.integers(min_value=0, max_value=10_000)),
+        root=root,
+        iteration=3,
+        s=s,
+        ext=ext,
+        graph=graph,
+        one_hop=set(s) | set(ext),
+        generation=draw(st.integers(min_value=1, max_value=5)),
+    )
+
+
+@given(task=big_remainder_tasks())
+@settings(max_examples=40, deadline=None)
+def test_big_remainder_pickle_round_trip(task):
+    """The process backend moves tasks with plain pickle over queues;
+    a partially-mined remainder must survive with its subgraph intact."""
+    for back in (Task.decode(task.encode()), pickle.loads(pickle.dumps(task))):
+        assert back.task_id == task.task_id
+        assert back.root == task.root
+        assert back.iteration == 3
+        assert back.s == task.s
+        assert back.ext == task.ext
+        assert back.one_hop == task.one_hop
+        assert back.generation == task.generation
+        assert back.graph == task.graph
+        assert back.graph is not task.graph
+        assert back.graph.num_edges == task.graph.num_edges
+        for v in back.graph.vertices():
+            assert sorted(back.graph.neighbors(v)) == sorted(task.graph.neighbors(v))

@@ -56,6 +56,80 @@ class TestSpillFileList:
         assert len(spill) == 0
 
 
+class TestTruncatedSpillFiles:
+    """A worker process killed mid-write leaves a short file behind; the
+    refill path must skip it with a warning, not crash the engine."""
+
+    def test_truncated_payload_skipped_next_file_loads(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "test")
+        spill.spill(make_tasks(2, start=0))
+        bad = spill.spill(make_tasks(2, start=10))
+        with open(bad, "rb") as f:
+            raw = f.read()
+        with open(bad, "wb") as f:
+            f.write(raw[:-5])  # header intact, payload short
+        with pytest.warns(RuntimeWarning, match="truncated payload"):
+            loaded = spill.load_batch()
+        assert [t.task_id for t in loaded] == [0, 1]
+        assert spill.batches_skipped == 1
+        assert not os.path.exists(bad)
+
+    def test_truncated_header_skipped(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "test")
+        bad = spill.spill(make_tasks(2))
+        with open(bad, "wb") as f:
+            f.write(b"\x01\x02\x03")  # shorter than the length header
+        with pytest.warns(RuntimeWarning, match="truncated header"):
+            assert spill.load_batch() == []
+        assert spill.batches_skipped == 1
+
+    def test_vanished_file_skipped(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "test")
+        bad = spill.spill(make_tasks(2))
+        os.remove(bad)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert spill.load_batch() == []
+        assert spill.batches_skipped == 1
+
+    def test_all_truncated_returns_empty(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "test")
+        for start in (0, 10, 20):
+            bad = spill.spill(make_tasks(2, start=start))
+            with open(bad, "wb") as f:
+                f.write(b"")
+        with pytest.warns(RuntimeWarning):
+            assert spill.load_batch() == []
+        assert spill.batches_skipped == 3
+        assert len(spill) == 0
+
+    def test_complete_but_corrupt_payload_raises(self, tmp_path):
+        import struct
+
+        spill = SpillFileList(str(tmp_path), "test")
+        bad = spill.spill(make_tasks(2))
+        garbage = b"\x80\x04definitely not a pickle stream"
+        with open(bad, "wb") as f:
+            f.write(struct.pack("<Q", len(garbage)))
+            f.write(garbage)
+        with pytest.raises(RuntimeError, match="corrupted"):
+            spill.load_batch()
+
+    def test_refill_from_spill_survives_truncation(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "q")
+        q = SpillableQueue(4, 2, spill)
+        for t in make_tasks(7):
+            q.push(t)
+        assert len(spill) == 2
+        bad = spill._files[-1]  # newest batch, popped first by LIFO refill
+        with open(bad, "wb") as f:
+            f.write(b"\x00")
+        while q.pop() is not None:
+            pass
+        with pytest.warns(RuntimeWarning):
+            assert q.refill_from_spill() == 2
+        assert spill.batches_skipped == 1
+
+
 class TestSpillableQueue:
     def make_queue(self, tmp_path, capacity=4, batch=2):
         spill = SpillFileList(str(tmp_path), "q")

@@ -143,3 +143,49 @@ class TestExtendedModes:
         assert "checkpoint=" in out and "results=1" in out
         import os
         assert os.path.exists(os.path.join(ckpt, "roots.journal"))
+
+
+class TestBackendSelection:
+    def test_backend_process(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--backend", "process", "--num-procs", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=process procs=2" in out and "results=1" in out
+
+    def test_backend_process_traces(self, graph_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--backend", "process", "--num-procs", "2",
+                     "--trace", str(trace_path), "--quiet"]) == 0
+        assert "trace_events=" in capsys.readouterr().out
+        assert trace_path.exists()
+
+    def test_backend_simulated_same_as_simulate(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--backend", "simulated", "--quiet"]) == 0
+        assert "virtual_makespan" in capsys.readouterr().out
+
+    def test_backend_serial_and_threaded(self, graph_file, capsys):
+        for backend in ("serial", "threaded"):
+            assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                         "--backend", backend, "--quiet"]) == 0
+            assert "results=1" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([graph_file, "--backend", "cluster"])
+
+    def test_simulate_conflicts_with_other_backend(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--simulate", "--backend", "process"]) == 2
+        assert "--simulate" in capsys.readouterr().err
+
+    def test_backend_conflicts_with_serial_flag(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--backend", "process", "--serial"]) == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_backend_serial_rejects_thread_counts(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--backend", "serial", "--threads", "4"]) == 2
+        assert "serial" in capsys.readouterr().err
