@@ -78,6 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["fork", "spawn", "forkserver"],
                         help="process-backend start method (default: fork "
                         "where available, else spawn)")
+    parser.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                        help="process-backend fault tolerance: dispatches "
+                        "per task before it is quarantined as poisoned "
+                        "(default: 3)")
+    parser.add_argument("--lease-slack", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="process-backend fault tolerance: slack added "
+                        "to each batch's lease deadline before its worker "
+                        "is declared wedged (default: 10)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="process-backend fault tolerance: base delay "
+                        "before redispatching a reclaimed task; doubles "
+                        "per attempt (default: 0.05)")
     parser.add_argument("--simulate", action="store_true",
                         help="run on the discrete-event simulated cluster "
                         "(same as --backend simulated)")
@@ -161,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
         decompose=args.decompose,
         backend=backend or "auto",
         num_procs=args.num_procs,
+        max_attempts=args.max_attempts,
+        lease_slack=args.lease_slack,
+        retry_backoff=args.retry_backoff,
     )
 
     tracer = None
@@ -206,6 +223,12 @@ def main(argv: list[str] | None = None) -> int:
             f" decomposed={out.metrics.tasks_decomposed}"
             f" spills={out.metrics.spill_batches}"
         )
+        if out.metrics.workers_died:
+            extra += (
+                f" workers_died={out.metrics.workers_died}"
+                f" retried={out.metrics.tasks_retried}"
+                f" quarantined={out.metrics.tasks_quarantined}"
+            )
     else:
         out = mine_parallel(graph, gamma, min_size, config, tracer=tracer)
         maximal = out.maximal

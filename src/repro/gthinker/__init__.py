@@ -10,15 +10,18 @@ from .app_maxclique import (
 from .app_protocol import ComputeContext, GThinkerApp, ensure_app, gthinker_app, registered_apps
 from .app_triangles import TriangleCountApp, count_triangles_parallel
 from .app_quasiclique import QuasiCliqueApp
+from .chaos import FaultInjection
 from .clock import AlwaysExpired, NeverExpires, OpBudget, WallClockBudget, make_budget
 from .config import EngineConfig
 from .decompose import size_threshold_split, time_delayed_mine
 from .engine import GThinkerEngine, MiningRunResult, mine_parallel
 from .engine_mp import MultiprocessEngine, mine_multiprocess
 from .scheduler import (
+    Lease,
     MachineState,
     QuantumResult,
     SchedulerCore,
+    TaskLeaseTable,
     ThreadSlot,
     build_machines,
     collect_machine_metrics,
@@ -62,6 +65,9 @@ __all__ = [
     "DataService",
     "EngineConfig",
     "EngineMetrics",
+    "FaultInjection",
+    "Lease",
+    "TaskLeaseTable",
     "GThinkerEngine",
     "LocalVertexTable",
     "MiningRunResult",

@@ -1,0 +1,123 @@
+"""Fault-injection hooks for the fault-tolerant process backend.
+
+Chaos testing the supervisor in :mod:`repro.gthinker.engine_mp` needs
+faults that are (a) *deterministic* — seeded test schedules must replay
+— and (b) *picklable/importable* — under the ``spawn`` start method a
+worker process re-imports everything it is handed, so the injection
+spec and the misbehaving test applications must live in an importable
+module, not in a test file.
+
+Three fault flavours cover the failure modes the supervisor handles:
+
+* :class:`FaultInjection` — the engine-level hook: a chosen worker
+  SIGKILLs itself mid-run (hard death: queues are not flushed, exactly
+  like an OOM-kill or machine loss);
+* :class:`KillOnRootApp` — a poison *task*: whichever worker mines the
+  poisoned root dies, so retries keep failing until the batch is
+  quarantined;
+* :class:`WedgeOnRootApp` — a wedged worker: mining the poisoned root
+  blocks far past any lease, exercising lease-expiry reclaim;
+* :class:`ErrorOnRootApp` — an application bug: ``compute`` raises, the
+  worker reports the traceback and exits (the soft-failure path).
+
+Every app here spawns one trivial iteration-3 task per vertex and emits
+the singleton ``{v}`` for healthy roots, so expected results are
+obvious: all vertices except the poisoned one.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+from ..core.options import MiningStats, ResultSink
+from .task import ComputeOutcome, Task
+
+__all__ = [
+    "ErrorOnRootApp",
+    "FaultInjection",
+    "KillOnRootApp",
+    "WedgeOnRootApp",
+    "die_hard",
+]
+
+
+def die_hard() -> None:
+    """Kill the calling process without any cleanup (no queue flush,
+    no atexit) — the closest a test can get to an OOM-kill."""
+    if hasattr(signal, "SIGKILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(1)  # Windows fallback; also unclean
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Chaos schedule: worker `worker_id` SIGKILLs itself mid-run.
+
+    The worker's *first* incarnation dies the moment it receives a batch
+    after having completed `after_batches` of them (``after_batches=0``
+    → it dies holding its very first batch). Respawned incarnations
+    ignore the injection, modeling a transient fault — an OOM-kill, a
+    preempted container — rather than a permanently broken host. If the
+    job is too small for the worker ever to receive a batch, the fault
+    simply never fires; chaos tests must hold either way.
+    """
+
+    worker_id: int
+    after_batches: int = 0
+
+
+class _SingletonRootApp:
+    """Shared base: one finished task per vertex, emitting ``{root}``."""
+
+    def __init__(self, poison_root: int):
+        self.poison_root = poison_root
+        self.sink = ResultSink()
+        self.stats = MiningStats()
+
+    def spawn(self, vertex, adjacency, task_id):
+        return Task(task_id=task_id, root=vertex, iteration=3, s=[vertex], ext=[])
+
+    def compute(self, task, frontier, ctx):
+        if task.root == self.poison_root:
+            self._trip(task)
+        self.sink.emit([task.root])
+        self.stats.candidates_emitted += 1
+        return ComputeOutcome(finished=True, cost_ops=1)
+
+    def _trip(self, task):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class KillOnRootApp(_SingletonRootApp):
+    """SIGKILLs its worker when it mines `poison_root` — every time, so
+    the poisoned batch fails all the way to quarantine."""
+
+    def _trip(self, task):
+        die_hard()
+
+
+class WedgeOnRootApp(_SingletonRootApp):
+    """Blocks on `poison_root` far past any lease deadline.
+
+    The sleep stands in for a runaway task; the parent must declare the
+    lease expired, terminate this worker, and move on.
+    """
+
+    def __init__(self, poison_root: int, wedge_seconds: float = 60.0):
+        super().__init__(poison_root)
+        self.wedge_seconds = wedge_seconds
+
+    def _trip(self, task):
+        import time
+
+        time.sleep(self.wedge_seconds)
+
+
+class ErrorOnRootApp(_SingletonRootApp):
+    """Raises on `poison_root`: the worker ships the traceback to the
+    parent and exits — the application-bug flavour of a poisoned task."""
+
+    def _trip(self, task):
+        raise ValueError(f"injected fault mining root {task.root}")

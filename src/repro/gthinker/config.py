@@ -48,6 +48,16 @@ class EngineConfig:
     backend: str = "auto"
     #: Process-backend worker count; 0 means os.cpu_count().
     num_procs: int = 0
+    #: Process-backend fault tolerance: how many times a task may be
+    #: dispatched before its batch is quarantined as poisoned.
+    max_attempts: int = 3
+    #: Wall-clock slack (seconds) added to a batch lease on top of its
+    #: tau_time-derived budget; past the deadline the worker is treated
+    #: as wedged and its leases are reclaimed.
+    lease_slack: float = 10.0
+    #: Base (seconds) of the exponential backoff between dispatch
+    #: attempts of a reclaimed task.
+    retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.num_machines < 1 or self.threads_per_machine < 1:
@@ -64,6 +74,12 @@ class EngineConfig:
             raise ValueError("tau_split must be non-negative")
         if self.partition not in ("hash", "range", "balanced_degree"):
             raise ValueError(f"unknown partition strategy {self.partition!r}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.lease_slack < 0:
+            raise ValueError("lease_slack must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
 
     @property
     def total_threads(self) -> int:
@@ -77,3 +93,31 @@ class EngineConfig:
         import os
 
         return os.cpu_count() or 1
+
+    # -- fault-tolerance arithmetic (process backend) ----------------------
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before re-dispatching a task that failed `attempt` times.
+
+        Exponential: ``retry_backoff × 2^(attempt−1)`` seconds, so the
+        sequence for the default base is 0.05, 0.1, 0.2, …
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return self.retry_backoff * (2 ** (attempt - 1))
+
+    def lease_timeout(self, batch_len: int) -> float:
+        """Wall-clock lease granted to a dispatched batch of `batch_len` tasks.
+
+        Time-delayed decomposition (Alg. 10) promises no task legitimately
+        runs past its tau_time budget, so when tau_time is a wall-clock
+        bound the lease is one budget per task plus `lease_slack` for
+        shipping and scheduling; with an ops-based or unbounded tau_time
+        only the slack applies.
+        """
+        per_task = (
+            self.tau_time
+            if self.time_unit == "wall" and self.tau_time != float("inf")
+            else 0.0
+        )
+        return per_task * batch_len + self.lease_slack

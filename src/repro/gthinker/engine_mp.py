@@ -8,21 +8,49 @@ per core; this executor reproduces that with `multiprocessing`:
 
 * the **parent** owns every piece of scheduler state — the spawn
   cursor, Q_global/Q_local, B_global, the L_big/L_small spill lists,
-  and steal coordination — and drives the same
+  steal coordination, and the task-lease table — and drives the same
   :class:`~repro.gthinker.scheduler.SchedulerCore` policy as every
   other executor;
 * **workers** hold a read-only copy of the input graph (fork-inherited
   where the platform allows, rebuilt from a
   `multiprocessing.shared_memory` buffer otherwise) plus their own copy
-  of the application, receive pickled :class:`Task` batches, run each
-  task's compute iterations to completion (pulls resolve against the
-  local graph copy, so tasks never suspend inside a worker), and ship
-  back mined candidates, per-batch :class:`EngineMetrics`, forwarded
-  tracer events, and any decomposition remainder tasks;
+  of the application, receive pickled :class:`Task` batches over a
+  per-worker queue, run each task's compute iterations to completion
+  (pulls resolve against the local graph copy, so tasks never suspend
+  inside a worker), and ship back mined candidates, per-batch
+  :class:`EngineMetrics`, forwarded tracer events, and any
+  decomposition remainder tasks;
 * remainder tasks return to the parent, get fresh task IDs, and re-enter
   the shared routing policy (big → Q_global, small → Q_local), so
   time-delayed decomposition balances load across processes exactly as
   it does across threads.
+
+**Fault tolerance.** Long skewed mining runs are the paper's whole
+motivation, and a production run cannot die because one worker did.
+Every dispatched batch is recorded in a
+:class:`~repro.gthinker.scheduler.TaskLeaseTable` (task ids, per-task
+attempt counts, a wall-clock deadline derived from ``tau_time`` plus
+``lease_slack``). The parent supervises its pool every loop iteration:
+
+* a worker that **died** (non-zero/None ``Process.exitcode``, broken
+  pipe, injected SIGKILL) or whose **lease expired** (wedged — Alg. 10
+  promises no task legitimately outruns its budget) is joined,
+  its leases are reclaimed, and a fresh worker is respawned in its
+  slot;
+* reclaimed tasks re-enter the shared routing policy through
+  :meth:`SchedulerCore.requeue` after an exponential backoff
+  (``retry_backoff × 2^(attempt−1)``);
+* a task that has failed ``max_attempts`` dispatches is **quarantined**
+  exactly once — surfaced via ``metrics.tasks_quarantined``, the
+  ``task_quarantined`` trace event, and ``MultiprocessEngine.
+  quarantined`` — instead of crashing the run or retry-storming.
+
+Retry makes execution *at-least-once*, so results must stay exactly
+equal to the serial oracle's: candidates are deduplicated by frozenset
+in the app's `ResultSink` (the per-task dedup key is the candidate set
+itself), and a result message whose lease was already reclaimed is a
+*stale duplicate* — its children and metrics are dropped so re-mined
+work is never double-counted.
 
 Because each worker owns a whole-graph replica, pull resolution is
 always local: `remote_messages` stays 0 and the vertex cache is idle on
@@ -39,13 +67,14 @@ dispatch die inside a worker.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import multiprocessing
-import os
 import pickle
 import queue
 import time
 import traceback
+import warnings
 from array import array
 
 from ..core.options import ResultSink
@@ -53,17 +82,27 @@ from ..core.postprocess import postprocess_results
 from ..graph.adjacency import Graph
 from .app_protocol import ComputeContext, GThinkerApp, ensure_app
 from .app_quasiclique import QuasiCliqueApp
+from .chaos import FaultInjection, die_hard
 from .config import EngineConfig
 from .engine import MiningRunResult
 from .metrics import EngineMetrics
-from .scheduler import SchedulerCore, build_machines, collect_machine_metrics
+from .scheduler import (
+    Lease,
+    SchedulerCore,
+    TaskLeaseTable,
+    build_machines,
+    collect_machine_metrics,
+)
 from .task import Task
 from .tracing import NullTracer, Tracer
 
-__all__ = ["MultiprocessEngine", "mine_multiprocess"]
+__all__ = ["FaultInjection", "MultiprocessEngine", "mine_multiprocess"]
 
 #: Trace-event kinds a worker may forward to the parent's tracer.
 _WORKER_EVENT_KINDS = ("execute", "finish", "decompose")
+
+#: Batches kept in flight per worker (its queue depth target).
+_WINDOW_PER_WORKER = 2
 
 
 # -- read-only graph shipping ---------------------------------------------
@@ -183,6 +222,7 @@ def _worker_main(
     graph_payload,
     app_blob: bytes,
     config: EngineConfig,
+    injection: FaultInjection | None,
     task_q,
     result_q,
     trace_enabled: bool,
@@ -193,7 +233,13 @@ def _worker_main(
       ("batch", worker_id, batch_id, finished, child_blobs, candidates,
        metrics, events) per processed batch;
       ("done", worker_id, stats_blob) on sentinel;
-      ("error", worker_id, traceback_text) on any failure.
+      ("error", worker_id, traceback_text) on any failure (the worker
+       exits afterwards; the parent's supervisor respawns it).
+
+    `injection` is the chaos hook: when set, this incarnation SIGKILLs
+    itself upon receiving a batch after completing `after_batches` of
+    them (the parent only passes it to the targeted worker's first
+    incarnation).
     """
     try:
         graph = _resolve_graph(graph_payload)
@@ -202,11 +248,14 @@ def _worker_main(
         # negative values can never collide with scheduler-issued IDs.
         provisional = itertools.count(1)
         shipped: set[frozenset[int]] = set()
+        completed = 0
         while True:
             item = task_q.get()
             if item is None:
                 result_q.put(("done", worker_id, pickle.dumps(app.stats)))
                 return
+            if injection is not None and completed >= injection.after_batches:
+                die_hard()
             batch_id, blobs = item
             metrics = EngineMetrics()
             events: list | None = [] if trace_enabled else None
@@ -234,6 +283,7 @@ def _worker_main(
                     events or [],
                 )
             )
+            completed += 1
     except BaseException:
         result_q.put(("error", worker_id, traceback.format_exc()))
 
@@ -242,12 +292,15 @@ def _worker_main(
 
 
 class MultiprocessEngine:
-    """Run one mining job over a pool of worker processes.
+    """Run one mining job over a supervised pool of worker processes.
 
     The parent is the only scheduler: it spawns tasks from the vertex
-    table, routes and picks through `SchedulerCore`, dispatches picked
-    tasks to workers in pickled batches, and folds worker results —
-    candidates, metrics, tracer events, remainder tasks — back in.
+    table, routes and picks through `SchedulerCore`, leases picked
+    batches to workers over per-worker queues, and folds worker results
+    — candidates, metrics, tracer events, remainder tasks — back in.
+    Workers are expendable: death or wedging triggers lease reclaim,
+    backoff retry, respawn, and (after `config.max_attempts` failed
+    dispatches of a task) quarantine — never a crashed run.
     """
 
     def __init__(
@@ -257,6 +310,7 @@ class MultiprocessEngine:
         config: EngineConfig,
         tracer: Tracer | NullTracer | None = None,
         start_method: str | None = None,
+        fault_injection: FaultInjection | None = None,
     ):
         self.graph = graph
         self.app = ensure_app(app)
@@ -290,6 +344,23 @@ class MultiprocessEngine:
             task_queued=self._task_born,
         )
         self.tracer = self.core.tracer
+        # -- fault-tolerance state ----------------------------------------
+        self.leases = TaskLeaseTable(config.max_attempts)
+        self._injection = fault_injection
+        #: Tasks poisoned after max_attempts failed dispatches.
+        self.quarantined: list[Task] = []
+        #: (task_id, attempt, backoff_delay) per scheduled retry — the
+        #: observable backoff sequence, asserted by tests.
+        self.retry_schedule: list[tuple[int, int, float]] = []
+        #: Tracebacks reported by workers that failed at the app level.
+        self.worker_errors: list[str] = []
+        self._retry_heap: list[tuple[float, int, int, Task]] = []
+        self._retry_seq = itertools.count()
+        self._batch_ids = itertools.count()
+        self._procs: list = []
+        self._task_qs: list = []
+        self._generations: list[int] = []
+        self._outstanding: list[set[int]] = []
 
     def _task_born(self, task: Task) -> None:
         self._active += 1
@@ -318,10 +389,10 @@ class MultiprocessEngine:
                 break
         return batch
 
-    def _route_child(self, blob: bytes, slot_cycle) -> None:
+    def _route_child(self, blob: bytes) -> None:
         child = Task.decode(blob)
         child.task_id = self.core.next_task_id()
-        machine, slot = next(slot_cycle)
+        machine, slot = next(self._route_cycle)
         self.core.route(child, machine, slot)
 
     def _forward_events(self, worker_id: int, events) -> None:
@@ -331,44 +402,128 @@ class MultiprocessEngine:
                     kind, task_id, machine=-1, thread=worker_id, detail=detail
                 )
 
+    # -- pool management ----------------------------------------------------
+
+    def _spawn_worker(self, worker_id: int, generation: int) -> None:
+        """(Re)start the worker in slot `worker_id` with a fresh queue."""
+        injection = None
+        if (
+            self._injection is not None
+            and self._injection.worker_id == worker_id
+            and generation == 0
+        ):
+            injection = self._injection
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id, self._graph_payload, self._app_blob, self.config,
+                injection, task_q, self._result_q, self.tracer.enabled,
+            ),
+            daemon=True,
+        )
+        self._task_qs[worker_id] = task_q
+        self._procs[worker_id] = proc
+        self._generations[worker_id] = generation
+        self._outstanding[worker_id] = set()
+        proc.start()
+
+    def _fail_worker(self, worker_id: int, reason: str, now: float) -> None:
+        """Handle one dead/wedged worker: reclaim its leases, respawn it."""
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        # Results the worker shipped before failing are done work, not
+        # retries — fold them in before reclaiming what remains.
+        self._drain_results()
+        self.metrics.workers_died += 1
+        self.tracer.emit(
+            "worker_died", -1, machine=-1, thread=worker_id, detail=reason
+        )
+        # Anything still sitting on the dead worker's queue is covered
+        # by its leases; the queue itself is discarded.
+        old_q = self._task_qs[worker_id]
+        old_q.cancel_join_thread()
+        old_q.close()
+        for lease in self.leases.leases_for(worker_id):
+            self._reclaim(lease, now)
+        self._spawn_worker(worker_id, self._generations[worker_id] + 1)
+
+    def _reclaim(self, lease: Lease, now: float) -> None:
+        """Requeue-or-quarantine every task of one failed lease."""
+        retry, quarantine = self.leases.reclaim(lease)
+        self._outstanding[lease.worker_id].discard(lease.batch_id)
+        for task, attempts in quarantine:
+            self._active -= 1
+            self.metrics.tasks_quarantined += 1
+            self.quarantined.append(task)
+            self.tracer.emit(
+                "task_quarantined", task.task_id, machine=-1,
+                thread=lease.worker_id, detail=f"attempts={attempts}",
+            )
+        for task, attempts in retry:
+            delay = self.config.retry_delay(attempts)
+            self.retry_schedule.append((task.task_id, attempts, delay))
+            heapq.heappush(
+                self._retry_heap,
+                (now + delay, next(self._retry_seq), attempts, task),
+            )
+
+    def _flush_due_retries(self, now: float) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, _, attempts, task = heapq.heappop(self._retry_heap)
+            machine, slot = next(self._route_cycle)
+            self.core.requeue(task, machine, slot, attempt=attempts)
+
+    def _supervise(self, now: float) -> None:
+        """Detect dead and wedged workers; reclaim and respawn."""
+        for worker_id, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self._fail_worker(
+                    worker_id, f"exitcode={proc.exitcode}", now
+                )
+        for lease in self.leases.expired(now):
+            # An earlier reclaim this round may have taken it already.
+            if self.leases.get(lease.batch_id) is not None:
+                self._fail_worker(
+                    lease.worker_id,
+                    f"lease {lease.batch_id} expired (wedged worker)", now,
+                )
+
     # -- driver ------------------------------------------------------------
 
     def run(self) -> MiningRunResult:
         start = time.perf_counter()
-        ctx = multiprocessing.get_context(self.start_method)
+        self._ctx = multiprocessing.get_context(self.start_method)
         shm = None
         if self.start_method == "fork":
-            graph_payload = ("direct", self.graph)
+            self._graph_payload = ("direct", self.graph)
         else:
             shm, nbytes = _graph_to_shm(self.graph)
-            graph_payload = ("shm", shm.name, nbytes)
-        task_q = ctx.Queue()
-        result_q = ctx.Queue()
-        workers = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    w, graph_payload, self._app_blob, self.config,
-                    task_q, result_q, self.tracer.enabled,
-                ),
-                daemon=True,
-            )
-            for w in range(self.num_procs)
-        ]
+            self._graph_payload = ("shm", shm.name, nbytes)
+        self._result_q = self._ctx.Queue()
+        self._procs = [None] * self.num_procs
+        self._task_qs = [None] * self.num_procs
+        self._generations = [0] * self.num_procs
+        self._outstanding = [set() for _ in range(self.num_procs)]
         try:
-            for w in workers:
-                w.start()
-            self._dispatch_loop(task_q, result_q, workers)
-            self._shutdown(task_q, result_q, workers)
+            for w in range(self.num_procs):
+                self._spawn_worker(w, generation=0)
+            self._dispatch_loop()
+            self._shutdown()
         finally:
-            for w in workers:
-                if w.is_alive():
-                    w.terminate()
-                w.join(timeout=5.0)
-            task_q.cancel_join_thread()
-            result_q.cancel_join_thread()
-            task_q.close()
-            result_q.close()
+            for proc in self._procs:
+                if proc is None:
+                    continue
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join(timeout=5.0)
+            for q in [*self._task_qs, self._result_q]:
+                if q is None:
+                    continue
+                q.cancel_join_thread()
+                q.close()
             if shm is not None:
                 shm.close()
                 shm.unlink()
@@ -387,93 +542,147 @@ class MultiprocessEngine:
             maximal=maximal, candidates=candidates, metrics=self.metrics
         )
 
-    def _dispatch_loop(self, task_q, result_q, workers) -> None:
+    def _fill_windows(self, pick_cycle, num_slots: int, now: float) -> None:
+        """Lease fresh batches to every worker with spare window."""
+        for worker_id in range(self.num_procs):
+            while len(self._outstanding[worker_id]) < _WINDOW_PER_WORKER:
+                batch = self._collect_batch(pick_cycle, num_slots)
+                if not batch:
+                    return  # nothing pickable right now
+                self._dispatch(worker_id, batch, now)
+
+    def _dispatch(self, worker_id: int, batch: list[Task], now: float) -> None:
+        batch_id = next(self._batch_ids)
+        self.leases.grant(
+            batch_id, worker_id, batch, now,
+            self.config.lease_timeout(len(batch)),
+        )
+        self._outstanding[worker_id].add(batch_id)
+        self._task_qs[worker_id].put((batch_id, [t.encode() for t in batch]))
+
+    def _dispatch_loop(self) -> None:
         config = self.config
         core = self.core
         slots = self._slots()
         pick_cycle = itertools.cycle(slots)
-        route_cycle = itertools.cycle(slots)
-        batch_ids = itertools.count()
-        outstanding: set[int] = set()
-        window = self.num_procs * 2
+        self._route_cycle = itertools.cycle(slots)
         steal_enabled = config.use_stealing and config.num_machines > 1
         last_steal = time.monotonic()
         while True:
-            while len(outstanding) < window:
-                batch = self._collect_batch(pick_cycle, len(slots))
-                if not batch:
-                    break
-                bid = next(batch_ids)
-                outstanding.add(bid)
-                task_q.put((bid, [t.encode() for t in batch]))
-            if not outstanding:
-                if core.all_spawned() and self._active == 0:
+            now = time.monotonic()
+            self._flush_due_retries(now)
+            self._supervise(now)
+            self._fill_windows(pick_cycle, len(slots), now)
+            if not self.leases:
+                if (
+                    core.all_spawned()
+                    and self._active == 0
+                    and not self._retry_heap
+                ):
                     return
-                # Nothing dispatchable yet (e.g. work still on spill
-                # files mid-refill); let the policy make progress.
+                # Nothing dispatchable yet (work on spill files
+                # mid-refill, or retries still backing off); let the
+                # policy make progress.
                 if steal_enabled:
                     core.apply_steals()
                 time.sleep(0.001)
                 continue
             try:
-                msg = result_q.get(timeout=1.0)
+                msg = self._result_q.get(timeout=0.05)
             except queue.Empty:
-                dead = [w for w in workers if not w.is_alive()]
-                if dead:
-                    raise RuntimeError(
-                        f"{len(dead)} worker process(es) died with in-flight "
-                        f"task batches (exit codes: "
-                        f"{[w.exitcode for w in dead]})"
-                    )
                 continue
-            if msg[0] == "error":
-                _, worker_id, tb = msg
-                raise RuntimeError(
-                    f"worker process {worker_id} failed:\n{tb}"
-                )
-            _, worker_id, bid, finished, child_blobs, fresh, metrics, events = msg
-            outstanding.discard(bid)
-            # Children first, exactly like the threaded driver: the
-            # active counter must never hit zero while a finishing
-            # parent still has unrouted offspring.
-            for blob in child_blobs:
-                self._route_child(blob, route_cycle)
-            self._active -= finished
-            self.metrics.merge(metrics)
-            for candidate in fresh:
-                self.app.sink.emit(candidate)
-            if events:
-                self._forward_events(worker_id, events)
+            self._handle_message(msg)
             if steal_enabled:
                 now = time.monotonic()
                 if now - last_steal >= config.steal_period_seconds:
                     core.apply_steals()
                     last_steal = now
 
-    def _shutdown(self, task_q, result_q, workers) -> None:
-        for _ in workers:
-            task_q.put(None)
-        pending = {w.pid for w in workers}
+    def _drain_results(self) -> None:
+        """Fold in every result message already sitting on the queue."""
+        while True:
+            try:
+                msg = self._result_q.get_nowait()
+            except queue.Empty:
+                return
+            self._handle_message(msg)
+
+    def _handle_message(self, msg) -> None:
+        kind = msg[0]
+        if kind == "error":
+            # App-level failure: the worker ships its traceback and
+            # exits; the supervisor will reclaim and respawn on the next
+            # round. Record loudly — a deterministic app bug surfaces
+            # here attempt after attempt until quarantine.
+            _, worker_id, tb = msg
+            self.worker_errors.append(tb)
+            last = tb.strip().splitlines()[-1] if tb.strip() else "unknown error"
+            warnings.warn(
+                f"worker process {worker_id} failed ({last}); its leased "
+                f"batches will be retried or quarantined",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        if kind == "done":
+            # A shutdown acknowledgement cannot appear mid-dispatch, but
+            # tolerate it rather than crash a run that is otherwise fine.
+            return
+        _, worker_id, batch_id, finished, child_blobs, fresh, wmetrics, events = msg
+        # Candidates are deduplicated by the sink, so folding them in is
+        # always safe — even from a stale duplicate.
+        for candidate in fresh:
+            self.app.sink.emit(candidate)
+        lease = self.leases.complete(batch_id)
+        if lease is None:
+            # Stale at-least-once duplicate: the lease was reclaimed and
+            # the batch re-dispatched. Its children and metrics belong
+            # to the retry; dropping them keeps accounting single-count.
+            return
+        self._outstanding[lease.worker_id].discard(batch_id)
+        # Children first, exactly like the threaded driver: the active
+        # counter must never hit zero while a finishing parent still has
+        # unrouted offspring.
+        for blob in child_blobs:
+            self._route_child(blob)
+        self._active -= finished
+        self.metrics.merge(wmetrics)
+        if events:
+            self._forward_events(worker_id, events)
+
+    def _shutdown(self) -> None:
+        for task_q in self._task_qs:
+            try:
+                task_q.put(None)
+            except (ValueError, OSError):  # queue already closed
+                pass
+        pending = set(range(self.num_procs))
         deadline = time.monotonic() + 30.0
         while pending and time.monotonic() < deadline:
             try:
-                msg = result_q.get(timeout=1.0)
+                msg = self._result_q.get(timeout=1.0)
             except queue.Empty:
-                if all(not w.is_alive() for w in workers):
+                if all(not proc.is_alive() for proc in self._procs):
                     break
                 continue
             if msg[0] == "done":
                 _, worker_id, stats_blob = msg
                 self.metrics.mining_stats.merge(pickle.loads(stats_blob))
-                pending.discard(workers[worker_id].pid)
+                pending.discard(worker_id)
+            elif msg[0] == "batch":
+                # A stale duplicate flushed by a worker we terminated for
+                # lease expiry: every lease was settled before the
+                # dispatch loop returned, so only fold the (deduplicated)
+                # candidates.
+                for candidate in msg[5]:
+                    self.app.sink.emit(candidate)
             elif msg[0] == "error":
-                raise RuntimeError(
-                    f"worker process {msg[1]} failed during shutdown:\n{msg[2]}"
-                )
-            # Late "batch" messages cannot exist here: the dispatch loop
-            # only returns once every outstanding batch was folded in.
-        for w in workers:
-            w.join(timeout=5.0)
+                # All mining already completed; losing this worker's
+                # final stats blob is not worth failing the run over.
+                self.worker_errors.append(msg[2])
+                pending.discard(msg[1])
+        for proc in self._procs:
+            proc.join(timeout=5.0)
 
 
 def mine_multiprocess(
@@ -484,6 +693,7 @@ def mine_multiprocess(
     options=None,
     tracer: Tracer | NullTracer | None = None,
     start_method: str | None = None,
+    fault_injection: FaultInjection | None = None,
 ) -> MiningRunResult:
     """Convenience front-end: mine `graph` on the process-pool backend."""
     from ..core.options import DEFAULT_OPTIONS
@@ -496,5 +706,6 @@ def mine_multiprocess(
         options=options or DEFAULT_OPTIONS,
     )
     return MultiprocessEngine(
-        graph, app, config, tracer=tracer, start_method=start_method
+        graph, app, config, tracer=tracer, start_method=start_method,
+        fault_injection=fault_injection,
     ).run()

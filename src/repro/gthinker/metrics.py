@@ -55,6 +55,11 @@ class EngineMetrics:
     spill_bytes_peak: int = 0
     steals: int = 0
     stolen_tasks: int = 0
+    #: Fault tolerance (process backend): dead/wedged worker incidents,
+    #: at-least-once re-dispatches, and tasks poisoned after max_attempts.
+    workers_died: int = 0
+    tasks_retried: int = 0
+    tasks_quarantined: int = 0
     results: int = 0
     peak_pending_tasks: int = 0
     task_records: list[TaskRecord] = field(default_factory=list)
@@ -88,6 +93,9 @@ class EngineMetrics:
         self.spill_bytes_peak = max(self.spill_bytes_peak, other.spill_bytes_peak)
         self.steals += other.steals
         self.stolen_tasks += other.stolen_tasks
+        self.workers_died += other.workers_died
+        self.tasks_retried += other.tasks_retried
+        self.tasks_quarantined += other.tasks_quarantined
         self.peak_pending_tasks = max(self.peak_pending_tasks, other.peak_pending_tasks)
         self.task_records.extend(other.task_records)
         self.mining_stats.merge(other.mining_stats)

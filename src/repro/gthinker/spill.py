@@ -111,7 +111,8 @@ class SpillFileList:
     def _skip(self, path: str, reason: str) -> None:
         """Drop one unloadable spill file, loudly."""
         warnings.warn(
-            f"skipping spill file {path!r}: {reason}; its task batch is lost "
+            f"skipping spill file {path!r} (frame {self._frame_index(path)} "
+            f"of list {self._name!r}): {reason}; its task batch is lost "
             "(was the writer killed mid-write?)",
             RuntimeWarning,
             stacklevel=3,
@@ -120,6 +121,17 @@ class SpillFileList:
             self.batches_skipped += 1
         if os.path.exists(path):
             os.remove(path)
+
+    def _frame_index(self, path: str) -> int:
+        """Recover the 1-based spill frame number from a file's name.
+
+        Filenames are ``{name}-{counter:08d}.tasks``; the counter makes
+        a skip report actionable (which write, in order, was lost) even
+        after the path itself is gone. Returns -1 for a foreign name.
+        """
+        stem, _, _ = os.path.basename(path).rpartition(".")
+        _, _, counter = stem.rpartition("-")
+        return int(counter) if counter.isdigit() else -1
 
     def pending_task_estimate(self, batch_size: int) -> int:
         """Rough count of on-disk tasks (files × batch size) for stealing plans."""

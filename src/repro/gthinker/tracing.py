@@ -46,6 +46,9 @@ KINDS = (
     "finish",  # task completed
     "decompose",  # task produced subtasks
     "steal",  # batch moved between machines
+    "worker_died",  # a worker process died or was declared wedged
+    "task_retried",  # reclaimed task re-entered the routing policy
+    "task_quarantined",  # task poisoned after max_attempts failures
 )
 
 

@@ -10,15 +10,19 @@ the other" testable.
 """
 
 import itertools
+import os
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.naive import enumerate_maximal_quasicliques
 from repro.graph.adjacency import Graph
+from repro.gthinker.chaos import FaultInjection
 from repro.gthinker.config import EngineConfig
 from repro.gthinker.engine import mine_parallel
+from repro.gthinker.engine_mp import mine_multiprocess
 from repro.gthinker.simulation import simulate_cluster
+from repro.gthinker.tracing import Tracer
 
 
 @st.composite
@@ -68,3 +72,49 @@ def test_serial_threaded_process_simulated_all_match_oracle(graph, gamma, min_si
     assert threaded.maximal == expected
     assert process.maximal == expected
     assert simulated.maximal == expected
+
+
+@given(
+    graph=small_graphs(),
+    gamma=st.sampled_from([0.5, 0.75, 0.9]),
+    min_size=st.integers(min_value=2, max_value=4),
+    kill_worker=st.integers(min_value=0, max_value=1),
+    after_batches=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_process_backend_chaos_equivalence(
+    graph, gamma, min_size, kill_worker, after_batches
+):
+    """Chaos property: SIGKILLing worker `kill_worker` after it has
+    completed `after_batches` batches must leave the process backend's
+    results exactly equal to the serial miner's — the at-least-once
+    retry path may re-mine tasks, but dedup and stale-lease dropping
+    make the outcome indistinguishable from a fault-free run. (On jobs
+    too small for the targeted worker to receive a batch, the fault
+    never fires; equivalence must hold either way.)
+
+    Seeded in CI via --hypothesis-seed; on failure the scheduler trace
+    is dumped as JSONL under $CHAOS_TRACE_DIR for post-mortem.
+    """
+    expected = enumerate_maximal_quasicliques(graph, gamma, min_size)
+    tracer = Tracer()
+    out = mine_multiprocess(
+        graph, gamma, min_size,
+        policy_config(backend="process", num_procs=2, batch_size=1,
+                      retry_backoff=0.001),
+        tracer=tracer,
+        start_method=os.environ.get("REPRO_MP_START_METHOD") or None,
+        fault_injection=FaultInjection(
+            worker_id=kill_worker, after_batches=after_batches
+        ),
+    )
+    if out.maximal != expected:
+        trace_dir = os.environ.get("CHAOS_TRACE_DIR")
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
+            tracer.dump_jsonl(os.path.join(
+                trace_dir,
+                f"chaos-w{kill_worker}-a{after_batches}-g{gamma}-m{min_size}.jsonl",
+            ))
+    assert out.maximal == expected
+    assert out.metrics.tasks_quarantined == 0  # one-shot fault: no poison

@@ -8,6 +8,12 @@ from repro.core.naive import enumerate_maximal_quasicliques
 from repro.core.options import MiningStats, ResultSink
 from repro.graph.adjacency import Graph
 from repro.graph.generators import planted_quasicliques
+from repro.gthinker.chaos import (
+    ErrorOnRootApp,
+    FaultInjection,
+    KillOnRootApp,
+    WedgeOnRootApp,
+)
 from repro.gthinker.config import EngineConfig
 from repro.gthinker.engine import mine_parallel
 from repro.gthinker.engine_mp import (
@@ -47,6 +53,28 @@ class TestConfig:
     def test_resolved_num_procs(self):
         assert EngineConfig(num_procs=3).resolved_num_procs == 3
         assert EngineConfig(num_procs=0).resolved_num_procs >= 1
+
+    def test_fault_tolerance_knob_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            EngineConfig(max_attempts=0)
+        with pytest.raises(ValueError, match="lease_slack"):
+            EngineConfig(lease_slack=-1.0)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            EngineConfig(retry_backoff=-0.1)
+
+    def test_retry_delay_doubles_per_attempt(self):
+        cfg = EngineConfig(retry_backoff=0.05)
+        assert [cfg.retry_delay(a) for a in (1, 2, 3)] == [0.05, 0.1, 0.2]
+        with pytest.raises(ValueError):
+            cfg.retry_delay(0)
+
+    def test_lease_timeout_scales_with_wall_budget(self):
+        wall = EngineConfig(tau_time=2.0, time_unit="wall", lease_slack=1.0)
+        assert wall.lease_timeout(batch_len=3) == pytest.approx(7.0)
+        # With an ops budget (or no budget) wall time is unbounded by
+        # tau_time, so only the slack bounds the lease.
+        ops = EngineConfig(tau_time=100, time_unit="ops", lease_slack=1.0)
+        assert ops.lease_timeout(batch_len=3) == pytest.approx(1.0)
 
 
 class TestSharedMemoryCodec:
@@ -177,3 +205,127 @@ class TestFailureModes:
         engine = GThinkerEngine(planted.graph, app, small_config())
         with pytest.raises(ValueError, match="MultiprocessEngine"):
             engine.run()
+
+
+def one_vertex_graph() -> Graph:
+    """Exactly one task ever exists, so fault accounting is exact —
+    no innocent neighbor can be quarantined as batch collateral."""
+    return Graph.from_edges([], vertices=[0])
+
+
+class TestFaultTolerance:
+    """Worker supervision, task-lease retry, and quarantine."""
+
+    def test_injected_worker_death_recovers_and_matches_oracle(self, planted):
+        """A SIGKILLed worker must cost nothing but a respawn: the job
+        finishes and the results equal the fault-free run's."""
+        expected = mine_parallel(planted.graph, 0.9, 7, EngineConfig())
+        tracer = Tracer()
+        out = mine_multiprocess(
+            planted.graph, 0.9, 7,
+            small_config(retry_backoff=0.001),
+            tracer=tracer,
+            fault_injection=FaultInjection(worker_id=0, after_batches=1),
+        )
+        assert out.maximal == expected.maximal
+        assert out.metrics.workers_died == 1
+        assert out.metrics.tasks_retried >= 1
+        assert out.metrics.tasks_quarantined == 0
+        assert len(tracer.events(kind="worker_died")) == 1
+        assert len(tracer.events(kind="task_retried")) == out.metrics.tasks_retried
+
+    def test_injected_death_under_spawn_start_method(self, planted):
+        """Same recovery with spawn workers (shared-memory graph path)."""
+        expected = mine_parallel(planted.graph, 0.9, 7, EngineConfig())
+        out = mine_multiprocess(
+            planted.graph, 0.9, 7,
+            small_config(retry_backoff=0.001),
+            start_method="spawn",
+            fault_injection=FaultInjection(worker_id=1, after_batches=0),
+        )
+        assert out.maximal == expected.maximal
+        assert out.metrics.workers_died == 1
+
+    def test_poison_task_quarantined_exactly_once(self):
+        """A task that kills its worker on every attempt is dispatched
+        exactly max_attempts times, retried with doubling backoff, then
+        quarantined exactly once — and the run still returns."""
+        cfg = small_config(
+            num_procs=1, batch_size=1, max_attempts=3, retry_backoff=0.01
+        )
+        tracer = Tracer()
+        engine = MultiprocessEngine(
+            one_vertex_graph(), KillOnRootApp(poison_root=0), cfg, tracer=tracer
+        )
+        out = engine.run()
+        assert out.metrics.workers_died == 3  # one death per attempt
+        assert out.metrics.tasks_retried == 2
+        assert out.metrics.tasks_quarantined == 1
+        assert out.candidates == set()
+        # The quarantined task surfaces exactly once, with its root.
+        assert [(t.task_id, t.root) for t in engine.quarantined] == [(0, 0)]
+        assert engine.leases.quarantined_ids == [0]
+        # Attempt counts and the exponential backoff sequence.
+        assert engine.retry_schedule == [(0, 1, 0.01), (0, 2, 0.02)]
+        quarantine_events = tracer.events(kind="task_quarantined")
+        assert len(quarantine_events) == 1
+        assert quarantine_events[0].detail == "attempts=3"
+        assert len(tracer.events(kind="worker_died")) == 3
+
+    def test_wedged_worker_reclaimed_on_lease_expiry(self):
+        """A worker that blocks forever is declared wedged once its
+        lease deadline passes; the parent terminates and replaces it."""
+        cfg = small_config(
+            num_procs=1, batch_size=1, max_attempts=2,
+            lease_slack=0.3, retry_backoff=0.01,
+        )
+        engine = MultiprocessEngine(
+            one_vertex_graph(),
+            WedgeOnRootApp(poison_root=0, wedge_seconds=60.0),
+            cfg,
+        )
+        out = engine.run()  # must return despite the 60s sleeps
+        assert out.metrics.workers_died == 2
+        assert out.metrics.tasks_quarantined == 1
+        assert out.candidates == set()
+
+    def test_app_error_recorded_and_survived(self):
+        """compute() raising inside a worker is a worker failure, not a
+        run failure: traceback recorded, warning emitted, task retried
+        to quarantine, healthy work unaffected."""
+        cfg = small_config(
+            num_procs=1, batch_size=1, max_attempts=2, retry_backoff=0.01
+        )
+        engine = MultiprocessEngine(
+            one_vertex_graph(), ErrorOnRootApp(poison_root=0), cfg
+        )
+        with pytest.warns(RuntimeWarning, match="worker process 0 failed"):
+            out = engine.run()
+        assert out.metrics.tasks_quarantined == 1
+        assert len(engine.worker_errors) == 2  # one traceback per attempt
+        assert all("injected fault" in tb for tb in engine.worker_errors)
+
+    def test_healthy_roots_survive_a_poison_neighbor(self):
+        """Multi-task graph with one poison root: every root that is
+        never co-leased behind the poison one still yields its result,
+        and the poison task is quarantined exactly once."""
+        g = Graph.from_edges([(i, i + 1) for i in range(5)], vertices=range(6))
+        cfg = small_config(
+            num_procs=2, batch_size=1, max_attempts=2, retry_backoff=0.01
+        )
+        engine = MultiprocessEngine(g, KillOnRootApp(poison_root=0), cfg)
+        out = engine.run()
+        assert engine.leases.quarantined_ids.count(0) == 1
+        assert frozenset([0]) not in out.candidates
+        # Batch-granular leases may quarantine a co-leased neighbor as
+        # collateral; everything else must have been mined.
+        collateral = {t.root for t in engine.quarantined}
+        assert out.candidates == {
+            frozenset([v]) for v in range(1, 6) if v not in collateral
+        }
+
+    def test_no_injection_means_no_fault_metrics(self, planted):
+        out = mine_multiprocess(planted.graph, 0.9, 7, small_config())
+        assert out.metrics.workers_died == 0
+        assert out.metrics.tasks_retried == 0
+        assert out.metrics.tasks_quarantined == 0

@@ -1,8 +1,9 @@
 """Hypothesis stateful (model-based) tests for the engine's data structures.
 
-The spillable queue and the remote vertex cache sit under every task the
-engine moves; these machines compare them against trivially-correct
-in-memory models under arbitrary operation interleavings.
+The spillable queue, the remote vertex cache, and the task-lease table
+sit under every task the engine moves; these machines compare them
+against trivially-correct in-memory models under arbitrary operation
+interleavings.
 """
 
 import tempfile
@@ -11,6 +12,7 @@ from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
+from repro.gthinker.scheduler import TaskLeaseTable
 from repro.gthinker.spill import SpillableQueue, SpillFileList
 from repro.gthinker.task import Task
 from repro.gthinker.vertex_store import RemoteVertexCache
@@ -118,7 +120,151 @@ class CacheMachine(RuleBasedStateMachine):
         assert len(self.cache) == len(self.model)
 
 
+class LeaseTableMachine(RuleBasedStateMachine):
+    """Model: the fault-tolerant dispatch cycle around a TaskLeaseTable.
+
+    Tasks move queued → leased → {completed | back to queued | quarantined}
+    exactly as the MultiprocessEngine drives them: granted in batches to
+    workers, completed when a result lands, reclaimed when a worker dies
+    or a lease's deadline passes. The invariants are the safety net the
+    at-least-once design hangs from:
+
+    * a task is never simultaneously queued and leased;
+    * no task's dispatch count ever exceeds max_attempts;
+    * conservation — queued + leased + completed + quarantined always
+      equals every task ever spawned (nothing is lost or duplicated);
+    * a quarantined task never re-enters circulation.
+    """
+
+    MAX_ATTEMPTS = 3
+    WORKERS = 3
+    LEASE_TIMEOUT = 5.0
+
+    def __init__(self):
+        super().__init__()
+        self.table = TaskLeaseTable(self.MAX_ATTEMPTS)
+        self.clock = 0.0
+        self.next_task = 0
+        self.next_batch = 0
+        self.queued: list[Task] = []
+        self.model_leased: dict[int, set[int]] = {}  # batch_id -> task ids
+        self.model_completed: set[int] = set()
+        self.model_quarantined: set[int] = set()
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(n=st.integers(min_value=1, max_value=3))
+    def spawn_tasks(self, n):
+        for _ in range(n):
+            self.queued.append(
+                Task(task_id=self.next_task, root=self.next_task, iteration=3)
+            )
+            self.next_task += 1
+
+    @precondition(lambda self: self.queued)
+    @rule(worker=st.integers(min_value=0, max_value=WORKERS - 1),
+          size=st.integers(min_value=1, max_value=2))
+    def grant(self, worker, size):
+        batch, self.queued = self.queued[:size], self.queued[size:]
+        bid = self.next_batch
+        self.next_batch += 1
+        lease = self.table.grant(
+            bid, worker, batch, now=self.clock, timeout=self.LEASE_TIMEOUT
+        )
+        assert lease.worker_id == worker
+        assert set(lease.task_ids) == {t.task_id for t in batch}
+        self.model_leased[bid] = {t.task_id for t in batch}
+
+    @precondition(lambda self: self.model_leased)
+    @rule(pick=st.integers(min_value=0, max_value=99))
+    def complete(self, pick):
+        bid = sorted(self.model_leased)[pick % len(self.model_leased)]
+        lease = self.table.complete(bid)
+        assert lease is not None and lease.batch_id == bid
+        self.model_completed |= self.model_leased.pop(bid)
+
+    @rule(bid=st.integers(min_value=0, max_value=500))
+    def complete_stale(self, bid):
+        """Completing a never-granted or already-settled batch is the
+        at-least-once duplicate: it must be a detectable no-op."""
+        if bid in self.model_leased:
+            return
+        assert self.table.complete(bid) is None
+
+    @precondition(lambda self: self.model_leased)
+    @rule(worker=st.integers(min_value=0, max_value=WORKERS - 1))
+    def fail_worker(self, worker):
+        for lease in self.table.leases_for(worker):
+            retry, quarantine = self.table.reclaim(lease)
+            ids = self.model_leased.pop(lease.batch_id)
+            got = {t.task_id for t, _ in retry} | {t.task_id for t, _ in quarantine}
+            assert got == ids
+            self.queued.extend(t for t, _ in retry)
+            self.model_quarantined |= {t.task_id for t, _ in quarantine}
+
+    @precondition(lambda self: self.model_leased)
+    @rule()
+    def expire_all_leases(self):
+        """Advance the clock past every deadline; reclaim what expired."""
+        self.clock += self.LEASE_TIMEOUT + 1.0
+        for lease in self.table.expired(self.clock):
+            retry, quarantine = self.table.reclaim(lease)
+            self.model_leased.pop(lease.batch_id)
+            self.queued.extend(t for t, _ in retry)
+            self.model_quarantined |= {t.task_id for t, _ in quarantine}
+
+    @rule()
+    def tick(self):
+        self.clock += 1.0
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def never_both_queued_and_leased(self):
+        queued_ids = {t.task_id for t in self.queued}
+        leased_ids = self.table.leased_task_ids()
+        assert not (queued_ids & leased_ids)
+        assert leased_ids == set().union(set(), *self.model_leased.values())
+
+    @invariant()
+    def attempts_bounded(self):
+        counts = self.table.attempts_snapshot().values()
+        assert all(1 <= c <= self.MAX_ATTEMPTS for c in counts)
+
+    @invariant()
+    def conservation(self):
+        queued_ids = {t.task_id for t in self.queued}
+        leased_ids = self.table.leased_task_ids()
+        accounted = (
+            queued_ids | leased_ids | self.model_completed | self.model_quarantined
+        )
+        assert accounted == set(range(self.next_task))
+        # The four states partition the task population.
+        assert (
+            len(queued_ids) + len(leased_ids)
+            + len(self.model_completed) + len(self.model_quarantined)
+            == self.next_task
+        )
+
+    @invariant()
+    def quarantine_is_terminal(self):
+        queued_ids = {t.task_id for t in self.queued}
+        assert not (self.model_quarantined & queued_ids)
+        assert not (self.model_quarantined & self.table.leased_task_ids())
+        # Counted exactly once, ever.
+        assert len(self.table.quarantined_ids) == len(set(self.table.quarantined_ids))
+        assert self.table.tasks_quarantined == len(self.model_quarantined)
+
+    @invariant()
+    def table_counters_agree(self):
+        assert self.table.tasks_completed == len(self.model_completed)
+        assert len(self.table) == len(self.model_leased)
+        assert self.table.outstanding == set(self.model_leased)
+
+
 TestSpillableQueueStateful = SpillableQueueMachine.TestCase
 TestSpillableQueueStateful.settings = settings(max_examples=40, deadline=None)
 TestCacheStateful = CacheMachine.TestCase
 TestCacheStateful.settings = settings(max_examples=40, deadline=None)
+TestLeaseTableStateful = LeaseTableMachine.TestCase
+TestLeaseTableStateful.settings = settings(max_examples=60, deadline=None)

@@ -74,6 +74,30 @@ class TestTruncatedSpillFiles:
         assert spill.batches_skipped == 1
         assert not os.path.exists(bad)
 
+    def test_skip_warning_names_path_and_frame(self, tmp_path):
+        """The skip warning must identify exactly which write was lost:
+        the file path and its frame number in the spill list."""
+        spill = SpillFileList(str(tmp_path), "test")
+        spill.spill(make_tasks(2, start=0))
+        bad = spill.spill(make_tasks(2, start=10))  # second write -> frame 2
+        with open(bad, "wb") as f:
+            f.write(b"\x00")
+        with pytest.warns(RuntimeWarning) as caught:
+            spill.load_batch()
+        assert len(caught) == 1
+        msg = str(caught[0].message)
+        assert repr(bad) in msg
+        assert "frame 2" in msg
+        assert "'test'" in msg  # which spill list (L_big vs a thread's L_small)
+
+    def test_frame_index_parsing(self, tmp_path):
+        spill = SpillFileList(str(tmp_path), "test")
+        p1 = spill.spill(make_tasks(1))
+        p2 = spill.spill(make_tasks(1))
+        assert spill._frame_index(p1) == 1
+        assert spill._frame_index(p2) == 2
+        assert spill._frame_index("/elsewhere/not-a-spill-file") == -1
+
     def test_truncated_header_skipped(self, tmp_path):
         spill = SpillFileList(str(tmp_path), "test")
         bad = spill.spill(make_tasks(2))

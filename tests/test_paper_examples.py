@@ -4,6 +4,12 @@ These tests pin the implementation to the paper's own illustrations —
 the Figure 4 graph walkthrough (Section 3.1), the S1/S2 quasi-clique
 example, the diameter-2 argument, Lemma 1, Lemma 2, and the parameter
 arithmetic behind the Table 2 runs.
+
+The mining-based examples run as a backend-conformance corpus: each is
+parametrized over all four executors (serial, threaded, process,
+simulated) via the ``mine`` fixture, which also cross-checks every
+backend's output against the reference enumerator — the paper's claims
+must hold identically no matter which engine produced the result.
 """
 
 import itertools
@@ -14,9 +20,46 @@ from repro.core.bounds import lemma2_feasible, prefix_sums_desc
 from repro.core.naive import enumerate_maximal_quasicliques
 from repro.core.quasiclique import ceil_gamma, is_quasi_clique, kcore_threshold
 from repro.graph.traversal import diameter, two_hop_neighbors
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.engine import mine_parallel
+from repro.gthinker.engine_mp import mine_multiprocess
+from repro.gthinker.simulation import simulate_cluster
 
 # Vertex labels of Figure 4 mapped onto IDs used by the fixture.
 A, B, C, D, E, F, G, H, I = range(9)
+
+BACKENDS = ("serial", "threaded", "process", "simulated")
+
+
+@pytest.fixture(params=BACKENDS)
+def mine(request):
+    """Mine with one executor, cross-checked against the enumerator."""
+    backend = request.param
+
+    def _mine(graph, gamma, min_size):
+        if backend == "serial":
+            out = mine_parallel(graph, gamma, min_size, EngineConfig())
+        elif backend == "threaded":
+            out = mine_parallel(
+                graph, gamma, min_size,
+                EngineConfig(num_machines=1, threads_per_machine=2),
+            )
+        elif backend == "process":
+            out = mine_multiprocess(
+                graph, gamma, min_size,
+                EngineConfig(backend="process", num_procs=2,
+                             queue_capacity=4, batch_size=2),
+            )
+        else:
+            out = simulate_cluster(
+                graph, gamma, min_size,
+                EngineConfig(num_machines=2, threads_per_machine=2),
+            )
+        expected = enumerate_maximal_quasicliques(graph, gamma, min_size)
+        assert out.maximal == expected, f"{backend} diverges from the enumerator"
+        return out.maximal
+
+    return _mine
 
 
 class TestFigure4Notation:
@@ -36,14 +79,14 @@ class TestFigure4Notation:
         strictly_two = b_bar - figure4_graph.neighbor_set(E)
         assert strictly_two == {F, G, H, I}
 
-    def test_s1_s2_quasicliques(self, figure4_graph):
+    def test_s1_s2_quasicliques(self, figure4_graph, mine):
         # "If we set γ = 0.6, then both S1 and S2 are γ-quasi-cliques ...
         #  since S1 ⊂ S2, G(S1) is not a maximal γ-quasi-clique."
         s1 = {A, B, C, D}
         s2 = s1 | {E}
         assert is_quasi_clique(figure4_graph, s1, 0.6)
         assert is_quasi_clique(figure4_graph, s2, 0.6)
-        maximal = enumerate_maximal_quasicliques(figure4_graph, 0.6, 4)
+        maximal = mine(figure4_graph, 0.6, 4)
         assert frozenset(s1) not in maximal
 
     def test_s1_degree_arithmetic(self, figure4_graph):
@@ -58,14 +101,14 @@ class TestDiameterArgument:
     """P1: for γ ≥ 0.5 a quasi-clique has diameter ≤ 2 (Section 3.2)."""
 
     @pytest.mark.parametrize("gamma", [0.5, 0.6, 0.75, 0.9])
-    def test_empirical_bound(self, figure4_graph, gamma):
-        for qc in enumerate_maximal_quasicliques(figure4_graph, gamma, 3):
+    def test_empirical_bound(self, figure4_graph, mine, gamma):
+        for qc in mine(figure4_graph, gamma, 3):
             assert diameter(figure4_graph.subgraph(qc)) <= 2
 
-    def test_shared_neighbor_argument(self, figure4_graph):
+    def test_shared_neighbor_argument(self, figure4_graph, mine):
         # Two non-adjacent members of a γ ≥ 0.5 quasi-clique must share
         # a neighbor inside it.
-        for qc in enumerate_maximal_quasicliques(figure4_graph, 0.5, 4):
+        for qc in mine(figure4_graph, 0.5, 4):
             for u, v in itertools.combinations(sorted(qc), 2):
                 if not figure4_graph.has_edge(u, v):
                     shared = (
