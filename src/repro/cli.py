@@ -7,7 +7,12 @@ Examples::
         --machines 2 --threads 4 --tau-split 64 --tau-time 5000
     quasiclique-mine graph.txt --gamma 0.8 --min-size 10 \
         --backend process --num-procs 4
+    quasiclique-mine graph.txt --gamma 0.8 --min-size 10 \
+        --backend cluster --num-procs 2
     quasiclique-mine --dataset hyves --simulate --machines 16 --threads 32
+    quasiclique-mine cluster-master graph.txt --gamma 0.8 --min-size 10 \
+        --workers 4 --port 7464
+    quasiclique-mine cluster-worker --host master-host --port 7464
     quasiclique-mine graph.txt --gamma 0.9 --min-size 10 --query 42
     quasiclique-mine --postprocess raw.txt maximal.txt
     quasiclique-mine graph.txt --stats
@@ -65,15 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--decompose", choices=["timed", "size", "none"],
                         default="timed")
     parser.add_argument("--backend",
-                        choices=["serial", "threaded", "process", "simulated"],
+                        choices=["serial", "threaded", "process", "cluster",
+                                 "simulated"],
                         default=None,
                         help="executor: 'serial' (engine fast path), "
                         "'threaded' (GIL-bound threads), 'process' "
                         "(multiprocessing worker pool; true multi-core), "
-                        "'simulated' (virtual-time cluster); default picks "
-                        "serial/threaded from --machines/--threads")
+                        "'cluster' (localhost TCP master/worker runtime; "
+                        "multi-host via the cluster-master/cluster-worker "
+                        "subcommands), 'simulated' (virtual-time cluster); "
+                        "default picks serial/threaded from "
+                        "--machines/--threads")
     parser.add_argument("--num-procs", type=int, default=0, metavar="N",
-                        help="process-backend worker count (0 = cpu count)")
+                        help="process/cluster-backend worker count "
+                        "(0 = cpu count)")
     parser.add_argument("--mp-start-method", default=None,
                         choices=["fork", "spawn", "forkserver"],
                         help="process-backend start method (default: fork "
@@ -116,7 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] in ("cluster-master", "cluster-worker"):
+        from .gthinker.cluster.cli import master_cli, worker_cli
+
+        dispatch = master_cli if raw[0] == "cluster-master" else worker_cli
+        return dispatch(raw[1:])
+    args = build_parser().parse_args(raw)
 
     if args.postprocess:
         read, kept = postprocess_file(args.postprocess[0], args.postprocess[1])
@@ -222,6 +238,24 @@ def main(argv: list[str] | None = None) -> int:
             f" tasks={out.metrics.tasks_executed}"
             f" decomposed={out.metrics.tasks_decomposed}"
             f" spills={out.metrics.spill_batches}"
+        )
+        if out.metrics.workers_died:
+            extra += (
+                f" workers_died={out.metrics.workers_died}"
+                f" retried={out.metrics.tasks_retried}"
+                f" quarantined={out.metrics.tasks_quarantined}"
+            )
+    elif config.backend == "cluster":
+        from .gthinker.cluster import mine_cluster
+
+        out = mine_cluster(graph, gamma, min_size, config, tracer=tracer,
+                           start_method=args.mp_start_method)
+        maximal = out.maximal
+        extra = (
+            f" backend=cluster workers={config.resolved_num_procs}"
+            f" tasks={out.metrics.tasks_executed}"
+            f" decomposed={out.metrics.tasks_decomposed}"
+            f" steals={out.metrics.steals}"
         )
         if out.metrics.workers_died:
             extra += (

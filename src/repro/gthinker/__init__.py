@@ -12,6 +12,7 @@ from .app_triangles import TriangleCountApp, count_triangles_parallel
 from .app_quasiclique import QuasiCliqueApp
 from .chaos import FaultInjection
 from .clock import AlwaysExpired, NeverExpires, OpBudget, WallClockBudget, make_budget
+from .cluster import ClusterMaster, ClusterWorker, mine_cluster, run_cluster_app
 from .config import EngineConfig
 from .decompose import size_threshold_split, time_delayed_mine
 from .engine import GThinkerEngine, MiningRunResult, mine_parallel
@@ -62,6 +63,10 @@ __all__ = [
     "ensure_app",
     "gthinker_app",
     "registered_apps",
+    "ClusterMaster",
+    "ClusterWorker",
+    "mine_cluster",
+    "run_cluster_app",
     "DataService",
     "EngineConfig",
     "EngineMetrics",

@@ -38,6 +38,7 @@ __all__ = [
     "ErrorOnRootApp",
     "FaultInjection",
     "KillOnRootApp",
+    "SleepyBigTaskApp",
     "WedgeOnRootApp",
     "die_hard",
 ]
@@ -121,3 +122,35 @@ class ErrorOnRootApp(_SingletonRootApp):
 
     def _trip(self, task):
         raise ValueError(f"injected fault mining root {task.root}")
+
+
+class SleepyBigTaskApp:
+    """Uniform slow tasks that are all *big*: stealing's donor pool.
+
+    Every spawned task carries a non-empty ``ext``, so with
+    ``tau_split=0`` each one routes to Q_global, and every compute
+    sleeps `sleep_seconds` of real wall time. Funnel the whole spawn
+    range to one worker (``cluster_chunk_size`` ≥ |V|) and its
+    heartbeats show a mountain of pending big tasks while its peers
+    report zero — exactly the asymmetry the master's stealing planner
+    exists to flatten. Used by the steal-observability tests; results
+    stay trivially checkable (the singleton ``{v}`` per vertex).
+    """
+
+    def __init__(self, sleep_seconds: float = 0.01):
+        self.sleep_seconds = sleep_seconds
+        self.sink = ResultSink()
+        self.stats = MiningStats()
+
+    def spawn(self, vertex, adjacency, task_id):
+        return Task(
+            task_id=task_id, root=vertex, iteration=3, s=[vertex], ext=[vertex]
+        )
+
+    def compute(self, task, frontier, ctx):
+        import time
+
+        time.sleep(self.sleep_seconds)
+        self.sink.emit([task.root])
+        self.stats.candidates_emitted += 1
+        return ComputeOutcome(finished=True, cost_ops=1)

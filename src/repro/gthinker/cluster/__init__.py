@@ -1,0 +1,40 @@
+"""Distributed cluster runtime: TCP master/worker engine.
+
+The real-network counterpart of the simulated cluster
+(:mod:`repro.gthinker.simulation`) and the process pool
+(:mod:`repro.gthinker.engine_mp`): a master process owns the work
+ledger and the big-task stealing plan, workers own local schedulers
+built from the same :class:`~repro.gthinker.scheduler.SchedulerCore`
+as every other executor, and everything in between is a small framed
+pickle protocol over TCP (:mod:`.protocol`).
+
+Select it with ``EngineConfig(backend='cluster')`` through
+:func:`repro.gthinker.engine.mine_parallel`, call
+:func:`mine_cluster` directly, or run the ``repro cluster-master`` /
+``repro cluster-worker`` CLI entry points across hosts.
+"""
+
+from .launcher import mine_cluster, run_cluster_app
+from .master import ClusterMaster
+from .protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    VERSION,
+    MessageStream,
+    ProtocolError,
+    encode_frame,
+)
+from .worker import ClusterWorker
+
+__all__ = [
+    "ClusterMaster",
+    "ClusterWorker",
+    "MessageStream",
+    "ProtocolError",
+    "MESSAGE_TYPES",
+    "MAX_FRAME_BYTES",
+    "VERSION",
+    "encode_frame",
+    "mine_cluster",
+    "run_cluster_app",
+]

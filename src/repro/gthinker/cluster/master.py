@@ -1,0 +1,588 @@
+"""Cluster master: work ledger, steal coordination, failure recovery.
+
+The master owns no mining compute. It owns the three things the paper
+says must be global decisions:
+
+* **the work ledger** — the spawn-vertex range is partitioned with the
+  job's partition strategy (`repro.gthinker.partition`) and cut into
+  lease-sized chunks; every chunk, and later every batch of
+  decomposition remainders, is a *work unit* leased to exactly one
+  worker at a time. A unit is retired only when its worker reports its
+  local scheduler drained with the unit open (`ResultBatch.completed`).
+* **big-task stealing** — workers report pending-big counts in
+  heartbeats; every `steal_period_seconds` the master feeds those
+  counts to :func:`repro.gthinker.stealing.plan_steals` and turns each
+  :class:`StealMove` into a real transfer: `StealRequest` → donor,
+  `StealGrant` ← donor, `TaskBatch` → recipient. The grant passes
+  *through* the master (store-and-forward), so a stolen batch becomes a
+  leased work unit like any other and survives the recipient dying.
+* **failure recovery** — a worker is dead on socket EOF (fast path) or
+  a heartbeat gap over `heartbeat_timeout` (wedged-but-connected).
+  Its leases are reclaimed with the `engine_mp` attempt discipline:
+  re-pended until a unit has been dispatched `max_attempts` times,
+  then quarantined so one poisoned chunk cannot wedge the job.
+
+Results are deduplicated by the candidate sets themselves (frozensets
+into a `ResultSink`), which is what makes at-least-once delivery safe:
+a unit mined one-and-a-half times emits the same candidates twice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import queue
+import socket
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+
+from ..app_protocol import ensure_app
+from ..config import EngineConfig
+from ..engine import MiningRunResult
+from ..metrics import EngineMetrics
+from ..partition import make_partitioner
+from ..stealing import plan_steals
+from ..task import Task
+from ..tracing import NullTracer, Tracer
+from .protocol import (
+    Goodbye,
+    Heartbeat,
+    Hello,
+    MessageStream,
+    ProgressReport,
+    ResultBatch,
+    Shutdown,
+    SpawnRange,
+    StealGrant,
+    StealRequest,
+    TaskBatch,
+    Welcome,
+)
+
+__all__ = ["ClusterMaster"]
+
+#: Work units leased to one worker at a time (pipelining without
+#: hoarding: a dead worker forfeits at most this many units).
+_LEASE_WINDOW = 2
+#: Auto chunking target: about this many spawn-range units per worker.
+_UNITS_PER_WORKER = 8
+#: How long the shutdown handshake waits for Goodbyes (seconds).
+_GOODBYE_GRACE = 10.0
+
+
+@dataclass
+class _WorkUnit:
+    """One leasable unit: a spawn-vertex chunk or an encoded-task batch."""
+
+    work_id: int
+    kind: str  # 'range' | 'batch'
+    payload: tuple  # vertices (range) or Task.encode() blobs (batch)
+    origin: str = "spawn"  # 'spawn' | 'remainder' | 'steal'
+    attempts: int = 0  # dispatch count (engine_mp lease discipline)
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class _Worker:
+    """Master-side view of one connected worker."""
+
+    worker_id: int
+    stream: MessageStream
+    hello: Hello
+    alive: bool = True
+    last_seen: float = 0.0
+    pending_big: int = 0
+    active: int = 0
+    open_units: set[int] = field(default_factory=set)
+    stealing_from: bool = False  # a StealRequest is outstanding
+
+
+class ClusterMaster:
+    """Coordinator of one distributed mining job.
+
+    `run()` drives the job to completion and returns the same
+    :class:`MiningRunResult` as every other executor. `start()` may be
+    called first to learn the bound address (ephemeral-port launchers).
+    """
+
+    def __init__(
+        self,
+        graph,
+        app,
+        config: EngineConfig,
+        tracer: Tracer | NullTracer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_workers: int | None = None,
+    ):
+        self.graph = graph
+        self.app = ensure_app(app)
+        self.config = config
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.num_workers = num_workers or config.resolved_num_procs
+        if self.num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        try:
+            self._app_blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                f"the cluster backend ships the app to every worker, but "
+                f"{type(app).__name__} is not picklable: {exc}. Keep engine "
+                f"apps free of locks, open files, and lambdas."
+            ) from exc
+        self._graph_blob: bytes | None = None
+        self._host = host
+        self._port = port
+        self.metrics = EngineMetrics()
+        self.progress: dict[int, ProgressReport] = {}
+        self.quarantined: list[_WorkUnit] = []
+        # -- ledger --------------------------------------------------------
+        self._pending: list[_WorkUnit] = []
+        self._leases: dict[int, tuple[_WorkUnit, int]] = {}  # id -> (unit, wid)
+        self._work_ids = itertools.count()
+        self._steal_ids = itertools.count()
+        self._pending_steals: dict[int, tuple[int, int, int]] = {}
+        # -- wiring --------------------------------------------------------
+        self._inbox: queue.Queue = queue.Queue()
+        self._workers: dict[int, _Worker] = {}
+        self._by_stream: dict[MessageStream, _Worker] = {}
+        self._worker_ids = itertools.count()
+        self._lsock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._accepting = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._lsock is None:
+            raise RuntimeError("master not started; call start() first")
+        host, port = self._lsock.getsockname()[:2]
+        return host, port
+
+    def start(self) -> tuple[str, int]:
+        """Bind + listen + start accepting registrations; returns (host, port)."""
+        if self._lsock is not None:
+            return self.address
+        lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        lsock.bind((self._host, self._port))
+        lsock.listen(self.num_workers + 8)
+        self._lsock = lsock
+        self._accepting = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="cluster-master-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        while self._accepting:
+            try:
+                conn, _addr = self._lsock.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = MessageStream(conn)
+            threading.Thread(
+                target=self._read_loop, args=(stream,),
+                name="cluster-master-reader", daemon=True,
+            ).start()
+
+    def _read_loop(self, stream: MessageStream) -> None:
+        while True:
+            try:
+                msg = stream.recv()
+            except Exception as exc:  # ProtocolError → treat as disconnect
+                warnings.warn(
+                    f"dropping connection {stream.peer}: {exc}", RuntimeWarning
+                )
+                msg = None
+            self._inbox.put((stream, msg))
+            if msg is None:
+                return
+
+    # -- the work ledger ---------------------------------------------------
+
+    def _build_work(self) -> None:
+        """Cut the spawn-vertex range into leasable chunks.
+
+        The job's partition strategy decides which worker *should* own
+        which vertices; chunks of the per-worker parts are interleaved
+        so that with fewer live workers than expected the load still
+        spreads.
+        """
+        parts = make_partitioner(
+            self.config.partition, self.graph, self.num_workers
+        ).parts()
+        n_vertices = sum(len(p) for p in parts)
+        chunk = self.config.cluster_chunk_size or max(
+            1, -(-n_vertices // (self.num_workers * _UNITS_PER_WORKER))
+        )
+        chunked = [
+            [part[i: i + chunk] for i in range(0, len(part), chunk)]
+            for part in parts
+        ]
+        for round_ in itertools.zip_longest(*chunked):
+            for vertices in round_:
+                if vertices:
+                    self._pending.append(
+                        _WorkUnit(
+                            work_id=next(self._work_ids),
+                            kind="range",
+                            payload=tuple(vertices),
+                        )
+                    )
+
+    def _alive(self) -> list[_Worker]:
+        return [w for w in self._workers.values() if w.alive]
+
+    def _pump(self) -> None:
+        """Lease pending units to workers with open window slots."""
+        while self._pending:
+            targets = sorted(
+                (w for w in self._alive() if len(w.open_units) < _LEASE_WINDOW),
+                key=lambda w: (len(w.open_units), w.worker_id),
+            )
+            if not targets:
+                return
+            progressed = False
+            for worker in targets:
+                if not self._pending:
+                    return
+                # A send failure inside _lease fails that worker and
+                # re-pends its units, so re-check before each grant: the
+                # sorted snapshot may hold a worker that just died.
+                if not worker.alive or len(worker.open_units) >= _LEASE_WINDOW:
+                    continue
+                self._lease(self._pending.pop(0), worker)
+                progressed = True
+            if not progressed:
+                return
+
+    def _lease(self, unit: _WorkUnit, worker: _Worker) -> None:
+        unit.attempts += 1
+        self._leases[unit.work_id] = (unit, worker.worker_id)
+        worker.open_units.add(unit.work_id)
+        if unit.kind == "range":
+            msg = SpawnRange(work_id=unit.work_id, vertices=unit.payload)
+        else:
+            msg = TaskBatch(
+                work_id=unit.work_id, tasks=unit.payload, origin=unit.origin
+            )
+        self._send(worker, msg)
+
+    def _send(self, worker: _Worker, message) -> None:
+        try:
+            worker.stream.send(message)
+        except OSError:
+            self._fail_worker(worker, "send failed (connection lost)")
+
+    # -- failure recovery --------------------------------------------------
+
+    def _fail_worker(self, worker: _Worker, reason: str) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        self.metrics.workers_died += 1
+        self.tracer.emit("worker_died", -1, worker.worker_id, detail=reason)
+        worker.stream.close()
+        # Outstanding steal requests to/for this worker are void; the
+        # donor's queue state is gone with it anyway.
+        self._pending_steals = {
+            rid: (src, dst, n)
+            for rid, (src, dst, n) in self._pending_steals.items()
+            if src != worker.worker_id and dst != worker.worker_id
+        }
+        for work_id in sorted(worker.open_units):
+            entry = self._leases.pop(work_id, None)
+            if entry is None:
+                continue
+            unit, _owner = entry
+            if unit.attempts >= self.config.max_attempts:
+                self.quarantined.append(unit)
+                self.metrics.tasks_quarantined += unit.size
+                self.tracer.emit(
+                    "task_quarantined", -1, worker.worker_id,
+                    detail=f"work={unit.work_id} kind={unit.kind} "
+                    f"attempts={unit.attempts}",
+                )
+            else:
+                self.metrics.tasks_retried += unit.size
+                self.tracer.emit(
+                    "task_retried", -1, worker.worker_id,
+                    detail=f"work={unit.work_id} kind={unit.kind} "
+                    f"attempt={unit.attempts}",
+                )
+                self._pending.insert(0, unit)
+        worker.open_units.clear()
+
+    def _check_heartbeats(self, now: float) -> None:
+        for worker in self._alive():
+            if now - worker.last_seen > self.config.heartbeat_timeout:
+                self._fail_worker(
+                    worker,
+                    f"no heartbeat for {now - worker.last_seen:.1f}s",
+                )
+
+    # -- stealing ----------------------------------------------------------
+
+    def _plan_steals(self) -> None:
+        alive = sorted(self._alive(), key=lambda w: w.worker_id)
+        if len(alive) < 2 or not self.config.use_stealing:
+            return
+        counts = [w.pending_big for w in alive]
+        for move in plan_steals(counts, self.config.batch_size):
+            donor, recipient = alive[move.src], alive[move.dst]
+            if donor.stealing_from:
+                continue  # one outstanding request per donor
+            self.metrics.steals_planned += 1
+            self.tracer.emit(
+                "steal_planned", -1, donor.worker_id,
+                detail=f"dst=m{recipient.worker_id} count={move.count}",
+            )
+            request_id = next(self._steal_ids)
+            self._pending_steals[request_id] = (
+                donor.worker_id, recipient.worker_id, move.count
+            )
+            donor.stealing_from = True
+            self._send(donor, StealRequest(request_id=request_id, count=move.count))
+
+    def _handle_steal_grant(self, worker: _Worker, msg: StealGrant) -> None:
+        entry = self._pending_steals.pop(msg.request_id, None)
+        worker.stealing_from = False
+        if entry is None:
+            return  # request voided (a party died); blobs re-mine via leases
+        _src, dst, _count = entry
+        if not msg.tasks:
+            return
+        self.metrics.steals += 1
+        self.metrics.stolen_tasks += len(msg.tasks)
+        self.metrics.steals_sent += len(msg.tasks)
+        if self.tracer.enabled:
+            for blob in msg.tasks:
+                self.tracer.emit(
+                    "steal_sent", Task.decode(blob).task_id, worker.worker_id,
+                    detail=f"dst=m{dst}",
+                )
+        unit = _WorkUnit(
+            work_id=next(self._work_ids),
+            kind="batch",
+            payload=tuple(msg.tasks),
+            origin="steal",
+        )
+        recipient = self._workers.get(dst)
+        if recipient is not None and recipient.alive:
+            self._lease(unit, recipient)
+            self.metrics.steals_received += len(msg.tasks)
+            if self.tracer.enabled:
+                for blob in msg.tasks:
+                    self.tracer.emit(
+                        "steal_received", Task.decode(blob).task_id, dst,
+                        detail=f"from=m{worker.worker_id}",
+                    )
+                    self.tracer.emit(
+                        "steal", Task.decode(blob).task_id, dst,
+                        detail=f"from=m{worker.worker_id}",
+                    )
+        else:
+            # Recipient died while the grant was in flight: the batch is
+            # ordinary pending work now.
+            self._pending.insert(0, unit)
+            self._pump()
+
+    # -- message handling --------------------------------------------------
+
+    def _handle(self, stream: MessageStream, msg, now: float) -> None:
+        worker = self._by_stream.get(stream)
+        if msg is None:
+            if worker is not None:
+                self._fail_worker(worker, "connection closed")
+            else:
+                stream.close()
+            return
+        if isinstance(msg, Hello):
+            self._register(stream, msg, now)
+            return
+        if worker is None:
+            warnings.warn(
+                f"message {type(msg).__name__} from unregistered peer "
+                f"{stream.peer}; dropping",
+                RuntimeWarning,
+            )
+            return
+        worker.last_seen = now
+        if isinstance(msg, Heartbeat):
+            worker.pending_big = msg.pending_big
+            worker.active = msg.active
+        elif isinstance(msg, ProgressReport):
+            self.progress[worker.worker_id] = msg
+        elif isinstance(msg, ResultBatch):
+            self._handle_results(worker, msg)
+        elif isinstance(msg, StealGrant):
+            self._handle_steal_grant(worker, msg)
+        elif isinstance(msg, Goodbye):
+            self._handle_goodbye(worker, msg)
+
+    def _register(self, stream: MessageStream, hello: Hello, now: float) -> None:
+        worker_id = next(self._worker_ids)
+        worker = _Worker(
+            worker_id=worker_id, stream=stream, hello=hello, last_seen=now
+        )
+        self._workers[worker_id] = worker
+        self._by_stream[stream] = worker
+        graph_blob = None
+        if hello.needs_graph:
+            if self._graph_blob is None:
+                self._graph_blob = pickle.dumps(
+                    self.graph, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            graph_blob = self._graph_blob
+        self._send(
+            worker,
+            Welcome(
+                worker_id=worker_id,
+                config=self.config,
+                app_blob=self._app_blob,
+                graph_blob=graph_blob,
+                trace=self.tracer.enabled,
+            ),
+        )
+        self._pump()
+
+    def _handle_results(self, worker: _Worker, msg: ResultBatch) -> None:
+        # Candidates are folded even from stale/dead senders: dedup makes
+        # them idempotent, and dropping mined truth would be wasteful.
+        for candidate in msg.candidates:
+            self.app.sink.emit(candidate)
+        if self.tracer.enabled:
+            for kind, task_id, thread, detail in msg.events:
+                self.tracer.emit(
+                    kind, task_id, worker.worker_id, thread, detail=detail
+                )
+        worker.active = msg.active
+        for blob in msg.remainders:
+            self._pending.append(
+                _WorkUnit(
+                    work_id=next(self._work_ids),
+                    kind="batch",
+                    payload=(blob,),
+                    origin="remainder",
+                )
+            )
+        for work_id in msg.completed:
+            entry = self._leases.get(work_id)
+            if entry is None or entry[1] != worker.worker_id:
+                continue  # stale ack from a presumed-dead era; unit re-leased
+            del self._leases[work_id]
+            worker.open_units.discard(work_id)
+        self._pump()
+
+    def _handle_goodbye(self, worker: _Worker, msg: Goodbye) -> None:
+        self.metrics.merge(msg.metrics)
+        worker.alive = False
+        worker.stream.close()
+
+    # -- the run loop ------------------------------------------------------
+
+    def run(self, timeout: float | None = None) -> MiningRunResult:
+        """Drive the job to completion; returns the standard run result."""
+        start = time.perf_counter()
+        self.start()
+        self._build_work()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        next_steal = time.monotonic() + self.config.steal_period_seconds
+        registered_any = False
+        try:
+            while self._pending or self._leases:
+                try:
+                    stream, msg = self._inbox.get(timeout=0.02)
+                except queue.Empty:
+                    stream = None
+                now = time.monotonic()
+                if stream is not None:
+                    self._handle(stream, msg, now)
+                    # Drain whatever else is queued before housekeeping.
+                    while True:
+                        try:
+                            stream, msg = self._inbox.get_nowait()
+                        except queue.Empty:
+                            break
+                        self._handle(stream, msg, now)
+                self._check_heartbeats(now)
+                # Failure reclaim re-pends units outside any message
+                # handler; an idle survivor generates no result traffic,
+                # so the loop itself must offer reclaimed work around.
+                self._pump()
+                if now >= next_steal:
+                    next_steal = now + self.config.steal_period_seconds
+                    self._plan_steals()
+                # Declare the job lost only once the full expected
+                # complement has registered and then died; with stragglers
+                # still connecting, a late joiner may yet rescue the work
+                # (and the deadline bounds the wait regardless).
+                registered_any = registered_any or (
+                    len(self._workers) >= self.num_workers
+                )
+                if registered_any and not self._alive():
+                    raise RuntimeError(
+                        f"all cluster workers died with work outstanding "
+                        f"({len(self._pending)} pending, "
+                        f"{len(self._leases)} leased, "
+                        f"{len(self.quarantined)} quarantined)"
+                    )
+                if deadline is not None and now > deadline:
+                    raise RuntimeError(
+                        f"cluster job exceeded its {timeout}s deadline "
+                        f"({len(self._pending)} pending, "
+                        f"{len(self._leases)} leased)"
+                    )
+            self._shutdown_workers()
+        finally:
+            self._close()
+        from ...core.postprocess import postprocess_results
+
+        candidates = self.app.sink.results()
+        maximal = postprocess_results(candidates)
+        self.metrics.results = len(maximal)
+        self.metrics.wall_seconds = time.perf_counter() - start
+        return MiningRunResult(
+            maximal=maximal, candidates=candidates, metrics=self.metrics
+        )
+
+    def _shutdown_workers(self) -> None:
+        """Job done: Shutdown → collect Goodbyes (metrics) → close."""
+        for worker in self._alive():
+            self._send(worker, Shutdown())
+        deadline = time.monotonic() + _GOODBYE_GRACE
+        while self._alive() and time.monotonic() < deadline:
+            try:
+                stream, msg = self._inbox.get(
+                    timeout=max(0.01, deadline - time.monotonic())
+                )
+            except queue.Empty:
+                continue
+            self._handle(stream, msg, time.monotonic())
+        for worker in self._alive():
+            warnings.warn(
+                f"worker {worker.worker_id} never said Goodbye; its final "
+                f"metrics are lost",
+                RuntimeWarning,
+            )
+            worker.alive = False
+            worker.stream.close()
+
+    def _close(self) -> None:
+        self._accepting = False
+        if self._lsock is not None:
+            try:
+                self._lsock.close()
+            except OSError:
+                pass
+        for worker in self._workers.values():
+            worker.stream.close()

@@ -1,0 +1,314 @@
+"""Wire protocol of the distributed cluster runtime.
+
+Every message between the master and a worker travels as one
+length-framed frame on a TCP stream::
+
+    +---------+---------+------------------+-----------------+
+    | magic   | version | payload length   | pickled message |
+    | 4 bytes | <H      | <Q               | length bytes    |
+    +---------+---------+------------------+-----------------+
+
+The framing discipline is the same truncation-tolerant one as
+:class:`repro.gthinker.spill.SpillFileList`: a peer that died mid-write
+leaves a short read, which :meth:`MessageStream.recv` reports as a dead
+connection (``None``) with a warning — never as an attempt to unpickle
+a partial stream. A *complete* frame that fails validation (bad magic,
+unknown version, payload that is not a known message type) raises
+:class:`ProtocolError`, because silently dropping well-framed garbage
+would hide a real incompatibility.
+
+Messages are plain frozen dataclasses, picklable by construction. Tasks
+ride inside them pre-encoded (``Task.encode()`` blobs) so the cluster
+reuses exactly the spill/steal serialization format, and a batch can be
+forwarded by the master without a decode/re-encode round trip.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import warnings
+from dataclasses import dataclass
+
+from ..config import EngineConfig
+from ..metrics import EngineMetrics
+
+#: Frame magic: G-Thinker CLuster.
+MAGIC = b"GTCL"
+#: Protocol version; bump on any incompatible message change.
+VERSION = 1
+_HEADER = struct.Struct("<4sHQ")
+
+#: Refuse frames larger than this (64 GiB): a corrupt length header must
+#: not turn into an attempted multi-terabyte allocation.
+MAX_FRAME_BYTES = 64 << 30
+
+
+class ProtocolError(RuntimeError):
+    """A complete but invalid frame (bad magic/version/message type)."""
+
+
+# -- message vocabulary -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker → master: registration."""
+
+    pid: int
+    host: str
+    #: True when the worker has no local graph copy and needs the master
+    #: to ship one in the Welcome (localhost quickstart); production
+    #: workers load the graph from shared storage and send False.
+    needs_graph: bool = True
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Master → worker: registration accepted; the job's parameters."""
+
+    worker_id: int
+    config: EngineConfig
+    #: Pickled application instance (same shipping rule as engine_mp).
+    app_blob: bytes
+    #: Pickled Graph, or None when the worker said needs_graph=False.
+    graph_blob: bytes | None
+    #: Whether the worker should record + forward scheduler trace events.
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class SpawnRange:
+    """Master → worker: one leased chunk of the spawn-vertex range."""
+
+    work_id: int
+    vertices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """Master → worker: one leased batch of encoded tasks.
+
+    `origin` records why the batch exists ('steal' for a forwarded
+    steal grant, 'remainder' for re-leased decomposition remainders) —
+    observability only, the worker treats both identically.
+    """
+
+    work_id: int
+    tasks: tuple[bytes, ...]
+    origin: str = "steal"
+
+
+@dataclass(frozen=True)
+class ResultBatch:
+    """Worker → master: mined output plus work-unit acknowledgements.
+
+    `completed` lists the work ids the worker has fully drained (its
+    local scheduler went idle with those units open). `remainders` are
+    encoded big decomposition remainders handed back for
+    master-coordinated redistribution. `events` are forwarded trace
+    tuples ``(kind, task_id, thread, detail)``.
+    """
+
+    worker_id: int
+    completed: tuple[int, ...] = ()
+    candidates: tuple[frozenset[int], ...] = ()
+    remainders: tuple[bytes, ...] = ()
+    events: tuple[tuple[str, int, int, str], ...] = ()
+    active: int = 0
+
+
+@dataclass(frozen=True)
+class StealRequest:
+    """Master → donor worker: give up to `count` big tasks."""
+
+    request_id: int
+    count: int
+
+
+@dataclass(frozen=True)
+class StealGrant:
+    """Donor worker → master: the granted big tasks (possibly none)."""
+
+    request_id: int
+    worker_id: int
+    tasks: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker → master: liveness + the stealing planner's input."""
+
+    worker_id: int
+    pending_big: int
+    active: int
+
+
+@dataclass(frozen=True)
+class ProgressReport:
+    """Worker → master: periodic coarse progress counters."""
+
+    worker_id: int
+    tasks_executed: int
+    tasks_decomposed: int
+    candidates_emitted: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Master → worker: the job is complete; flush and say Goodbye."""
+
+    reason: str = "job complete"
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Worker → master: final metrics + mining stats, then disconnect."""
+
+    worker_id: int
+    metrics: EngineMetrics
+    stats_blob: bytes
+
+
+MESSAGE_TYPES = (
+    Hello,
+    Welcome,
+    SpawnRange,
+    TaskBatch,
+    ResultBatch,
+    StealRequest,
+    StealGrant,
+    Heartbeat,
+    ProgressReport,
+    Shutdown,
+    Goodbye,
+)
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode_frame(message) -> bytes:
+    """Serialize one message into a self-delimiting frame."""
+    if not isinstance(message, MESSAGE_TYPES):
+        raise ProtocolError(
+            f"cannot send {type(message).__name__}: not a protocol message"
+        )
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MAGIC, VERSION, len(payload)) + payload
+
+
+def decode_payload(payload: bytes):
+    """Unpickle + validate one frame payload."""
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, MESSAGE_TYPES):
+        raise ProtocolError(
+            f"frame decoded to {type(message).__name__}, not a protocol message"
+        )
+    return message
+
+
+class MessageStream:
+    """One framed, bidirectional message channel over a connected socket.
+
+    `send` is lock-guarded so a mining loop and a heartbeat timer may
+    share the stream; `recv` must only ever be called from one thread
+    (each side dedicates a reader thread or loop to it).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_buf = b""
+        self._closed = False
+
+    @property
+    def peer(self) -> str:
+        try:
+            name = self._sock.getpeername()
+        except OSError:
+            return "<disconnected>"
+        if isinstance(name, tuple) and len(name) >= 2:
+            return f"{name[0]}:{name[1]}"
+        return str(name) or "<unnamed>"  # AF_UNIX socketpairs are nameless
+
+    def send(self, message) -> None:
+        frame = encode_frame(message)
+        with self._send_lock:
+            self._sock.sendall(frame)
+
+    def _read_exact(self, n: int) -> bytes | None:
+        """Read exactly n bytes; None on clean EOF at a frame boundary,
+        a short buffer on mid-frame EOF."""
+        while len(self._recv_buf) < n:
+            try:
+                chunk = self._sock.recv(min(1 << 20, n - len(self._recv_buf)))
+            except OSError:
+                chunk = b""
+            if not chunk:
+                if not self._recv_buf:
+                    return None
+                short, self._recv_buf = self._recv_buf, b""
+                return short
+            self._recv_buf += chunk
+        out, self._recv_buf = self._recv_buf[:n], self._recv_buf[n:]
+        return out
+
+    def recv(self):
+        """Receive one message; None when the peer is gone.
+
+        Mirrors `SpillFileList.load_batch`: a frame truncated by a dying
+        peer (short header or short payload) is reported as a dead
+        connection with a warning, while a complete frame that fails
+        validation raises ProtocolError.
+        """
+        header = self._read_exact(_HEADER.size)
+        if header is None:
+            return None
+        if len(header) < _HEADER.size:
+            warnings.warn(
+                f"peer {self.peer} died mid-frame (truncated header, "
+                f"{len(header)}/{_HEADER.size} bytes); treating as disconnect",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        magic, version, length = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {magic!r} from {self.peer}")
+        if version != VERSION:
+            raise ProtocolError(
+                f"peer {self.peer} speaks protocol version {version}, "
+                f"this runtime speaks {VERSION}"
+            )
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame from {self.peer} claims {length} bytes "
+                f"(> {MAX_FRAME_BYTES}); refusing"
+            )
+        payload = self._read_exact(length)
+        if payload is None or len(payload) < length:
+            got = 0 if payload is None else len(payload)
+            warnings.warn(
+                f"peer {self.peer} died mid-frame (truncated payload, "
+                f"{got}/{length} bytes); treating as disconnect",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return decode_payload(payload)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

@@ -1,0 +1,370 @@
+"""Cluster worker: one mining process driven by the TCP master.
+
+A worker is the distributed twin of an `engine_mp` worker process, but
+it owns a real local scheduler instead of receiving pre-picked batches:
+
+* it registers with the master (`Hello` → `Welcome`), receiving the
+  job's :class:`~repro.gthinker.config.EngineConfig`, the pickled
+  application, and — unless it already has one — the graph;
+* it builds a single-machine :class:`SchedulerCore` over a whole-graph
+  vertex table and mines with the serial pick → run-quantum loop, so
+  every scheduling rule (big-task routing, pick order, spilling,
+  refill) is the same code as every other executor;
+* the master leases it work units — `SpawnRange` chunks of the spawn
+  vertex range and `TaskBatch` batches of encoded tasks (forwarded
+  steal grants, re-leased remainders) — which it acknowledges once its
+  local scheduler drains;
+* **big decomposition remainders** are not routed locally: they are
+  shipped back to the master for cluster-wide redistribution, exactly
+  the paper's rule that big tasks must be globally visible;
+* it serves `StealRequest`s by popping big tasks from its global queue
+  (refilled from the L_big spill list), and sends `Heartbeat`s whose
+  pending-big count is the master's stealing-planner input.
+
+Death needs no protocol: a SIGKILLed worker simply stops heartbeating
+and its socket EOFs; the master reclaims every work unit it still
+leased. Candidates are flushed incrementally and deduplicated
+master-side, so at-least-once re-mining never changes the result set.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import socket
+import sys
+import threading
+import time
+import traceback
+from dataclasses import replace
+
+from ..chaos import FaultInjection, die_hard
+from ..scheduler import SchedulerCore, build_machines, collect_machine_metrics
+from ..task import Task
+from ..tracing import NullTracer, Tracer
+from .protocol import (
+    Goodbye,
+    Heartbeat,
+    Hello,
+    MessageStream,
+    ProgressReport,
+    ResultBatch,
+    Shutdown,
+    SpawnRange,
+    StealGrant,
+    StealRequest,
+    TaskBatch,
+    Welcome,
+)
+
+__all__ = ["ClusterWorker"]
+
+#: Send a ProgressReport every this many heartbeats.
+_PROGRESS_EVERY = 4
+
+
+class ClusterWorker:
+    """One socket-connected mining process of a cluster job."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        graph=None,
+        fault_injection: FaultInjection | None = None,
+        connect_timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.graph = graph
+        self._injection = fault_injection
+        self._connect_timeout = connect_timeout
+        self.worker_id = -1
+        self._active = 0
+        self._completed_units = 0
+        self._shipped: set[frozenset[int]] = set()
+        self._remainders: list[bytes] = []
+        self._open: dict[int, str] = {}  # work_id -> kind
+        self._trace_seq = -1
+
+    # -- wiring ------------------------------------------------------------
+
+    def _connect(self) -> MessageStream:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self._connect_timeout
+        )
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return MessageStream(sock)
+
+    def _task_queued(self, task: Task) -> None:
+        self._active += 1
+
+    # -- the mining loop ---------------------------------------------------
+
+    def run(self) -> None:
+        stream = self._connect()
+        try:
+            self._run(stream)
+        except BaseException:
+            # A crash here is a worker death by definition; the master
+            # sees the EOF and reclaims. Leave a trace for the operator.
+            traceback.print_exc(file=sys.stderr)
+            raise
+        finally:
+            stream.close()
+
+    def _run(self, stream: MessageStream) -> None:
+        stream.send(
+            Hello(
+                pid=os.getpid(),
+                host=socket.gethostname(),
+                needs_graph=self.graph is None,
+            )
+        )
+        welcome = stream.recv()
+        if not isinstance(welcome, Welcome):
+            raise RuntimeError(
+                f"expected Welcome from master, got {type(welcome).__name__}"
+            )
+        self.worker_id = welcome.worker_id
+        config = welcome.config
+        app = pickle.loads(welcome.app_blob)
+        graph = self.graph
+        if graph is None:
+            if welcome.graph_blob is None:
+                raise RuntimeError("master sent no graph and none was provided")
+            graph = pickle.loads(welcome.graph_blob)
+
+        spill_dir = config.spill_dir
+        if spill_dir is not None:
+            spill_dir = os.path.join(spill_dir, f"worker-{self.worker_id}")
+        local_config = replace(
+            config,
+            num_machines=1,
+            threads_per_machine=1,
+            spill_dir=spill_dir,
+        )
+        machine = build_machines(graph, local_config)[0]
+        # Spawning is master-driven (SpawnRange leases); the local spawn
+        # cursor must never race it.
+        machine.spawn_order = []
+        slot = machine.threads[0]
+        tracer = Tracer() if welcome.trace else NullTracer()
+        core = SchedulerCore(
+            app, local_config, [machine], tracer,
+            task_queued=self._task_queued,
+        )
+        self.metrics = core.metrics
+
+        inbox: queue.Queue = queue.Queue()
+
+        def _read_loop() -> None:
+            while True:
+                try:
+                    msg = stream.recv()
+                except Exception as exc:  # ProtocolError or socket teardown
+                    inbox.put(("lost", exc))
+                    return
+                inbox.put(("msg", msg))
+                if msg is None:
+                    return
+
+        reader = threading.Thread(
+            target=_read_loop, name=f"cluster-worker-{self.worker_id}-reader",
+            daemon=True,
+        )
+        reader.start()
+
+        period = config.heartbeat_period
+        next_heartbeat = time.monotonic() + period
+        heartbeats_sent = 0
+        try:
+            while True:
+                block = self._active == 0
+                action = self._drain_inbox(
+                    inbox, stream, app, core, machine, slot, config,
+                    block_until=next_heartbeat if block else None,
+                )
+                if action == "stop":
+                    self._flush(stream, app, tracer, completed_all=True)
+                    collect_machine_metrics(self.metrics, [machine])
+                    self.metrics.mining_stats.merge(app.stats)
+                    stream.send(
+                        Goodbye(
+                            worker_id=self.worker_id,
+                            metrics=self.metrics,
+                            stats_blob=pickle.dumps(app.stats),
+                        )
+                    )
+                    return
+                if action == "lost":
+                    return
+
+                now = time.monotonic()
+                if now >= next_heartbeat:
+                    next_heartbeat = now + period
+                    heartbeats_sent += 1
+                    stream.send(
+                        Heartbeat(
+                            worker_id=self.worker_id,
+                            pending_big=machine.pending_big(),
+                            active=self._active,
+                        )
+                    )
+                    if self._fresh_candidates(app) or self._remainders:
+                        self._flush(stream, app, tracer)
+                    if heartbeats_sent % _PROGRESS_EVERY == 0:
+                        stream.send(
+                            ProgressReport(
+                                worker_id=self.worker_id,
+                                tasks_executed=self.metrics.tasks_executed,
+                                tasks_decomposed=self.metrics.tasks_decomposed,
+                                candidates_emitted=len(app.sink.results()),
+                            )
+                        )
+
+                task = core.pick(machine, slot)
+                if task is None:
+                    if self._active == 0 and (
+                        self._open or self._remainders
+                        or self._fresh_candidates(app)
+                    ):
+                        self._flush(stream, app, tracer, completed_all=True)
+                    elif self._active > 0:
+                        # Nothing pickable but tasks are still accounted
+                        # active (e.g. just granted away in a steal):
+                        # yield the core instead of busy-spinning — a hot
+                        # loop here starves co-hosted processes.
+                        time.sleep(0.001)
+                    continue
+                quantum = core.run_quantum(
+                    task, machine, record=self.metrics.record_task
+                )
+                for child in quantum.children:
+                    if child.is_big(config.tau_split):
+                        # Big remainders go back to the master for
+                        # cluster-wide redistribution.
+                        self._remainders.append(child.encode())
+                    else:
+                        core.route(child, machine, slot)
+                if quantum.resumed is not None:
+                    core.buffer_ready(quantum.resumed, machine, slot)
+                elif quantum.finished:
+                    self._active -= 1
+                if len(self._remainders) >= config.batch_size:
+                    self._flush(stream, app, tracer)
+        finally:
+            machine.cleanup()
+
+    # -- inbox handling ----------------------------------------------------
+
+    def _drain_inbox(
+        self, inbox, stream, app, core, machine, slot, config,
+        block_until: float | None,
+    ) -> str:
+        """Apply every queued master message; returns 'ok'/'stop'/'lost'."""
+        first = True
+        while True:
+            try:
+                if first and block_until is not None:
+                    timeout = max(0.005, block_until - time.monotonic())
+                    tag, payload = inbox.get(timeout=timeout)
+                else:
+                    tag, payload = inbox.get_nowait()
+            except queue.Empty:
+                return "ok"
+            first = False
+            if tag == "lost" or payload is None:
+                return "lost"
+            msg = payload
+            if isinstance(msg, Shutdown):
+                return "stop"
+            if isinstance(msg, (SpawnRange, TaskBatch)):
+                if (
+                    self._injection is not None
+                    and self._completed_units >= self._injection.after_batches
+                ):
+                    die_hard()
+                self._open[msg.work_id] = (
+                    "range" if isinstance(msg, SpawnRange) else "batch"
+                )
+                if isinstance(msg, SpawnRange):
+                    self._spawn_range(msg, app, core, machine, slot)
+                else:
+                    for blob in msg.tasks:
+                        task = Task.decode(blob)
+                        task.task_id = core.next_task_id()
+                        core.route(task, machine, slot)
+            elif isinstance(msg, StealRequest):
+                self._serve_steal(msg, stream, machine)
+            # Heartbeat/ProgressReport never flow master -> worker;
+            # anything else is ignored for forward compatibility.
+
+    def _spawn_range(self, msg: SpawnRange, app, core, machine, slot) -> None:
+        for v in msg.vertices:
+            adjacency = machine.table.get(v)
+            if adjacency is None:
+                continue
+            task = app.spawn(v, adjacency, core.next_task_id())
+            if task is None:
+                continue
+            self.metrics.tasks_spawned += 1
+            core.tracer.emit("spawn", task.task_id, 0, detail=f"root={v}")
+            core.route(task, machine, slot)
+
+    def _serve_steal(self, msg: StealRequest, stream, machine) -> None:
+        """Give up to `count` big tasks from Q_global (+ its spill list)."""
+        granted: list[Task] = []
+        while len(granted) < msg.count:
+            batch = machine.qglobal.pop_batch(msg.count - len(granted))
+            if not batch:
+                if machine.qglobal.refill_from_spill() == 0:
+                    break
+                continue
+            granted.extend(batch)
+        self._active -= len(granted)
+        stream.send(
+            StealGrant(
+                request_id=msg.request_id,
+                worker_id=self.worker_id,
+                tasks=tuple(t.encode() for t in granted),
+            )
+        )
+
+    # -- result shipping ---------------------------------------------------
+
+    def _fresh_candidates(self, app) -> set[frozenset[int]]:
+        return app.sink.results() - self._shipped
+
+    def _new_events(self, tracer) -> tuple:
+        if not tracer.enabled:
+            return ()
+        events = [e for e in tracer.events() if e.seq > self._trace_seq]
+        if events:
+            self._trace_seq = events[-1].seq
+        return tuple((e.kind, e.task_id, e.thread, e.detail) for e in events)
+
+    def _flush(self, stream, app, tracer, completed_all: bool = False) -> None:
+        """Ship fresh candidates, remainders, trace events, and — when the
+        local scheduler has drained — the acknowledgements of every open
+        work unit, all in one atomic message."""
+        completed: tuple[int, ...] = ()
+        if completed_all and self._active == 0 and self._open:
+            completed = tuple(self._open)
+            self._completed_units += len(completed)
+            self._open.clear()
+        fresh = self._fresh_candidates(app)
+        self._shipped |= fresh
+        remainders, self._remainders = tuple(self._remainders), []
+        stream.send(
+            ResultBatch(
+                worker_id=self.worker_id,
+                completed=completed,
+                candidates=tuple(fresh),
+                remainders=remainders,
+                events=self._new_events(tracer),
+                active=self._active,
+            )
+        )

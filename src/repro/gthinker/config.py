@@ -44,9 +44,11 @@ class EngineConfig:
     #: CLI): 'auto' keeps the historical rule (serial fast path at 1×1,
     #: threaded otherwise); 'serial'/'threaded' force one driver;
     #: 'process' runs workers in a multiprocessing pool (engine_mp);
-    #: 'simulated' marks a config for the virtual-time cluster.
+    #: 'cluster' runs the TCP master/worker runtime (repro.gthinker.
+    #: cluster) on localhost; 'simulated' marks a config for the
+    #: virtual-time cluster.
     backend: str = "auto"
-    #: Process-backend worker count; 0 means os.cpu_count().
+    #: Process/cluster-backend worker count; 0 means os.cpu_count().
     num_procs: int = 0
     #: Process-backend fault tolerance: how many times a task may be
     #: dispatched before its batch is quarantined as poisoned.
@@ -58,11 +60,25 @@ class EngineConfig:
     #: Base (seconds) of the exponential backoff between dispatch
     #: attempts of a reclaimed task.
     retry_backoff: float = 0.05
+    #: Cluster backend: how often a worker reports liveness and its
+    #: pending-big count to the master (the stealing planner's input).
+    heartbeat_period: float = 0.25
+    #: Cluster backend: a worker whose last heartbeat is older than this
+    #: is declared dead and its leased work is reclaimed (socket EOF is
+    #: the fast path; this is the backup for wedged-but-connected
+    #: workers).
+    heartbeat_timeout: float = 10.0
+    #: Cluster backend: spawn vertices per SpawnRange work unit; 0 sizes
+    #: chunks automatically (~8 units per worker) so dead-worker
+    #: reassignment has useful granularity.
+    cluster_chunk_size: int = 0
 
     def __post_init__(self) -> None:
         if self.num_machines < 1 or self.threads_per_machine < 1:
             raise ValueError("need at least one machine and one thread")
-        if self.backend not in ("auto", "serial", "threaded", "process", "simulated"):
+        if self.backend not in (
+            "auto", "serial", "threaded", "process", "cluster", "simulated"
+        ):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.num_procs < 0:
             raise ValueError("num_procs must be >= 0 (0 = cpu count)")
@@ -80,6 +96,12 @@ class EngineConfig:
             raise ValueError("lease_slack must be non-negative")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_period:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_period")
+        if self.cluster_chunk_size < 0:
+            raise ValueError("cluster_chunk_size must be >= 0 (0 = auto)")
 
     @property
     def total_threads(self) -> int:

@@ -261,6 +261,12 @@ def mine_parallel(
         return mine_multiprocess(
             graph, gamma, min_size, config, options=options, tracer=tracer
         )
+    if config.backend == "cluster":
+        from .cluster import mine_cluster
+
+        return mine_cluster(
+            graph, gamma, min_size, config, options=options, tracer=tracer
+        )
     sink: ResultSink = ThreadSafeResultSink() if config.total_threads > 1 else ResultSink()
     app = QuasiCliqueApp(
         gamma=gamma,

@@ -55,6 +55,13 @@ class EngineMetrics:
     spill_bytes_peak: int = 0
     steals: int = 0
     stolen_tasks: int = 0
+    #: Stealing observability (one per planned StealMove / task shipped
+    #: from a donor / task delivered to a recipient). On the in-process
+    #: executors sent == received; on the cluster runtime they can
+    #: diverge transiently while a grant is in flight.
+    steals_planned: int = 0
+    steals_sent: int = 0
+    steals_received: int = 0
     #: Fault tolerance (process backend): dead/wedged worker incidents,
     #: at-least-once re-dispatches, and tasks poisoned after max_attempts.
     workers_died: int = 0
@@ -93,6 +100,9 @@ class EngineMetrics:
         self.spill_bytes_peak = max(self.spill_bytes_peak, other.spill_bytes_peak)
         self.steals += other.steals
         self.stolen_tasks += other.stolen_tasks
+        self.steals_planned += other.steals_planned
+        self.steals_sent += other.steals_sent
+        self.steals_received += other.steals_received
         self.workers_died += other.workers_died
         self.tasks_retried += other.tasks_retried
         self.tasks_quarantined += other.tasks_quarantined

@@ -380,11 +380,25 @@ class SchedulerCore:
         moves = plan_steals(counts, self.config.batch_size)
         moved = 0
         for move in moves:
+            self.tracer.emit(
+                "steal_planned", -1, move.src,
+                detail=f"dst=m{move.dst} count={move.count}",
+            )
+            with self._metrics_lock:
+                self.metrics.steals_planned += 1
             batch = self.machines[move.src].qglobal.pop_batch(move.count)
             if not batch:
                 continue
             self.machines[move.dst].qglobal.push_batch(batch)
             for stolen in batch:
+                self.tracer.emit(
+                    "steal_sent", stolen.task_id, move.src,
+                    detail=f"dst=m{move.dst}",
+                )
+                self.tracer.emit(
+                    "steal_received", stolen.task_id, move.dst,
+                    detail=f"from=m{move.src}",
+                )
                 self.tracer.emit(
                     "steal", stolen.task_id, move.dst,
                     detail=f"from=m{move.src}",
@@ -392,6 +406,8 @@ class SchedulerCore:
             with self._metrics_lock:
                 self.metrics.steals += 1
                 self.metrics.stolen_tasks += len(batch)
+                self.metrics.steals_sent += len(batch)
+                self.metrics.steals_received += len(batch)
             moved += len(batch)
         return moved
 

@@ -46,10 +46,19 @@ KINDS = (
     "finish",  # task completed
     "decompose",  # task produced subtasks
     "steal",  # batch moved between machines
+    "steal_planned",  # master planned one big-task move (per StealMove)
+    "steal_sent",  # big tasks left the donor machine's global queue
+    "steal_received",  # big tasks arrived at the recipient machine
     "worker_died",  # a worker process died or was declared wedged
     "task_retried",  # reclaimed task re-entered the routing policy
     "task_quarantined",  # task poisoned after max_attempts failures
 )
+
+#: Kinds emitted by the stealing path. They fire on wall-clock timing in
+#: the threaded engine, on virtual time in the simulator, and on real
+#: network round-trips in the cluster runtime, so cross-executor
+#: vocabulary comparisons must treat them as timing-dependent.
+STEAL_KINDS = frozenset({"steal", "steal_planned", "steal_sent", "steal_received"})
 
 
 class Tracer:

@@ -1,0 +1,194 @@
+"""Cluster runtime integration tests: real sockets, real processes.
+
+Three acceptance properties of the TCP master/worker engine:
+
+1. **Oracle equivalence** — a 2-worker localhost cluster produces
+   exactly the brute-force family of maximal quasi-cliques.
+2. **Observable stealing** — under asymmetric load (one worker owning
+   a mountain of slow big tasks, its peer idle), the master's planner
+   must fire and every transfer must leave the `steal_planned` /
+   `steal_sent` / `steal_received` triple in the trace and metrics.
+3. **Fault tolerance** — SIGKILLing a worker mid-job (fork and spawn)
+   must be invisible in the result set: the master reclaims its leases
+   and the at-least-once re-mining deduplicates away.
+
+On an equivalence failure the master-side trace is dumped as JSONL
+under $CLUSTER_TRACE_DIR (the CI smoke job uploads it as an artifact).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+from conftest import make_random_graph
+
+from repro.core.naive import enumerate_maximal_quasicliques
+from repro.graph.adjacency import Graph
+from repro.gthinker.chaos import FaultInjection, SleepyBigTaskApp
+from repro.gthinker.cluster import mine_cluster, run_cluster_app
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.engine import mine_parallel
+from repro.gthinker.tracing import Tracer
+
+#: Hard wall-clock bound on any single cluster job in this file: a
+#: scheduling bug must fail the test, not hang the suite.
+JOB_TIMEOUT = 120.0
+
+
+def cluster_config(**kwargs) -> EngineConfig:
+    """The cross-executor policy workload, tuned for fast localhost runs
+    (tight heartbeats so steal planning and death detection are quick)."""
+    base = dict(
+        backend="cluster", num_procs=2,
+        decompose="timed", tau_time=10, time_unit="ops", tau_split=3,
+        queue_capacity=4, batch_size=2,
+        heartbeat_period=0.02, heartbeat_timeout=5.0,
+    )
+    base.update(kwargs)
+    return EngineConfig(**base)
+
+
+def start_method_or_skip(name: str) -> str:
+    if name not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {name!r} not available on this platform")
+    return name
+
+
+def dump_trace(tracer: Tracer, label: str) -> None:
+    trace_dir = os.environ.get("CLUSTER_TRACE_DIR")
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        tracer.dump_jsonl(os.path.join(trace_dir, f"{label}.jsonl"))
+
+
+class TestOracleEquivalence:
+    def test_two_worker_cluster_matches_oracle(self):
+        graph = make_random_graph(12, 0.5, seed=11)
+        expected = enumerate_maximal_quasicliques(graph, 0.75, 3)
+        tracer = Tracer()
+        out = mine_cluster(
+            graph, 0.75, 3, config=cluster_config(), tracer=tracer,
+            timeout=JOB_TIMEOUT,
+        )
+        if out.maximal != expected:
+            dump_trace(tracer, "oracle-equivalence")
+        assert out.maximal == expected
+        assert out.metrics.results == len(expected)
+        assert out.metrics.workers_died == 0
+
+    def test_candidates_match_serial_run(self):
+        """Same raw candidate family as the serial driver: at-least-once
+        delivery plus master-side dedup is invisible below postprocess."""
+        graph = make_random_graph(10, 0.5, seed=3)
+        serial = mine_parallel(
+            graph, 0.75, 3, cluster_config(backend="serial", num_procs=0)
+        )
+        clustered = mine_cluster(
+            graph, 0.75, 3, config=cluster_config(), timeout=JOB_TIMEOUT
+        )
+        assert clustered.candidates == serial.candidates
+        assert clustered.maximal == serial.maximal
+
+    def test_mine_parallel_dispatches_cluster_backend(self):
+        graph = make_random_graph(8, 0.6, seed=5)
+        expected = enumerate_maximal_quasicliques(graph, 0.75, 3)
+        out = mine_parallel(graph, 0.75, 3, cluster_config())
+        assert out.maximal == expected
+
+    def test_spill_dirs_do_not_collide(self, tmp_path):
+        """Two localhost workers sharing a configured spill_dir must not
+        clobber each other's spill files (per-worker subdirectories)."""
+        graph = make_random_graph(12, 0.5, seed=13)
+        expected = enumerate_maximal_quasicliques(graph, 0.75, 3)
+        out = mine_cluster(
+            graph, 0.75, 3,
+            config=cluster_config(
+                spill_dir=str(tmp_path), queue_capacity=2, batch_size=1
+            ),
+            timeout=JOB_TIMEOUT,
+        )
+        assert out.maximal == expected
+
+
+class TestStealObservability:
+    def test_asymmetric_load_triggers_observable_steals(self):
+        """One worker gets the entire spawn range of slow big tasks; its
+        idle peer must receive master-coordinated steals, observable as
+        the planned/sent/received triple in trace and metrics."""
+        start_method = start_method_or_skip("fork")
+        n = 16
+        graph = Graph.from_edges([], vertices=range(n))
+        config = cluster_config(
+            tau_split=0,  # every task is big (SleepyBigTaskApp's ext)
+            cluster_chunk_size=n,  # the whole range is ONE work unit
+            steal_period_seconds=0.02,
+            batch_size=4,
+        )
+        tracer = Tracer()
+        out = run_cluster_app(
+            graph, SleepyBigTaskApp(sleep_seconds=0.03), config,
+            tracer=tracer, num_workers=2, start_method=start_method,
+            timeout=JOB_TIMEOUT,
+        )
+        expected = {frozenset({v}) for v in range(n)}
+        if out.candidates != expected:
+            dump_trace(tracer, "steal-observability")
+        assert out.candidates == expected
+        counts = tracer.counts()
+        metrics = out.metrics
+        assert metrics.steals_planned >= 1, (
+            f"no steals planned under asymmetric load; trace={counts}"
+        )
+        assert counts.get("steal_planned", 0) >= 1
+        assert counts.get("steal_sent", 0) >= 1
+        assert counts.get("steal_received", 0) >= 1
+        assert metrics.steals_sent == metrics.steals_received
+        assert metrics.stolen_tasks == metrics.steals_sent
+        # Stolen work really ran somewhere else: the recipient completed
+        # at least one forwarded batch (trace shows its spawn-free work).
+        assert counts.get("steal_sent") == counts.get("steal_received")
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_sigkill_one_worker_mid_job(self, start_method):
+        """Kill one worker mid-job: the master must detect the death,
+        reclaim its leases, and still match the oracle exactly."""
+        start_method = start_method_or_skip(start_method)
+        graph = make_random_graph(12, 0.5, seed=7)
+        expected = enumerate_maximal_quasicliques(graph, 0.75, 3)
+        tracer = Tracer()
+        out = mine_cluster(
+            graph, 0.75, 3,
+            config=cluster_config(cluster_chunk_size=1, max_attempts=5),
+            tracer=tracer, start_method=start_method,
+            fault_injection=FaultInjection(worker_id=0, after_batches=1),
+            timeout=JOB_TIMEOUT,
+        )
+        if out.maximal != expected:
+            dump_trace(tracer, f"chaos-{start_method}")
+        assert out.maximal == expected
+        # A one-shot transient fault never poisons work.
+        assert out.metrics.tasks_quarantined == 0
+        if out.metrics.workers_died:
+            assert out.metrics.tasks_retried >= 1
+            assert tracer.events(kind="worker_died")
+
+    def test_fork_death_is_deterministically_injected(self):
+        """Under fork (fast worker startup) the chunked ledger guarantees
+        the targeted worker receives a second lease, so the injected
+        death must actually fire — keeping the chaos path honestly
+        exercised rather than vacuously green."""
+        start_method = start_method_or_skip("fork")
+        graph = make_random_graph(14, 0.5, seed=21)
+        expected = enumerate_maximal_quasicliques(graph, 0.75, 3)
+        out = mine_cluster(
+            graph, 0.75, 3,
+            config=cluster_config(cluster_chunk_size=1, max_attempts=5),
+            start_method=start_method,
+            fault_injection=FaultInjection(worker_id=0, after_batches=0),
+            timeout=JOB_TIMEOUT,
+        )
+        assert out.maximal == expected
+        assert out.metrics.workers_died >= 1
+        assert out.metrics.tasks_retried >= 1

@@ -1,0 +1,194 @@
+"""Wire-protocol tests: framing round-trips and truncation tolerance.
+
+The framing discipline mirrors `SpillFileList`: a peer that died
+mid-write must read as a *disconnect* (None + warning), never as an
+unpickling attempt on a partial stream; a complete-but-invalid frame
+must raise `ProtocolError` loudly.
+"""
+
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro.gthinker.cluster.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    VERSION,
+    _HEADER,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    MessageStream,
+    ProgressReport,
+    ProtocolError,
+    ResultBatch,
+    Shutdown,
+    SpawnRange,
+    StealGrant,
+    StealRequest,
+    TaskBatch,
+    Welcome,
+    decode_payload,
+    encode_frame,
+)
+from repro.gthinker.config import EngineConfig
+from repro.gthinker.metrics import EngineMetrics
+
+
+def stream_pair():
+    a, b = socket.socketpair()
+    return MessageStream(a), MessageStream(b)
+
+
+SAMPLE_MESSAGES = [
+    Hello(pid=123, host="node-a", needs_graph=True),
+    Welcome(
+        worker_id=2,
+        config=EngineConfig(backend="cluster"),
+        app_blob=pickle.dumps({"app": True}),
+        graph_blob=None,
+        trace=True,
+    ),
+    SpawnRange(work_id=7, vertices=(1, 2, 3)),
+    ResultBatch(
+        worker_id=1,
+        completed=(7,),
+        candidates=(frozenset({1, 2, 3}),),
+        remainders=(b"blob",),
+        events=(("spawn", 4, 0, "root=1"),),
+        active=2,
+    ),
+    StealRequest(request_id=9, count=4),
+    StealGrant(request_id=9, worker_id=0, tasks=(b"t1", b"t2")),
+    Heartbeat(worker_id=0, pending_big=11, active=13),
+    TaskBatch(work_id=8, tasks=(b"t3",), origin="remainder"),
+    ProgressReport(
+        worker_id=1, tasks_executed=5, tasks_decomposed=1, candidates_emitted=4
+    ),
+    Shutdown(reason="job complete"),
+    Goodbye(worker_id=0, metrics=EngineMetrics(), stats_blob=b"stats"),
+]
+
+# The sample set exercises the whole vocabulary, so a new message type
+# must be added here too.
+assert {type(m) for m in SAMPLE_MESSAGES} == set(MESSAGE_TYPES)
+
+
+class TestFraming:
+    @pytest.mark.parametrize(
+        "message", SAMPLE_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_round_trip(self, message):
+        left, right = stream_pair()
+        try:
+            left.send(message)
+            assert right.recv() == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_messages_one_stream(self):
+        left, right = stream_pair()
+        try:
+            for message in SAMPLE_MESSAGES:
+                left.send(message)
+            for message in SAMPLE_MESSAGES:
+                assert right.recv() == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_message_refused_at_send(self):
+        with pytest.raises(ProtocolError, match="not a protocol message"):
+            encode_frame({"not": "a message"})
+
+
+class TestTruncationTolerance:
+    """A dying peer reads as a disconnect, exactly like a torn spill file."""
+
+    def test_clean_eof_is_none(self):
+        left, right = stream_pair()
+        left.close()
+        assert right.recv() is None
+        right.close()
+
+    def test_truncated_header_warns_and_disconnects(self):
+        left, right = stream_pair()
+        left._sock.sendall(MAGIC[:2])  # half a magic, then death
+        left.close()
+        with pytest.warns(RuntimeWarning, match="truncated header"):
+            assert right.recv() is None
+        right.close()
+
+    def test_truncated_payload_warns_and_disconnects(self):
+        left, right = stream_pair()
+        frame = encode_frame(Heartbeat(worker_id=0, pending_big=5, active=1))
+        left._sock.sendall(frame[:-3])  # all but the last 3 payload bytes
+        left.close()
+        with pytest.warns(RuntimeWarning, match="truncated payload"):
+            assert right.recv() is None
+        right.close()
+
+
+class TestInvalidFrames:
+    """Complete frames that lie must raise, not limp along."""
+
+    def send_raw(self, raw: bytes):
+        left, right = stream_pair()
+        left._sock.sendall(raw)
+        left.close()
+        return right
+
+    def test_bad_magic(self):
+        payload = pickle.dumps(Heartbeat(worker_id=0, pending_big=0, active=0))
+        right = self.send_raw(_HEADER.pack(b"NOPE", VERSION, len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            right.recv()
+        right.close()
+
+    def test_version_mismatch(self):
+        payload = pickle.dumps(Heartbeat(worker_id=0, pending_big=0, active=0))
+        right = self.send_raw(
+            _HEADER.pack(MAGIC, VERSION + 1, len(payload)) + payload
+        )
+        with pytest.raises(ProtocolError, match="protocol version"):
+            right.recv()
+        right.close()
+
+    def test_oversized_length(self):
+        right = self.send_raw(_HEADER.pack(MAGIC, VERSION, MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="refusing"):
+            right.recv()
+        right.close()
+
+    def test_well_framed_garbage_payload(self):
+        payload = pickle.dumps({"valid": "pickle, wrong type"})
+        right = self.send_raw(_HEADER.pack(MAGIC, VERSION, len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="not a protocol message"):
+            right.recv()
+        right.close()
+
+    def test_undecodable_payload(self):
+        right = self.send_raw(_HEADER.pack(MAGIC, VERSION, 4) + b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError, match="undecodable"):
+            right.recv()
+        right.close()
+
+    def test_decode_payload_direct(self):
+        message = Hello(pid=1, host="x")
+        assert decode_payload(pickle.dumps(message)) == message
+        with pytest.raises(ProtocolError):
+            decode_payload(pickle.dumps([1, 2, 3]))
+
+
+def test_header_layout_is_stable():
+    """The on-wire header is part of the compatibility contract."""
+    assert _HEADER.size == 4 + 2 + 8
+    frame = encode_frame(Heartbeat(worker_id=1, pending_big=2, active=3))
+    magic, version, length = struct.unpack_from("<4sHQ", frame)
+    assert magic == MAGIC
+    assert version == VERSION
+    assert length == len(frame) - _HEADER.size

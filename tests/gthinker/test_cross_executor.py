@@ -1,9 +1,9 @@
-"""Cross-executor equivalence: one scheduling policy, four executors.
+"""Cross-executor equivalence: one scheduling policy, five executors.
 
 The serial fast path, the threaded driver, the process-pool executor,
-and the virtual-time simulator all schedule through
-`repro.gthinker.scheduler.SchedulerCore`. Whatever graph and
-(γ, τ_size) Hypothesis draws, all four must produce exactly the
+the TCP cluster runtime, and the virtual-time simulator all schedule
+through `repro.gthinker.scheduler.SchedulerCore`. Whatever graph and
+(γ, τ_size) Hypothesis draws, all five must produce exactly the
 oracle-checked maximal quasi-clique family — the property that makes
 "a scheduling change can never silently apply to one executor but not
 the other" testable.
@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.core.naive import enumerate_maximal_quasicliques
 from repro.graph.adjacency import Graph
 from repro.gthinker.chaos import FaultInjection
+from repro.gthinker.cluster import mine_cluster
 from repro.gthinker.config import EngineConfig
 from repro.gthinker.engine import mine_parallel
 from repro.gthinker.engine_mp import mine_multiprocess
@@ -72,6 +73,73 @@ def test_serial_threaded_process_simulated_all_match_oracle(graph, gamma, min_si
     assert threaded.maximal == expected
     assert process.maximal == expected
     assert simulated.maximal == expected
+
+
+@given(
+    graph=small_graphs(),
+    gamma=st.sampled_from([0.5, 2 / 3, 0.75, 0.9, 1.0]),
+    min_size=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_cluster_backend_matches_oracle(graph, gamma, min_size):
+    """The TCP cluster is executor number five of the same property: a
+    2-worker localhost cluster must reproduce the brute-force family
+    exactly, with master-side dedup absorbing at-least-once delivery.
+    Fewer examples than the in-process property — each run pays for two
+    real worker processes plus a socket handshake."""
+    expected = enumerate_maximal_quasicliques(graph, gamma, min_size)
+    clustered = mine_cluster(
+        graph, gamma, min_size,
+        policy_config(
+            backend="cluster", num_procs=2,
+            heartbeat_period=0.02, heartbeat_timeout=5.0,
+        ),
+        start_method=os.environ.get("REPRO_MP_START_METHOD") or None,
+        timeout=120.0,
+    )
+    assert clustered.maximal == expected
+
+
+@given(
+    graph=small_graphs(),
+    gamma=st.sampled_from([0.5, 0.75, 0.9]),
+    min_size=st.integers(min_value=2, max_value=4),
+    kill_worker=st.integers(min_value=0, max_value=1),
+    after_batches=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_cluster_backend_chaos_equivalence(
+    graph, gamma, min_size, kill_worker, after_batches
+):
+    """The process-backend chaos property, ported to real sockets: a
+    SIGKILLed cluster worker must be invisible in the result set (the
+    master reclaims its leases; re-mined candidates deduplicate)."""
+    expected = enumerate_maximal_quasicliques(graph, gamma, min_size)
+    tracer = Tracer()
+    out = mine_cluster(
+        graph, gamma, min_size,
+        policy_config(
+            backend="cluster", num_procs=2, cluster_chunk_size=1,
+            heartbeat_period=0.02, heartbeat_timeout=5.0, max_attempts=5,
+        ),
+        tracer=tracer,
+        start_method=os.environ.get("REPRO_MP_START_METHOD") or None,
+        fault_injection=FaultInjection(
+            worker_id=kill_worker, after_batches=after_batches
+        ),
+        timeout=120.0,
+    )
+    if out.maximal != expected:
+        trace_dir = os.environ.get("CHAOS_TRACE_DIR")
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
+            tracer.dump_jsonl(os.path.join(
+                trace_dir,
+                f"cluster-chaos-w{kill_worker}-a{after_batches}"
+                f"-g{gamma}-m{min_size}.jsonl",
+            ))
+    assert out.maximal == expected
+    assert out.metrics.tasks_quarantined == 0  # one-shot fault: no poison
 
 
 @given(

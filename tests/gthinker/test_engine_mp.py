@@ -44,7 +44,15 @@ def small_config(**overrides) -> EngineConfig:
 class TestConfig:
     def test_backend_validation(self):
         with pytest.raises(ValueError, match="backend"):
-            EngineConfig(backend="cluster")
+            EngineConfig(backend="mpi")
+
+    def test_cluster_knob_validation(self):
+        with pytest.raises(ValueError, match="heartbeat_period"):
+            EngineConfig(heartbeat_period=0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            EngineConfig(heartbeat_period=1.0, heartbeat_timeout=0.5)
+        with pytest.raises(ValueError, match="cluster_chunk_size"):
+            EngineConfig(cluster_chunk_size=-1)
 
     def test_num_procs_validation(self):
         with pytest.raises(ValueError, match="num_procs"):

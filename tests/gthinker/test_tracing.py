@@ -9,7 +9,7 @@ from repro.gthinker.app_quasiclique import QuasiCliqueApp
 from repro.gthinker.config import EngineConfig
 from repro.gthinker.engine import GThinkerEngine
 from repro.gthinker.simulation import SimulatedClusterEngine
-from repro.gthinker.tracing import KINDS, NullTracer, Tracer
+from repro.gthinker.tracing import KINDS, STEAL_KINDS, NullTracer, Tracer
 
 from conftest import make_random_graph
 
@@ -122,6 +122,16 @@ class TestPolicyViaTrace:
             )
         engine._apply_steals()
         assert tracer.events(kind="steal")
+        # One full observability triple per stolen task: planned by the
+        # coordinator, sent by the donor, received by the recipient.
+        assert tracer.events(kind="steal_planned")
+        sent = tracer.events(kind="steal_sent")
+        received = tracer.events(kind="steal_received")
+        assert len(sent) == len(received) == len(tracer.events(kind="steal"))
+        metrics = engine.metrics
+        assert metrics.steals_planned >= 1
+        assert metrics.steals_sent == len(sent)
+        assert metrics.steals_received == len(received)
 
     def test_trace_off_by_default(self):
         g = make_random_graph(10, 0.5, seed=2)
@@ -160,8 +170,9 @@ class TestSimulatorTracing:
         eng_kinds = set(eng_tracer.counts())
         sim_kinds = set(sim_tracer.counts())
         # Steal rounds fire on wall-clock time in the threaded engine but
-        # on virtual time in the simulator, so only that kind may differ.
-        assert sim_kinds - {"steal"} == eng_kinds - {"steal"}
+        # on virtual time in the simulator (and on real network round
+        # trips in the cluster runtime), so only those kinds may differ.
+        assert sim_kinds - STEAL_KINDS == eng_kinds - STEAL_KINDS
         # The workload is shaped to exercise the whole policy surface.
         assert {"spawn", "route_global", "route_local", "pop_global",
                 "pop_local", "execute", "decompose", "finish"} <= sim_kinds

@@ -173,7 +173,7 @@ class TestBackendSelection:
 
     def test_unknown_backend_rejected(self, graph_file):
         with pytest.raises(SystemExit):
-            build_parser().parse_args([graph_file, "--backend", "cluster"])
+            build_parser().parse_args([graph_file, "--backend", "mpi"])
 
     def test_simulate_conflicts_with_other_backend(self, graph_file, capsys):
         assert main([graph_file, "--gamma", "1.0", "--min-size", "3",

@@ -6,10 +6,11 @@ example, the diameter-2 argument, Lemma 1, Lemma 2, and the parameter
 arithmetic behind the Table 2 runs.
 
 The mining-based examples run as a backend-conformance corpus: each is
-parametrized over all four executors (serial, threaded, process,
-simulated) via the ``mine`` fixture, which also cross-checks every
-backend's output against the reference enumerator — the paper's claims
-must hold identically no matter which engine produced the result.
+parametrized over all five executors (serial, threaded, process,
+cluster, simulated) via the ``mine`` fixture, which also cross-checks
+every backend's output against the reference enumerator — the paper's
+claims must hold identically no matter which engine produced the
+result.
 """
 
 import itertools
@@ -20,6 +21,7 @@ from repro.core.bounds import lemma2_feasible, prefix_sums_desc
 from repro.core.naive import enumerate_maximal_quasicliques
 from repro.core.quasiclique import ceil_gamma, is_quasi_clique, kcore_threshold
 from repro.graph.traversal import diameter, two_hop_neighbors
+from repro.gthinker.cluster import mine_cluster
 from repro.gthinker.config import EngineConfig
 from repro.gthinker.engine import mine_parallel
 from repro.gthinker.engine_mp import mine_multiprocess
@@ -28,7 +30,7 @@ from repro.gthinker.simulation import simulate_cluster
 # Vertex labels of Figure 4 mapped onto IDs used by the fixture.
 A, B, C, D, E, F, G, H, I = range(9)
 
-BACKENDS = ("serial", "threaded", "process", "simulated")
+BACKENDS = ("serial", "threaded", "process", "cluster", "simulated")
 
 
 @pytest.fixture(params=BACKENDS)
@@ -49,6 +51,14 @@ def mine(request):
                 graph, gamma, min_size,
                 EngineConfig(backend="process", num_procs=2,
                              queue_capacity=4, batch_size=2),
+            )
+        elif backend == "cluster":
+            out = mine_cluster(
+                graph, gamma, min_size,
+                EngineConfig(backend="cluster", num_procs=2,
+                             queue_capacity=4, batch_size=2,
+                             heartbeat_period=0.02, heartbeat_timeout=5.0),
+                timeout=120.0,
             )
         else:
             out = simulate_cluster(
