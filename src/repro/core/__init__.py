@@ -1,6 +1,7 @@
 """Core mining algorithms: pruning rules, bounds, recursive miner."""
 
 from .bounds import lower_bound, lower_bound_min, upper_bound, upper_bound_min
+from .domain import TaskDomain, bit_list, bits, is_quasi_clique_masked
 from .kernels import KernelExpansionResult, expand_kernel, top_k_quasicliques
 from .maxclique import CliqueSearchStats, is_clique, max_clique, max_clique_size
 from .iterative_bounding import iterative_bounding
@@ -9,6 +10,7 @@ from .naive import enumerate_maximal_quasicliques, enumerate_quasicliques
 from .options import (
     DEFAULT_OPTIONS,
     QUICK_OPTIONS,
+    SET_PATH_OPTIONS,
     MinerOptions,
     MiningJob,
     MiningStats,
@@ -52,6 +54,11 @@ __all__ = [
     "top_k_quasicliques",
     "DEFAULT_OPTIONS",
     "QUICK_OPTIONS",
+    "SET_PATH_OPTIONS",
+    "TaskDomain",
+    "bit_list",
+    "bits",
+    "is_quasi_clique_masked",
     "MinerOptions",
     "MiningJob",
     "MiningResult",

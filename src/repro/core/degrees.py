@@ -11,6 +11,17 @@ U_S needs the first three, L_S the first two, and EE-degrees feed only
 the Type I rules (Theorems 3 and 7), so their computation is deferred
 until right before the Type I pass — if a Type II rule fires first, the
 work is saved, exactly as the paper prescribes.
+
+Two result-equivalent constructions exist:
+
+* :func:`compute_degrees` — the classic dict/set scan over adjacency
+  lists, keyed by global vertex IDs;
+* :func:`compute_degrees_masked` — the bitset hot path over a
+  :class:`repro.core.domain.TaskDomain`, keyed by *local* IDs, where
+  each degree is a single ``(adj[v] & mask).bit_count()`` popcount.
+
+The downstream consumers (`repro.core.bounds`, the pruning batteries)
+read only the `DegreeView` interface, so they run on either keying.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..graph.adjacency import Graph
+from .domain import TaskDomain, bits
 
 
 @dataclass
@@ -34,13 +46,24 @@ class DegreeView:
         return sum(self.in_s_of_s.values())
 
     def min_total_degree_in_s(self) -> int:
-        """d_min = min_{v∈S} (d_S(v) + d_ext(v)) — Eq. (1)."""
+        """d_min = min_{v∈S} (d_S(v) + d_ext(v)) — Eq. (1).
+
+        Raises :class:`ValueError` with an explicit message on empty S
+        (the quantity is undefined; Eqs. 1–8 all presuppose S ≠ ∅).
+        """
+        if not self.in_s_of_s:
+            raise ValueError("min_total_degree_in_s is undefined for empty S")
         return min(
             self.in_s_of_s[v] + self.in_ext_of_s[v] for v in self.in_s_of_s
         )
 
     def min_s_degree(self) -> int:
-        """d_S^min = min_{v∈S} d_S(v) — Eq. (6)."""
+        """d_S^min = min_{v∈S} d_S(v) — Eq. (6).
+
+        Raises :class:`ValueError` with an explicit message on empty S.
+        """
+        if not self.in_s_of_s:
+            raise ValueError("min_s_degree is undefined for empty S")
         return min(self.in_s_of_s.values())
 
     def ext_degrees_sorted(self) -> list[int]:
@@ -77,5 +100,37 @@ def compute_degrees(graph: Graph, s_set: set[int], ext_set: set[int]) -> DegreeV
 def compute_ee_degrees(graph: Graph, ext_set: set[int], view: DegreeView) -> dict[int, int]:
     """EE-degrees d_ext(u), computed lazily before the Type I pass."""
     ee = {u: graph.degree_in(u, ext_set) for u in ext_set}
+    view.in_ext_of_ext = ee
+    return ee
+
+
+def compute_degrees_masked(domain: TaskDomain, s_mask: int, ext_mask: int) -> DegreeView:
+    """Mask-native SS/ES/SE degrees: one popcount per (vertex, family).
+
+    The returned view is keyed by *local* domain IDs; it is otherwise
+    interchangeable with :func:`compute_degrees` output — same dict
+    shapes, same aggregate methods — so `repro.core.bounds` and the
+    pruning rules consume either.
+    """
+    adj = domain.adj
+    view = DegreeView()
+    in_s_of_s = view.in_s_of_s
+    in_ext_of_s = view.in_ext_of_s
+    for v in bits(s_mask):
+        a = adj[v]
+        in_s_of_s[v] = (a & s_mask).bit_count()
+        in_ext_of_s[v] = (a & ext_mask).bit_count()
+    in_s_of_ext = view.in_s_of_ext
+    for u in bits(ext_mask):
+        in_s_of_ext[u] = (adj[u] & s_mask).bit_count()
+    return view
+
+
+def compute_ee_degrees_masked(
+    domain: TaskDomain, ext_mask: int, view: DegreeView
+) -> dict[int, int]:
+    """Lazy EE-degrees over a domain, one popcount per ext vertex."""
+    adj = domain.adj
+    ee = {u: (adj[u] & ext_mask).bit_count() for u in bits(ext_mask)}
     view.in_ext_of_ext = ee
     return ee

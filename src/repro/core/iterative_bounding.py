@@ -13,13 +13,24 @@ here (the paper's fix over Quick). Both ``s_list`` and ``ext_list`` are
 mutated in place: critical moves grow S, Type I pruning shrinks ext —
 the caller continues with the mutated state, matching the reference-
 passing semantics of the paper's pseudocode.
+
+:func:`iterative_bounding_masked` is the bitset twin running on a
+:class:`repro.core.domain.TaskDomain`; masks are immutable ints, so it
+returns the updated ⟨S, ext⟩ instead of mutating arguments.
 """
 
 from __future__ import annotations
 
 from ..graph.adjacency import Graph
 from .bounds import lower_bound, upper_bound
-from .degrees import DegreeView, compute_degrees, compute_ee_degrees
+from .degrees import (
+    DegreeView,
+    compute_degrees,
+    compute_degrees_masked,
+    compute_ee_degrees,
+    compute_ee_degrees_masked,
+)
+from .domain import TaskDomain, bits, is_quasi_clique_masked
 from .options import MiningJob
 from .pruning import (
     Type2Outcome,
@@ -43,6 +54,17 @@ def check_and_emit(job: MiningJob, s_list: list[int]) -> bool:
     """Emit S as a candidate iff |S| ≥ τ_size and G(S) is a γ-quasi-clique."""
     if len(s_list) >= job.min_size and is_quasi_clique(job.graph, s_list, job.gamma):
         job.sink.emit(s_list)
+        job.stats.candidates_emitted += 1
+        return True
+    return False
+
+
+def check_and_emit_masked(job: MiningJob, domain: TaskDomain, s_mask: int) -> bool:
+    """Mask-native `check_and_emit`: validity via popcounts, emission global."""
+    if s_mask.bit_count() >= job.min_size and is_quasi_clique_masked(
+        domain, s_mask, job.gamma
+    ):
+        job.sink.emit(domain.globals_of(s_mask))
         job.stats.candidates_emitted += 1
         return True
     return False
@@ -185,3 +207,121 @@ def iterative_bounding(job: MiningJob, s_list: list[int], ext_list: list[int]) -
     # ext(S) = ∅ — only G(S) itself remains a candidate.
     check_and_emit(job, s_list)
     return True
+
+
+def iterative_bounding_masked(
+    job: MiningJob, domain: TaskDomain, s_mask: int, ext_mask: int
+) -> tuple[bool, int, int]:
+    """Mask-native Algorithm 1 over a :class:`TaskDomain`.
+
+    Same control flow as :func:`iterative_bounding`, but ⟨S, ext(S)⟩
+    are bitmasks: degree snapshots are popcounts, the critical-vertex
+    bulk move is `adj[v] & ext_mask`, and a Type I pass removes its
+    victims with one AND-NOT. Masks are values, not in-place lists, so
+    the (possibly grown/shrunk) state is returned:
+    ``(extensions_pruned, s_mask, ext_mask)``.
+    """
+    if not s_mask:
+        raise ValueError("iterative_bounding requires a non-empty S")
+    gamma = job.gamma
+    opts = job.options
+    stats = job.stats
+    adj = domain.adj
+
+    while True:
+        stats.bounding_rounds += 1
+        s_size = s_mask.bit_count()
+        stats.mining_ops += s_size + ext_mask.bit_count()
+        view = compute_degrees_masked(domain, s_mask, ext_mask)
+        u_s, l_s, action = _compute_bounds(job, s_size, view)
+        if action == _PRUNE_SILENT:
+            stats.type2_pruned += 1
+            return True, s_mask, ext_mask
+        if action == _PRUNE_CHECK_S:
+            stats.type2_pruned += 1
+            check_and_emit_masked(job, domain, s_mask)
+            return True, s_mask, ext_mask
+
+        # -- Part 1: critical-vertex move (Theorem 9) -------------------
+        if opts.critical_vertex_enabled() and l_s is not None:
+            critical = find_critical_vertex(gamma, s_size, view, l_s)
+            if critical is not None:
+                if opts.check_before_critical_expand:
+                    check_and_emit_masked(job, domain, s_mask)
+                moved = adj[critical] & ext_mask
+                s_mask |= moved
+                ext_mask &= ~moved
+                stats.critical_moves += 1
+                if not ext_mask:
+                    break  # paper: skip straight to the ext-empty epilogue
+                s_size = s_mask.bit_count()
+                view = compute_degrees_masked(domain, s_mask, ext_mask)
+                u_s, l_s, action = _compute_bounds(job, s_size, view)
+                if action == _PRUNE_SILENT:
+                    stats.type2_pruned += 1
+                    return True, s_mask, ext_mask
+                if action == _PRUNE_CHECK_S:
+                    stats.type2_pruned += 1
+                    check_and_emit_masked(job, domain, s_mask)
+                    return True, s_mask, ext_mask
+
+        # -- Part 2: Type II battery over S ------------------------------
+        ext_only_fired = False
+        for v in bits(s_mask):
+            d_s_v = view.in_s_of_s[v]
+            d_ext_v = view.in_ext_of_s[v]
+            if opts.use_degree_prune:
+                outcome = type2_degree_check(gamma, s_size, d_s_v, d_ext_v)
+                if outcome is Type2Outcome.ALL:
+                    stats.type2_pruned += 1
+                    return True, s_mask, ext_mask
+                if outcome is Type2Outcome.EXT_ONLY:
+                    ext_only_fired = True
+            if (
+                opts.use_upper_bound
+                and u_s is not None
+                and type2_upper_prunable(gamma, s_size, d_s_v, u_s)
+            ):
+                stats.type2_pruned += 1
+                return True, s_mask, ext_mask
+            if (
+                opts.use_lower_bound
+                and l_s is not None
+                and type2_lower_prunable(gamma, s_size, d_s_v, d_ext_v, l_s)
+            ):
+                stats.type2_pruned += 1
+                return True, s_mask, ext_mask
+        if ext_only_fired:
+            # Theorem 4 Condition (i): extensions die but G(S) survives.
+            stats.type2_pruned += 1
+            check_and_emit_masked(job, domain, s_mask)
+            return True, s_mask, ext_mask
+
+        # -- Part 3: Type I battery over ext(S) --------------------------
+        ee = compute_ee_degrees_masked(domain, ext_mask, view)
+        stats.mining_ops += ext_mask.bit_count()
+        removed = 0
+        for u in bits(ext_mask):
+            d_s_u = view.in_s_of_ext[u]
+            d_ext_u = ee[u]
+            prune = (
+                opts.use_degree_prune
+                and type1_degree_prunable(gamma, s_size, d_s_u, d_ext_u)
+            )
+            if not prune and opts.use_upper_bound and u_s is not None:
+                prune = type1_upper_prunable(gamma, s_size, d_s_u, u_s)
+            if not prune and opts.use_lower_bound and l_s is not None:
+                prune = type1_lower_prunable(gamma, s_size, d_s_u, d_ext_u, l_s)
+            if prune:
+                removed |= 1 << u
+        if removed:
+            stats.type1_pruned += removed.bit_count()
+            ext_mask &= ~removed
+        if not ext_mask:
+            break  # C1: nothing left to extend with
+        if not removed:
+            return False, s_mask, ext_mask  # C2: ext stable — caller recurses
+
+    # ext(S) = ∅ — only G(S) itself remains a candidate.
+    check_and_emit_masked(job, domain, s_mask)
+    return True, s_mask, ext_mask

@@ -17,6 +17,7 @@ from enum import Enum
 
 from ..graph.adjacency import Graph
 from .degrees import DegreeView
+from .domain import TaskDomain, bits
 from .quasiclique import ceil_gamma
 
 
@@ -153,6 +154,53 @@ def cover_set(
     return best
 
 
+@dataclass
+class CoverVertexMask:
+    """Mask-native cover selection: local vertex + covered ext mask (Eq. 9)."""
+
+    vertex: int
+    covered_mask: int
+
+
+def cover_set_masked(
+    domain: TaskDomain, s_mask: int, ext_mask: int, gamma: float, view: DegreeView
+) -> CoverVertexMask | None:
+    """Best cover vertex over a bitmask domain (Eq. 9).
+
+    Same rule as :func:`cover_set` with set algebra replaced by word
+    operations: Γ_ext(u) is one AND, each ⋂ Γ(v) step one more. The
+    tie-break differs only in iteration order (ascending local ID vs
+    set order), which affects which of several equally-large cover sets
+    wins — never whether one is found, nor its size.
+    """
+    if not ext_mask:
+        return None
+    adj = domain.adj
+    threshold = ceil_gamma(gamma, s_mask.bit_count())
+    best: CoverVertexMask | None = None
+    best_size = 0
+    for u in bits(ext_mask):
+        if view.in_s_of_ext.get(u, 0) < threshold:
+            continue
+        gamma_ext_u = adj[u] & ext_mask
+        if gamma_ext_u.bit_count() <= best_size:
+            continue
+        covered = gamma_ext_u
+        applicable = True
+        for v in bits(s_mask & ~adj[u]):
+            if view.in_s_of_s[v] < threshold:
+                applicable = False
+                break
+            covered &= adj[v]
+            if covered.bit_count() <= best_size:
+                break
+        if not applicable or covered.bit_count() <= best_size:
+            continue
+        best = CoverVertexMask(vertex=u, covered_mask=covered)
+        best_size = covered.bit_count()
+    return best
+
+
 # -- P1: diameter pruning ----------------------------------------------------
 
 
@@ -167,3 +215,13 @@ def diameter_filter(graph: Graph, anchor: int, candidates: list[int]) -> list[in
     for w in anchor_nbrs:
         two_hop |= graph.neighbor_set(w)
     return [u for u in candidates if u in anchor_nbrs or u in two_hop]
+
+
+def diameter_filter_masked(domain: TaskDomain, anchor: int, cand_mask: int) -> int:
+    """Theorem 1 increment over a bitmask domain: two ORs and one AND.
+
+    Masks have no element order to preserve — the set-enumeration walk
+    over a mask always pivots in ascending local-ID order, and the
+    cover tail is excluded by mask, not by list position.
+    """
+    return cand_mask & domain.two_hop_mask(anchor)

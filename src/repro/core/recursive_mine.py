@@ -19,10 +19,16 @@ is the spawn root, so cross-task maximality needs the postprocessing in
 from __future__ import annotations
 
 from ..graph.adjacency import Graph
-from .degrees import compute_degrees
-from .iterative_bounding import check_and_emit, iterative_bounding
+from .degrees import compute_degrees, compute_degrees_masked
+from .domain import TaskDomain, is_quasi_clique_masked
+from .iterative_bounding import (
+    check_and_emit,
+    check_and_emit_masked,
+    iterative_bounding,
+    iterative_bounding_masked,
+)
 from .options import MiningJob
-from .pruning import cover_set, diameter_filter
+from .pruning import cover_set, cover_set_masked, diameter_filter, diameter_filter_masked
 from .quasiclique import is_quasi_clique
 
 
@@ -91,5 +97,79 @@ def recursive_mine(job: MiningJob, s_list: list[int], ext_list: list[int]) -> bo
             sub_found = recursive_mine(job, s_prime, ext_prime)
             found = found or sub_found
             if not sub_found and check_and_emit(job, s_prime):
+                found = True
+    return found
+
+
+def select_cover_tail_masked(
+    job: MiningJob, domain: TaskDomain, s_mask: int, ext_mask: int
+) -> int:
+    """Mask-native P7 selection: the covered ext subset as a bitmask."""
+    if not job.options.use_cover_vertex or not ext_mask:
+        return 0
+    view = compute_degrees_masked(domain, s_mask, ext_mask)
+    cv = cover_set_masked(domain, s_mask, ext_mask, job.gamma, view)
+    if cv is None:
+        return 0
+    job.stats.cover_skipped += cv.covered_mask.bit_count()
+    return cv.covered_mask
+
+
+def recursive_mine_masked(
+    job: MiningJob, domain: TaskDomain, s_mask: int, ext_mask: int
+) -> bool:
+    """Mask-native Algorithm 2 over a :class:`TaskDomain`.
+
+    The set-enumeration walk pivots over the non-covered ext vertices in
+    ascending local-ID order; the cover tail is a mask that rides along
+    in every child's candidate set but is never pivoted — positionally
+    identical to the list version's tail placement. Returns True iff
+    some valid quasi-clique ⊃ S was emitted.
+    """
+    gamma = job.gamma
+    min_size = job.min_size
+    opts = job.options
+    found = False
+    job.stats.nodes_expanded += 1
+    job.stats.mining_ops += 1 + ext_mask.bit_count()
+
+    covered = select_cover_tail_masked(job, domain, s_mask, ext_mask)
+    pending = ext_mask & ~covered
+    s_size = s_mask.bit_count()
+
+    while pending:
+        low = pending & -pending
+        v = low.bit_length() - 1
+        remaining = pending | covered  # current ext(S), pivot included
+        if s_size + remaining.bit_count() < min_size:
+            return found
+        if opts.use_lookahead and is_quasi_clique_masked(domain, s_mask | remaining, gamma):
+            # Lookahead (Alg. 2 lines 8–10): S ∪ ext(S) is itself a valid
+            # quasi-clique, so every proper extension is non-maximal.
+            job.sink.emit(domain.globals_of(s_mask | remaining))
+            job.stats.candidates_emitted += 1
+            job.stats.lookahead_hits += 1
+            return True
+
+        pending ^= low
+        s_prime = s_mask | low
+        ext_base = pending | covered
+        if opts.use_diameter_prune:
+            ext_prime = diameter_filter_masked(domain, v, ext_base)
+        else:
+            ext_prime = ext_base
+
+        if not ext_prime:
+            # The check Quick misses: S′ has nothing to extend with but
+            # may itself be a valid (maximal) quasi-clique.
+            if opts.check_empty_ext_candidate and check_and_emit_masked(job, domain, s_prime):
+                found = True
+            continue
+
+        pruned, s_prime, ext_prime = iterative_bounding_masked(job, domain, s_prime, ext_prime)
+        if not pruned and s_prime.bit_count() + ext_prime.bit_count() >= min_size:
+            sub_found = recursive_mine_masked(job, domain, s_prime, ext_prime)
+            found = found or sub_found
+            if not sub_found and check_and_emit_masked(job, domain, s_prime):
                 found = True
     return found

@@ -172,6 +172,25 @@ class Graph:
         g._num_edges = self._num_edges
         return g
 
+    def adjacency_masks(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Whole-graph bitmask adjacency export: ``(verts, masks)``.
+
+        ``verts`` lists the vertex IDs ascending; ``masks[i]`` has bit
+        ``j`` set iff ``verts[i]`` and ``verts[j]`` are adjacent. This is
+        the shared construction consumed by
+        :class:`repro.core.domain.TaskDomain` (CSRGraph exports the same
+        shape), so the mask-native mining path runs on either backend.
+        """
+        verts = tuple(sorted(self._adj))
+        index = {g: i for i, g in enumerate(verts)}
+        masks = []
+        for g in verts:
+            m = 0
+            for u in self._adj[g]:
+                m |= 1 << index[u]
+            masks.append(m)
+        return verts, tuple(masks)
+
     def degree_in(self, v: int, vertex_set: set[int]) -> int:
         """d_{V'}(v): number of v's neighbors inside `vertex_set`."""
         s = self._adj_set[v]

@@ -30,15 +30,26 @@ from .adjacency import Graph
 class CSRGraph:
     """Read-only graph over compact vertex IDs 0..n-1."""
 
-    __slots__ = ("_offsets", "_targets", "_num_vertices", "_num_edges", "_set_cache")
+    __slots__ = (
+        "_offsets", "_targets", "_num_vertices", "_num_edges",
+        "_set_cache", "_hub_min_degree",
+    )
+
+    #: Capacity of the hub neighbor-set cache (class-level so tests can
+    #: shrink it); only the top-`_set_cache_max` vertices by degree are
+    #: cache-eligible.
+    _set_cache_max = 4096
 
     def __init__(self, offsets: array, targets: array, num_edges: int):
         self._offsets = offsets
         self._targets = targets
         self._num_vertices = len(offsets) - 1
         self._num_edges = num_edges
-        #: Tiny memoization of neighbor sets for hub vertices; bounded.
+        #: Tiny memoization of neighbor sets for hub vertices; bounded
+        #: by degree — only vertices at least as connected as the
+        #: `_set_cache_max`-th-highest-degree vertex are admitted.
         self._set_cache: dict[int, frozenset[int]] = {}
+        self._hub_min_degree: int | None = None  # computed on first miss
 
     # -- constructors -----------------------------------------------------
 
@@ -109,9 +120,32 @@ class CSRGraph:
         cached = self._set_cache.get(v)
         if cached is None:
             cached = frozenset(self.neighbors(v))
-            if len(self._set_cache) < 4096:
+            if (
+                self.degree(v) >= self._hub_degree_threshold()
+                and len(self._set_cache) < self._set_cache_max
+            ):
                 self._set_cache[v] = cached
         return cached
+
+    def _hub_degree_threshold(self) -> int:
+        """Minimum degree for cache admission: the cap-th-largest degree.
+
+        With ≤ `_set_cache_max` vertices every vertex qualifies;
+        otherwise only true hubs do, so a scan that touches every
+        vertex once cannot evict-starve the hot hubs the mining loops
+        re-query (degree ties at the threshold are admitted until the
+        capacity check above stops them).
+        """
+        if self._hub_min_degree is None:
+            n = self._num_vertices
+            cap = self._set_cache_max
+            if n <= cap:
+                self._hub_min_degree = 0
+            else:
+                offsets = self._offsets
+                degrees = sorted(offsets[v + 1] - offsets[v] for v in range(n))
+                self._hub_min_degree = degrees[n - cap]
+        return self._hub_min_degree
 
     def degree(self, v: int) -> int:
         return self._offsets[v + 1] - self._offsets[v]
@@ -137,6 +171,24 @@ class CSRGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(|V|={self._num_vertices}, |E|={self._num_edges})"
+
+    def adjacency_masks(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Whole-graph bitmask adjacency export: ``(verts, masks)``.
+
+        Same shape as :meth:`repro.graph.adjacency.Graph.adjacency_masks`;
+        CSR IDs are already compact, so ``verts`` is the identity tuple
+        and local bit position equals vertex ID.
+        """
+        n = self._num_vertices
+        offsets = self._offsets
+        targets = self._targets
+        masks = []
+        for v in range(n):
+            m = 0
+            for i in range(offsets[v], offsets[v + 1]):
+                m |= 1 << targets[i]
+            masks.append(m)
+        return tuple(range(n)), tuple(masks)
 
     def degree_in(self, v: int, vertex_set: set[int]) -> int:
         lo, hi = self._offsets[v], self._offsets[v + 1]

@@ -18,15 +18,21 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..core.iterative_bounding import check_and_emit
+from ..core.domain import TaskDomain
+from ..core.iterative_bounding import check_and_emit, check_and_emit_masked
 from ..core.options import MinerOptions, MiningJob, MiningStats, ResultSink, DEFAULT_OPTIONS
 from ..core.quasiclique import kcore_threshold
-from ..core.recursive_mine import recursive_mine
+from ..core.recursive_mine import recursive_mine, recursive_mine_masked
 from ..graph.adjacency import Graph
 from ..graph.kcore import peel_adjacency
 from .app_protocol import ComputeContext, gthinker_app
 from .clock import make_budget
-from .decompose import size_threshold_split, time_delayed_mine
+from .decompose import (
+    size_threshold_split,
+    size_threshold_split_masked,
+    time_delayed_mine,
+    time_delayed_mine_masked,
+)
 from .metrics import TaskRecord
 from .task import ComputeOutcome, Task
 
@@ -132,13 +138,18 @@ class QuasiCliqueApp:
         cost += sum(len(nbrs) for nbrs in building.values())
         if v not in building:
             return ComputeOutcome(finished=True, cost_ops=cost)
-        graph = Graph()
-        for u in building:
-            graph.add_vertex(u)
-        for u, nbrs in building.items():
-            for w in nbrs:
-                graph.add_edge(u, w)
-        task.graph = graph
+        if self.options.use_bitset_domain:
+            # Compact bitmask domain: the pickled task ships two tuples
+            # of ints instead of a dict-of-lists + dict-of-sets Graph.
+            task.domain = TaskDomain.from_adjacency(building)
+        else:
+            graph = Graph()
+            for u in building:
+                graph.add_vertex(u)
+            for u, nbrs in building.items():
+                for w in nbrs:
+                    graph.add_edge(u, w)
+            task.graph = graph
         task.building = None
         task.one_hop = None
         task.pulls = []
@@ -151,11 +162,12 @@ class QuasiCliqueApp:
 
     def _iteration_3(self, task: Task, ctx: ComputeContext) -> ComputeOutcome:
         config = ctx.config
+        domain = task.domain
         graph = task.graph
-        assert graph is not None
+        assert domain is not None or graph is not None
         stats = MiningStats()
         job = MiningJob(
-            graph=graph,
+            graph=domain if domain is not None else graph,
             gamma=self.gamma,
             min_size=self.min_size,
             sink=self.sink,
@@ -187,8 +199,49 @@ class QuasiCliqueApp:
                 )
             )
 
+        def spawn_subtask_masked(s_mask: int, ext_mask: int) -> None:
+            nonlocal materialize_seconds, materialize_ops
+            t0 = time.perf_counter()
+            sub = domain.restrict(s_mask | ext_mask)
+            cost = sub.num_vertices + sub.num_edges
+            materialize_seconds += time.perf_counter() - t0
+            materialize_ops += cost
+            stats.mining_ops += cost
+            new_tasks.append(
+                Task(
+                    task_id=ctx.next_task_id(),
+                    root=task.root,
+                    iteration=3,
+                    s=domain.globals_of(s_mask),
+                    ext=domain.globals_of(ext_mask),
+                    domain=sub,
+                    generation=task.generation + 1,
+                )
+            )
+
         t_start = time.perf_counter()
-        if not task.ext:
+        if domain is not None:
+            s_mask = domain.mask_of_globals(task.s)
+            ext_mask = domain.mask_of_globals(task.ext)
+            if not ext_mask:
+                # Nothing to extend with; the subgraph collapsed to S.
+                if len(task.s) > 1 or self.min_size <= 1:
+                    check_and_emit_masked(job, domain, s_mask)
+            elif config.decompose == "none":
+                recursive_mine_masked(job, domain, s_mask, ext_mask)
+            elif config.decompose == "size":
+                if len(task.ext) <= config.tau_split:
+                    recursive_mine_masked(job, domain, s_mask, ext_mask)
+                else:
+                    size_threshold_split_masked(
+                        job, domain, s_mask, ext_mask, spawn_subtask_masked
+                    )
+            else:  # 'timed' (Algorithm 9/10)
+                budget = make_budget(config.time_unit, config.tau_time, stats)
+                time_delayed_mine_masked(
+                    job, domain, s_mask, ext_mask, budget, spawn_subtask_masked
+                )
+        elif not task.ext:
             # Nothing to extend with; the subgraph collapsed to S.
             if len(task.s) > 1 or self.min_size <= 1:
                 check_and_emit(job, list(task.s))
@@ -206,13 +259,14 @@ class QuasiCliqueApp:
 
         self.stats.merge(stats)
         if ctx.record is not None:
+            sub_source = domain if domain is not None else graph
             ctx.record(
                 TaskRecord(
                     task_id=task.task_id,
                     root=task.root,
                     generation=task.generation,
-                    subgraph_vertices=graph.num_vertices,
-                    subgraph_edges=graph.num_edges,
+                    subgraph_vertices=sub_source.num_vertices,
+                    subgraph_edges=sub_source.num_edges,
                     mining_seconds=max(0.0, elapsed - materialize_seconds),
                     mining_ops=stats.mining_ops - materialize_ops,
                     materialize_seconds=materialize_seconds,

@@ -16,21 +16,40 @@ Two ways to split a big mining task into subtasks:
 Both emit candidates that may be non-maximal — the parent loses sight
 of a wrapped subtask's results, so G(S′) is checked eagerly (Alg. 8
 line 15 / Alg. 10 lines 23–24) and postprocessing prunes the excess.
+
+Each strategy exists in two result-equivalent forms: the classic
+list/dict walk and a ``_masked`` twin over a bitmask
+:class:`~repro.core.domain.TaskDomain`, whose spawn callback receives
+⟨s_mask, ext_mask⟩ so subtasks ship re-compacted domains.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
-from ..core.iterative_bounding import check_and_emit, iterative_bounding
+from ..core.domain import TaskDomain, is_quasi_clique_masked
+from ..core.iterative_bounding import (
+    check_and_emit,
+    check_and_emit_masked,
+    iterative_bounding,
+    iterative_bounding_masked,
+)
 from ..core.options import MiningJob
-from ..core.pruning import diameter_filter
+from ..core.pruning import diameter_filter, diameter_filter_masked
 from ..core.quasiclique import is_quasi_clique
-from ..core.recursive_mine import order_with_cover_tail, select_cover_tail
+from ..core.recursive_mine import (
+    order_with_cover_tail,
+    select_cover_tail,
+    select_cover_tail_masked,
+)
 from .clock import Budget
 
 #: Callback materializing ⟨S′, ext(S′)⟩ into a new iteration-3 task.
 SpawnSubtask = Callable[[list[int], list[int]], None]
+
+#: Mask-native spawn callback: ⟨s_mask, ext_mask⟩ in the parent domain's
+#: local IDs — the receiver restricts the domain to s|ext and re-compacts.
+SpawnSubtaskMask = Callable[[int, int], None]
 
 
 def size_threshold_split(
@@ -133,5 +152,111 @@ def time_delayed_mine(
             sub_found = time_delayed_mine(job, s_prime, ext_prime, budget, spawn_subtask)
             found = found or sub_found
             if not sub_found and check_and_emit(job, s_prime):
+                found = True
+    return found
+
+
+def size_threshold_split_masked(
+    job: MiningJob,
+    domain: TaskDomain,
+    s_mask: int,
+    ext_mask: int,
+    spawn_subtask: SpawnSubtaskMask,
+) -> None:
+    """Mask-native Algorithm 8: one-level split over a bitmask domain."""
+    gamma = job.gamma
+    min_size = job.min_size
+    opts = job.options
+    job.stats.nodes_expanded += 1
+    job.stats.mining_ops += 1 + ext_mask.bit_count()
+
+    covered = select_cover_tail_masked(job, domain, s_mask, ext_mask)
+    pending = ext_mask & ~covered
+    s_size = s_mask.bit_count()
+    while pending:
+        low = pending & -pending
+        v = low.bit_length() - 1
+        remaining = pending | covered
+        if s_size + remaining.bit_count() < min_size:
+            return
+        if opts.use_lookahead and is_quasi_clique_masked(domain, s_mask | remaining, gamma):
+            job.sink.emit(domain.globals_of(s_mask | remaining))
+            job.stats.candidates_emitted += 1
+            job.stats.lookahead_hits += 1
+            return
+        pending ^= low
+        s_prime = s_mask | low
+        ext_base = pending | covered
+        if opts.use_diameter_prune:
+            ext_prime = diameter_filter_masked(domain, v, ext_base)
+        else:
+            ext_prime = ext_base
+        # Alg. 8 line 15: the parent will never see the subtask's
+        # results, so G(S′) must be checked for validity right now.
+        check_and_emit_masked(job, domain, s_prime)
+        if not ext_prime:
+            continue
+        pruned, s_prime, ext_prime = iterative_bounding_masked(job, domain, s_prime, ext_prime)
+        if not pruned and s_prime.bit_count() + ext_prime.bit_count() >= min_size:
+            spawn_subtask(s_prime, ext_prime)
+
+
+def time_delayed_mine_masked(
+    job: MiningJob,
+    domain: TaskDomain,
+    s_mask: int,
+    ext_mask: int,
+    budget: Budget,
+    spawn_subtask: SpawnSubtaskMask,
+) -> bool:
+    """Mask-native Algorithm 10: timed backtracking with mask-split wraps."""
+    gamma = job.gamma
+    min_size = job.min_size
+    opts = job.options
+    found = False
+    job.stats.nodes_expanded += 1
+    job.stats.mining_ops += 1 + ext_mask.bit_count()
+
+    covered = select_cover_tail_masked(job, domain, s_mask, ext_mask)
+    pending = ext_mask & ~covered
+    s_size = s_mask.bit_count()
+    while pending:
+        low = pending & -pending
+        v = low.bit_length() - 1
+        remaining = pending | covered
+        if s_size + remaining.bit_count() < min_size:
+            return found
+        if opts.use_lookahead and is_quasi_clique_masked(domain, s_mask | remaining, gamma):
+            job.sink.emit(domain.globals_of(s_mask | remaining))
+            job.stats.candidates_emitted += 1
+            job.stats.lookahead_hits += 1
+            return True
+
+        pending ^= low
+        s_prime = s_mask | low
+        ext_base = pending | covered
+        if opts.use_diameter_prune:
+            ext_prime = diameter_filter_masked(domain, v, ext_base)
+        else:
+            ext_prime = ext_base
+
+        if not ext_prime:
+            if opts.check_empty_ext_candidate and check_and_emit_masked(job, domain, s_prime):
+                found = True
+            continue
+
+        pruned, s_prime, ext_prime = iterative_bounding_masked(job, domain, s_prime, ext_prime)
+        if budget.expired():
+            # Timeout: wrap the remaining workload of this child as a
+            # task and keep backtracking (Alg. 10 lines 18–24).
+            if not pruned and s_prime.bit_count() + ext_prime.bit_count() >= min_size:
+                spawn_subtask(s_prime, ext_prime)
+                check_and_emit_masked(job, domain, s_prime)
+        elif not pruned and s_prime.bit_count() + ext_prime.bit_count() >= min_size:
+            sub_found = time_delayed_mine_masked(
+                job, domain, s_prime, ext_prime, budget, spawn_subtask
+            )
+            found = found or sub_found
+            if not sub_found and check_and_emit_masked(job, domain, s_prime):
                 found = True
     return found

@@ -52,6 +52,15 @@ itself), and a result message whose lease was already reclaimed is a
 *stale duplicate* — its children and metrics are dropped so re-mined
 work is never double-counted.
 
+Result channels are isolated per worker *incarnation*: each worker
+ships messages over its own one-writer pipe rather than a shared
+queue. A shared `multiprocessing.Queue` write lock is a fault-domain
+violation — a worker SIGKILLed while its feeder thread holds the lock
+dies owning it, wedging every peer's `put` until their leases expire
+and the whole pool death-spirals into quarantine. With private pipes a
+killed worker can tear only its own channel; the supervisor abandons
+it, reclaims the leases, and the rest of the pool never notices.
+
 Because each worker owns a whole-graph replica, pull resolution is
 always local: `remote_messages` stays 0 and the vertex cache is idle on
 this backend (the partitioned data service is a distribution model, not
@@ -71,11 +80,11 @@ import heapq
 import itertools
 import multiprocessing
 import pickle
-import queue
 import time
 import traceback
 import warnings
 from array import array
+from multiprocessing import connection as mp_connection
 
 from ..core.options import ResultSink
 from ..core.postprocess import postprocess_results
@@ -224,12 +233,16 @@ def _worker_main(
     config: EngineConfig,
     injection: FaultInjection | None,
     task_q,
-    result_q,
+    result_conn,
     trace_enabled: bool,
 ) -> None:
     """Worker loop: decode batches, mine, ship results back.
 
-    Message protocol (worker → parent):
+    Message protocol (worker → parent, over this incarnation's private
+    result pipe — one writer per pipe, so a SIGKILLed worker can never
+    leave a shared write lock held and wedge its peers; sends happen on
+    this thread, so every completed batch is flushed before the next
+    batch is even received):
       ("batch", worker_id, batch_id, finished, child_blobs, candidates,
        metrics, events) per processed batch;
       ("done", worker_id, stats_blob) on sentinel;
@@ -252,7 +265,7 @@ def _worker_main(
         while True:
             item = task_q.get()
             if item is None:
-                result_q.put(("done", worker_id, pickle.dumps(app.stats)))
+                result_conn.send(("done", worker_id, pickle.dumps(app.stats)))
                 return
             if injection is not None and completed >= injection.after_batches:
                 die_hard()
@@ -271,7 +284,7 @@ def _worker_main(
             results = app.sink.results()
             fresh = results - shipped
             shipped |= fresh
-            result_q.put(
+            result_conn.send(
                 (
                     "batch",
                     worker_id,
@@ -285,7 +298,10 @@ def _worker_main(
             )
             completed += 1
     except BaseException:
-        result_q.put(("error", worker_id, traceback.format_exc()))
+        try:
+            result_conn.send(("error", worker_id, traceback.format_exc()))
+        except OSError:  # parent already closed the pipe mid-shutdown
+            pass
 
 
 # -- the parent-side engine ------------------------------------------------
@@ -359,6 +375,7 @@ class MultiprocessEngine:
         self._batch_ids = itertools.count()
         self._procs: list = []
         self._task_qs: list = []
+        self._result_conns: list = []
         self._generations: list[int] = []
         self._outstanding: list[set[int]] = []
 
@@ -405,7 +422,14 @@ class MultiprocessEngine:
     # -- pool management ----------------------------------------------------
 
     def _spawn_worker(self, worker_id: int, generation: int) -> None:
-        """(Re)start the worker in slot `worker_id` with a fresh queue."""
+        """(Re)start the worker in slot `worker_id` with a fresh queue.
+
+        Each incarnation gets a private result pipe: the worker is the
+        pipe's only writer, so there is no cross-worker write lock for a
+        SIGKILLed process to die holding, and a partially-written frame
+        from a terminated worker corrupts only its own (abandoned)
+        channel — never a peer's.
+        """
         injection = None
         if (
             self._injection is not None
@@ -414,19 +438,27 @@ class MultiprocessEngine:
         ):
             injection = self._injection
         task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        old_conn = self._result_conns[worker_id]
+        if old_conn is not None:
+            old_conn.close()
         proc = self._ctx.Process(
             target=_worker_main,
             args=(
                 worker_id, self._graph_payload, self._app_blob, self.config,
-                injection, task_q, self._result_q, self.tracer.enabled,
+                injection, task_q, send_conn, self.tracer.enabled,
             ),
             daemon=True,
         )
         self._task_qs[worker_id] = task_q
+        self._result_conns[worker_id] = recv_conn
         self._procs[worker_id] = proc
         self._generations[worker_id] = generation
         self._outstanding[worker_id] = set()
         proc.start()
+        # The worker holds the write end now; dropping the parent's copy
+        # makes worker death observable as EOF on `recv_conn`.
+        send_conn.close()
 
     def _fail_worker(self, worker_id: int, reason: str, now: float) -> None:
         """Handle one dead/wedged worker: reclaim its leases, respawn it."""
@@ -502,9 +534,9 @@ class MultiprocessEngine:
         else:
             shm, nbytes = _graph_to_shm(self.graph)
             self._graph_payload = ("shm", shm.name, nbytes)
-        self._result_q = self._ctx.Queue()
         self._procs = [None] * self.num_procs
         self._task_qs = [None] * self.num_procs
+        self._result_conns = [None] * self.num_procs
         self._generations = [0] * self.num_procs
         self._outstanding = [set() for _ in range(self.num_procs)]
         try:
@@ -519,11 +551,14 @@ class MultiprocessEngine:
                 if proc.is_alive():
                     proc.terminate()
                 proc.join(timeout=5.0)
-            for q in [*self._task_qs, self._result_q]:
+            for q in self._task_qs:
                 if q is None:
                     continue
                 q.cancel_join_thread()
                 q.close()
+            for conn in self._result_conns:
+                if conn is not None:
+                    conn.close()
             if shm is not None:
                 shm.close()
                 shm.unlink()
@@ -587,25 +622,49 @@ class MultiprocessEngine:
                     core.apply_steals()
                 time.sleep(0.001)
                 continue
-            try:
-                msg = self._result_q.get(timeout=0.05)
-            except queue.Empty:
+            ready = mp_connection.wait(self._live_conns(), timeout=0.05)
+            if not ready:
                 continue
-            self._handle_message(msg)
+            for conn in ready:
+                msg = self._recv_from(conn)
+                if msg is not None:
+                    self._handle_message(msg)
             if steal_enabled:
                 now = time.monotonic()
                 if now - last_steal >= config.steal_period_seconds:
                     core.apply_steals()
                     last_steal = now
 
+    def _live_conns(self):
+        return [c for c in self._result_conns if c is not None and not c.closed]
+
+    def _recv_from(self, conn):
+        """Receive one message, tolerating a dead writer.
+
+        EOF (the worker exited) and a torn frame (the worker was
+        terminated mid-send) poison only this incarnation's private
+        pipe: the channel is closed and abandoned. Anything its
+        remaining messages carried is re-run through lease reclaim.
+        """
+        try:
+            return conn.recv()
+        except (EOFError, OSError, pickle.UnpicklingError):
+            conn.close()
+            for slot, held in enumerate(self._result_conns):
+                if held is conn:
+                    self._result_conns[slot] = None
+            return None
+
     def _drain_results(self) -> None:
-        """Fold in every result message already sitting on the queue."""
-        while True:
-            try:
-                msg = self._result_q.get_nowait()
-            except queue.Empty:
-                return
-            self._handle_message(msg)
+        """Fold in every result message already sitting in the pipes."""
+        for conn in list(self._result_conns):
+            if conn is None:
+                continue
+            while not conn.closed and conn.poll():
+                msg = self._recv_from(conn)
+                if msg is None:
+                    break
+                self._handle_message(msg)
 
     def _handle_message(self, msg) -> None:
         kind = msg[0]
@@ -659,28 +718,31 @@ class MultiprocessEngine:
         pending = set(range(self.num_procs))
         deadline = time.monotonic() + 30.0
         while pending and time.monotonic() < deadline:
-            try:
-                msg = self._result_q.get(timeout=1.0)
-            except queue.Empty:
+            ready = mp_connection.wait(self._live_conns(), timeout=1.0)
+            if not ready:
                 if all(not proc.is_alive() for proc in self._procs):
                     break
                 continue
-            if msg[0] == "done":
-                _, worker_id, stats_blob = msg
-                self.metrics.mining_stats.merge(pickle.loads(stats_blob))
-                pending.discard(worker_id)
-            elif msg[0] == "batch":
-                # A stale duplicate flushed by a worker we terminated for
-                # lease expiry: every lease was settled before the
-                # dispatch loop returned, so only fold the (deduplicated)
-                # candidates.
-                for candidate in msg[5]:
-                    self.app.sink.emit(candidate)
-            elif msg[0] == "error":
-                # All mining already completed; losing this worker's
-                # final stats blob is not worth failing the run over.
-                self.worker_errors.append(msg[2])
-                pending.discard(msg[1])
+            for conn in ready:
+                msg = self._recv_from(conn)
+                if msg is None:
+                    continue
+                if msg[0] == "done":
+                    _, worker_id, stats_blob = msg
+                    self.metrics.mining_stats.merge(pickle.loads(stats_blob))
+                    pending.discard(worker_id)
+                elif msg[0] == "batch":
+                    # A stale duplicate flushed by a worker we terminated
+                    # for lease expiry: every lease was settled before
+                    # the dispatch loop returned, so only fold the
+                    # (deduplicated) candidates.
+                    for candidate in msg[5]:
+                        self.app.sink.emit(candidate)
+                elif msg[0] == "error":
+                    # All mining already completed; losing this worker's
+                    # final stats blob is not worth failing the run over.
+                    self.worker_errors.append(msg[2])
+                    pending.discard(msg[1])
         for proc in self._procs:
             proc.join(timeout=5.0)
 

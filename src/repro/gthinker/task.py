@@ -10,6 +10,14 @@ spawned from a vertex walk three iterations (paper Algorithms 4–7):
 
 Tasks must survive disk spilling and (in the real system) network
 shipping for work stealing, so they are plain picklable records.
+
+Iteration-3 mining tasks carry their subgraph as a compact bitmask
+:class:`~repro.core.domain.TaskDomain` by default: two tuples of ints
+(the local→global ID table once per task, plus one adjacency mask per
+vertex), which pickles far smaller than a ``Graph`` — the blobs shipped
+by the process-pool batches and the cluster wire protocol shrink
+accordingly. The ``graph`` field remains for the classic dict/set
+mining path and for apps that need mutable adjacency.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 
+from ..core.domain import TaskDomain
 from ..graph.adjacency import Graph
 
 
@@ -33,6 +42,9 @@ class Task:
     #: 1–2 `building` holds the half-built adjacency (may reference
     #: destination-only vertices — see kcore.peel_adjacency).
     graph: Graph | None = None
+    #: Compact bitmask subgraph for iteration-3 tasks on the bitset
+    #: mining path (exactly one of `graph`/`domain` is set post-build).
+    domain: TaskDomain | None = None
     building: dict[int, set[int]] | None = None
     one_hop: set[int] | None = None  # t.N: root + its pulled neighbors
     pulls: list[int] = field(default_factory=list)  # pending vertex requests
@@ -64,7 +76,10 @@ class Task:
         return task
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        size = self.graph.num_vertices if self.graph else 0
+        if self.domain is not None:
+            size = self.domain.num_vertices
+        else:
+            size = self.graph.num_vertices if self.graph else 0
         return (
             f"Task(id={self.task_id}, root={self.root}, it={self.iteration}, "
             f"|S|={len(self.s)}, |ext|={len(self.ext)}, |g|={size})"

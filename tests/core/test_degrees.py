@@ -1,6 +1,8 @@
 """Tests for SS/ES/SE/EE degree bookkeeping."""
 
-from repro.core.degrees import compute_degrees, compute_ee_degrees
+import pytest
+
+from repro.core.degrees import DegreeView, compute_degrees, compute_ee_degrees
 
 from conftest import make_random_graph
 
@@ -52,6 +54,16 @@ class TestComputeDegrees:
         assert view.in_ext_of_s == {0: 0, 1: 0, 2: 0}
         assert view.in_s_of_ext == {}
         assert view.ext_degrees_sorted() == []
+
+    def test_empty_s_minima_raise_clear_error(self, triangle_graph):
+        # Eqs. 1–8 presuppose S ≠ ∅; the minima must fail loudly (a bare
+        # min() would raise an opaque "empty sequence" from deep inside
+        # the bound computation).
+        for view in (DegreeView(), compute_degrees(triangle_graph, set(), {0, 1, 2})):
+            with pytest.raises(ValueError, match="min_total_degree_in_s.*empty S"):
+                view.min_total_degree_in_s()
+            with pytest.raises(ValueError, match="min_s_degree.*empty S"):
+                view.min_s_degree()
 
     def test_ee_lazy_by_default(self, triangle_graph):
         view = compute_degrees(triangle_graph, {0}, {1, 2})

@@ -1,0 +1,124 @@
+"""Tests for the compact-ID bitmask task domain."""
+
+import pickle
+
+import pytest
+
+from repro.core.domain import TaskDomain, bit_list, bits, is_quasi_clique_masked
+from repro.core.quasiclique import is_quasi_clique
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.io import relabel_compact
+
+from conftest import make_random_graph
+
+
+class TestBits:
+    def test_bits_ascending(self):
+        assert list(bits(0)) == []
+        assert list(bits(0b1011)) == [0, 1, 3]
+        assert bit_list((1 << 70) | 1) == [0, 70]
+
+
+class TestConstruction:
+    def test_from_graph_full(self):
+        g = Graph.from_edges([(10, 20), (20, 30), (10, 30), (30, 40)])
+        d = TaskDomain.from_graph(g)
+        assert d.verts == (10, 20, 30, 40)
+        assert d.num_vertices == 4
+        assert d.num_edges == 4
+        # Local adjacency mirrors global adjacency under the relabeling.
+        assert d.degree_in(d.index[30], d.full_mask) == g.degree(30)
+
+    def test_from_graph_members_restricts(self):
+        g = make_random_graph(15, 0.4, seed=5)
+        members = [2, 3, 5, 7, 11]
+        d = TaskDomain.from_graph(g, members)
+        assert d.verts == tuple(members)
+        assert d.to_graph() == g.subgraph(set(members))
+
+    def test_from_graph_uses_csr_mask_export(self):
+        g = make_random_graph(12, 0.35, seed=8)
+        compact, _ = relabel_compact(g)
+        csr = CSRGraph.from_graph(compact)
+        assert TaskDomain.from_graph(csr) == TaskDomain.from_graph(compact)
+
+    def test_from_adjacency_drops_foreign_and_self(self):
+        # Neighbor 99 is not a key; 1 lists itself — both ignored.
+        d = TaskDomain.from_adjacency({0: [1, 99], 1: [0, 1, 2], 2: [1]})
+        assert d.verts == (0, 1, 2)
+        assert d.num_edges == 2
+        assert d.adj[d.index[0]] == 1 << d.index[1]
+
+    def test_equivalent_to_graph_build(self):
+        g = make_random_graph(20, 0.3, seed=2)
+        adjacency = {v: g.neighbors(v) for v in g.vertices()}
+        assert TaskDomain.from_adjacency(adjacency) == TaskDomain.from_graph(g)
+
+
+class TestTranslation:
+    def test_mask_round_trip(self):
+        g = make_random_graph(10, 0.5, seed=1)
+        d = TaskDomain.from_graph(g)
+        subset = [1, 4, 7]
+        mask = d.mask_of_globals(subset)
+        assert d.globals_of(mask) == subset
+
+    def test_mask_of_unknown_global_raises(self):
+        d = TaskDomain.from_adjacency({0: [1], 1: [0]})
+        with pytest.raises(KeyError):
+            d.mask_of_globals([5])
+
+
+class TestRestrict:
+    def test_restrict_matches_subgraph(self):
+        g = make_random_graph(18, 0.35, seed=4)
+        d = TaskDomain.from_graph(g)
+        keep_globals = [0, 3, 4, 8, 9, 12]
+        sub = d.restrict(d.mask_of_globals(keep_globals))
+        assert sub.verts == tuple(keep_globals)
+        assert sub.to_graph() == g.subgraph(set(keep_globals))
+
+    def test_restrict_shrinks_pickle(self):
+        g = make_random_graph(40, 0.4, seed=6)
+        d = TaskDomain.from_graph(g)
+        sub = d.restrict(d.mask_of_globals(range(8)))
+        assert len(pickle.dumps(sub)) < len(pickle.dumps(d))
+
+
+class TestPickle:
+    def test_round_trip(self):
+        g = make_random_graph(16, 0.4, seed=3)
+        d = TaskDomain.from_graph(g)
+        clone = pickle.loads(pickle.dumps(d))
+        assert clone == d
+        assert clone.index == d.index  # index rebuilt lazily
+
+    def test_smaller_than_graph_pickle(self):
+        g = make_random_graph(60, 0.3, seed=7)
+        d = TaskDomain.from_graph(g)
+        assert len(pickle.dumps(d)) < len(pickle.dumps(g))
+
+
+class TestMaskAlgebra:
+    def test_connected_in(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], vertices=range(5))
+        d = TaskDomain.from_graph(g)
+        assert d.connected_in(d.mask_of_globals([0, 1, 2]))
+        assert not d.connected_in(d.mask_of_globals([0, 1, 3]))
+        assert not d.connected_in(0)
+        assert d.connected_in(d.mask_of_globals([4]))
+
+    def test_two_hop_mask(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        d = TaskDomain.from_graph(g)
+        assert d.two_hop_mask(d.index[0]) == d.mask_of_globals([0, 1, 2])
+
+    def test_is_quasi_clique_masked_matches_set_version(self):
+        g = make_random_graph(12, 0.5, seed=9)
+        d = TaskDomain.from_graph(g)
+        for subset in ([0, 1, 2], [3, 4, 5, 6], [0, 5, 11], list(range(12))):
+            for gamma in (0.5, 0.75, 1.0):
+                assert is_quasi_clique_masked(
+                    d, d.mask_of_globals(subset), gamma
+                ) == is_quasi_clique(g, set(subset), gamma)

@@ -1,0 +1,192 @@
+"""Hypothesis parity: the bitmask domain equals the dict/set implementation.
+
+The bitset hot path (`repro.core.domain` + the `_masked` twins in
+degrees/pruning/iterative_bounding/recursive_mine) must be
+*result-equivalent* to the classic representation on arbitrary inputs:
+same degree families, same rule verdicts, same maximal quasi-cliques.
+These properties pin that equivalence vertex-by-vertex, not just
+end-to-end.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.degrees import (
+    compute_degrees,
+    compute_degrees_masked,
+    compute_ee_degrees,
+    compute_ee_degrees_masked,
+)
+from repro.core.domain import TaskDomain
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.options import SET_PATH_OPTIONS
+from repro.core.pruning import (
+    cover_set,
+    cover_set_masked,
+    diameter_filter,
+    diameter_filter_masked,
+    find_critical_vertex,
+    type1_degree_prunable,
+    type2_degree_check,
+)
+from repro.core.quasiclique import ceil_gamma
+from repro.graph.adjacency import Graph
+
+GAMMA_CHOICES = [0.5, 0.6, 2 / 3, 0.75, 0.8, 0.9, 1.0]
+
+
+@st.composite
+def graph_and_state(draw, max_vertices: int = 10):
+    """Random graph plus a disjoint (S, ext) split with S ≠ ∅."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    pairs = list(itertools.combinations(range(n), 2))
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    g = Graph.from_edges(
+        [pair for pair, keep in zip(pairs, mask) if keep], vertices=range(n)
+    )
+    labels = draw(
+        st.lists(
+            st.sampled_from(["s", "ext", "out"]), min_size=n, max_size=n
+        )
+    )
+    s_set = {v for v in range(n) if labels[v] == "s"}
+    ext_set = {v for v in range(n) if labels[v] == "ext"}
+    if not s_set:
+        s_set, ext_set = {0}, ext_set - {0}
+    return g, s_set, ext_set
+
+
+def masked_state(g, s_set, ext_set):
+    """Domain over S ∪ ext plus the two masks (the task's scope)."""
+    domain = TaskDomain.from_graph(g, sorted(s_set | ext_set))
+    return domain, domain.mask_of_globals(s_set), domain.mask_of_globals(ext_set)
+
+
+def globalize(domain, local_dict):
+    return {domain.verts[i]: d for i, d in local_dict.items()}
+
+
+@given(state=graph_and_state())
+@settings(max_examples=80, deadline=None)
+def test_degree_views_agree(state):
+    """Masked SS/ES/SE/EE degrees = dict/set degrees, restricted to S ∪ ext."""
+    g, s_set, ext_set = state
+    domain, s_mask, ext_mask = masked_state(g, s_set, ext_set)
+    # The dict/set path sees the same scope the domain compacts.
+    scope = g.subgraph(s_set | ext_set)
+    want = compute_degrees(scope, s_set, ext_set)
+    got = compute_degrees_masked(domain, s_mask, ext_mask)
+    assert globalize(domain, got.in_s_of_s) == want.in_s_of_s
+    assert globalize(domain, got.in_ext_of_s) == want.in_ext_of_s
+    assert globalize(domain, got.in_s_of_ext) == want.in_s_of_ext
+    want_ee = compute_ee_degrees(scope, ext_set, want)
+    got_ee = compute_ee_degrees_masked(domain, ext_mask, got)
+    assert globalize(domain, got_ee) == want_ee
+    # Aggregates (the bound inputs) agree too.
+    assert got.sum_s_degrees() == want.sum_s_degrees()
+    assert got.min_s_degree() == want.min_s_degree()
+    assert got.min_total_degree_in_s() == want.min_total_degree_in_s()
+    assert got.ext_degrees_sorted() == want.ext_degrees_sorted()
+
+
+@given(state=graph_and_state(), gamma=st.sampled_from(GAMMA_CHOICES))
+@settings(max_examples=60, deadline=None)
+def test_rule_verdicts_agree(state, gamma):
+    """Type I/II verdicts per vertex agree when fed either degree view."""
+    g, s_set, ext_set = state
+    domain, s_mask, ext_mask = masked_state(g, s_set, ext_set)
+    scope = g.subgraph(s_set | ext_set)
+    want = compute_degrees(scope, s_set, ext_set)
+    got = compute_degrees_masked(domain, s_mask, ext_mask)
+    want_ee = compute_ee_degrees(scope, ext_set, want)
+    got_ee = compute_ee_degrees_masked(domain, ext_mask, got)
+    s_size = len(s_set)
+    for u in ext_set:
+        lu = domain.index[u]
+        assert type1_degree_prunable(
+            gamma, s_size, got.in_s_of_ext[lu], got_ee[lu]
+        ) == type1_degree_prunable(gamma, s_size, want.in_s_of_ext[u], want_ee[u])
+    for v in s_set:
+        lv = domain.index[v]
+        assert type2_degree_check(
+            gamma, s_size, got.in_s_of_s[lv], got.in_ext_of_s[lv]
+        ) == type2_degree_check(gamma, s_size, want.in_s_of_s[v], want.in_ext_of_s[v])
+
+
+@given(state=graph_and_state(), gamma=st.sampled_from(GAMMA_CHOICES))
+@settings(max_examples=60, deadline=None)
+def test_critical_vertex_agrees(state, gamma):
+    """P6 fires on the same (None vs found) condition under either view.
+
+    Which qualifying vertex is returned may differ (dict order vs local
+    ID order), so assert existence plus the defining equation instead.
+    """
+    g, s_set, ext_set = state
+    domain, s_mask, ext_mask = masked_state(g, s_set, ext_set)
+    scope = g.subgraph(s_set | ext_set)
+    want_view = compute_degrees(scope, s_set, ext_set)
+    got_view = compute_degrees_masked(domain, s_mask, ext_mask)
+    lower = 1  # any fixed L_S exercises the equation identically
+    want = find_critical_vertex(gamma, len(s_set), want_view, lower)
+    got = find_critical_vertex(gamma, len(s_set), got_view, lower)
+    assert (want is None) == (got is None)
+    if got is not None:
+        target = ceil_gamma(gamma, len(s_set) + lower - 1)
+        assert got_view.in_s_of_s[got] + got_view.in_ext_of_s[got] == target
+        assert got_view.in_ext_of_s[got] > 0
+
+
+@given(state=graph_and_state(), gamma=st.sampled_from(GAMMA_CHOICES))
+@settings(max_examples=60, deadline=None)
+def test_cover_set_agrees(state, gamma):
+    """P7 finds equally large cover sets; the covered mask is valid C_S(u)."""
+    g, s_set, ext_set = state
+    domain, s_mask, ext_mask = masked_state(g, s_set, ext_set)
+    scope = g.subgraph(s_set | ext_set)
+    want_view = compute_degrees(scope, s_set, ext_set)
+    got_view = compute_degrees_masked(domain, s_mask, ext_mask)
+    want = cover_set(scope, s_set, ext_set, gamma, want_view)
+    got = cover_set_masked(domain, s_mask, ext_mask, gamma, got_view)
+    assert (want is None) == (got is None)
+    if got is not None:
+        # Equal best |C_S(u)| (the winning u may differ on ties).
+        assert got.covered_mask.bit_count() == len(want.covered)
+        # The covered mask really is Γ_ext(u) ∩ ⋂_{v∈S∖Γ(u)} Γ(v).
+        u_global = domain.verts[got.vertex]
+        expected = {w for w in g.neighbors(u_global) if w in ext_set}
+        for v in s_set:
+            if not g.has_edge(u_global, v):
+                expected &= set(g.neighbors(v))
+        assert set(domain.globals_of(got.covered_mask)) == expected
+
+
+@given(state=graph_and_state())
+@settings(max_examples=60, deadline=None)
+def test_diameter_filter_agrees(state):
+    """Theorem 1 keeps exactly the same candidate set under either view."""
+    g, s_set, ext_set = state
+    domain, s_mask, ext_mask = masked_state(g, s_set, ext_set)
+    scope = g.subgraph(s_set | ext_set)
+    for anchor in s_set:
+        want = diameter_filter(scope, anchor, sorted(ext_set))
+        got = diameter_filter_masked(domain, domain.index[anchor], ext_mask)
+        assert domain.globals_of(got) == want
+
+
+@given(
+    state=graph_and_state(max_vertices=9),
+    gamma=st.sampled_from(GAMMA_CHOICES),
+    min_size=st.integers(min_value=1, max_value=5),
+    mode=st.sampled_from(["ego", "global"]),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_end_to_end_miner_parity(state, gamma, min_size, mode):
+    """The serial miner finds identical maximal families on either path."""
+    g, _, _ = state
+    bitset = mine_maximal_quasicliques(g, gamma, min_size, mode=mode).maximal
+    classic = mine_maximal_quasicliques(
+        g, gamma, min_size, options=SET_PATH_OPTIONS, mode=mode
+    ).maximal
+    assert bitset == classic

@@ -73,6 +73,55 @@ class TestInterfaceEquivalence:
         assert sorted(csr) == [0, 1, 2, 3, 4]
 
 
+class TestNeighborSetCache:
+    """The neighbor-set cache admits hubs by degree, not by arrival order."""
+
+    class TinyCacheCSR(CSRGraph):
+        _set_cache_max = 3
+
+    def hub_graph(self):
+        # Vertices 0–2 form hubs (high degree); 3–14 are a sparse ring.
+        edges = [(h, v) for h in range(3) for v in range(3, 15)]
+        edges += [(0, 1), (0, 2), (1, 2)]
+        edges += [(v, v + 1) for v in range(3, 14)]
+        return self.TinyCacheCSR.from_edges(15, edges)
+
+    def test_scan_cannot_evict_hubs(self):
+        csr = self.hub_graph()
+        # A full scan in ascending order touches the low-degree ring
+        # vertices after the hubs; they must not displace them.
+        for v in range(15):
+            csr.neighbor_set(v)
+        assert set(csr._set_cache) == {0, 1, 2}
+
+    def test_cold_start_scan_still_admits_only_hubs(self):
+        csr = self.hub_graph()
+        # Worst case for the old first-come policy: the sparse tail is
+        # queried *before* any hub.
+        for v in range(14, -1, -1):
+            csr.neighbor_set(v)
+        assert set(csr._set_cache) == {0, 1, 2}
+
+    def test_capacity_bound_holds(self):
+        csr = self.TinyCacheCSR.from_edges(
+            6, [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        )
+        for v in range(6):  # regular graph: every vertex clears the threshold
+            csr.neighbor_set(v)
+        assert len(csr._set_cache) <= self.TinyCacheCSR._set_cache_max
+
+    def test_small_graph_caches_everything(self):
+        _, csr = pair(seed=21, n=10)  # n ≪ default capacity → all admitted
+        for v in range(10):
+            assert csr.neighbor_set(v) == frozenset(csr.neighbors(v))
+        assert len(csr._set_cache) == 10
+
+    def test_uncached_queries_stay_correct(self):
+        csr = self.hub_graph()
+        for v in range(15):
+            assert csr.neighbor_set(v) == frozenset(csr.neighbors(v))
+
+
 class TestAlgorithmsOnCSR:
     """The mining stack must run on the CSR backend unchanged."""
 

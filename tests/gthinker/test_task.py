@@ -31,6 +31,30 @@ class TestSerialization:
         assert back.ext == [1, 2]
         assert back.iteration == 3
 
+    def test_round_trip_mining_task_with_domain(self):
+        from repro.core.domain import TaskDomain
+
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        d = TaskDomain.from_graph(g)
+        t = Task(task_id=2, root=0, iteration=3, s=[0], ext=[1, 2, 3], domain=d)
+        back = Task.decode(t.encode())
+        assert back.domain == d
+        assert back.graph is None
+
+    def test_domain_task_encodes_smaller_than_graph_task(self):
+        from repro.core.domain import TaskDomain
+
+        g = Graph.from_edges(
+            [(u, v) for u in range(30) for v in range(u + 1, 30) if (u + v) % 3]
+        )
+        ext = sorted(set(g.vertices()) - {0})
+        with_graph = Task(task_id=1, root=0, iteration=3, s=[0], ext=ext, graph=g)
+        with_domain = Task(
+            task_id=1, root=0, iteration=3, s=[0], ext=ext,
+            domain=TaskDomain.from_graph(g),
+        )
+        assert len(with_domain.encode()) < len(with_graph.encode())
+
     def test_decode_rejects_non_task(self):
         import pickle
 

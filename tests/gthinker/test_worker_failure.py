@@ -128,6 +128,32 @@ class TestProcessWorkerFailure:
             )
             assert out.metrics.workers_died == 1
 
+    def test_kill_mid_stream_never_wedges_peer_workers(self):
+        """Regression: result channels must stay private per worker.
+
+        With a shared result queue, a SIGKILL landing while the dying
+        worker's feeder thread held the queue's write lock left the lock
+        orphaned — every surviving and respawned worker then blocked in
+        `put` until its lease expired, and the pool death-spiralled
+        (workers_died ≈ attempts × tasks, everything quarantined, empty
+        results). The race window is scheduling-dependent, so run the
+        scenario repeatedly; with per-incarnation pipes every iteration
+        must cost exactly the one injected death and nothing else.
+        """
+        g = make_random_graph(10, 0.47, seed=9)
+        config = process_config(lease_slack=2.0, max_attempts=3)
+        clean = mine_multiprocess(g, 0.75, 4, config,
+                                  start_method=self.start_method)
+        for _ in range(12):
+            out = mine_multiprocess(
+                g, 0.75, 4, config,
+                start_method=self.start_method,
+                fault_injection=FaultInjection(worker_id=1, after_batches=2),
+            )
+            assert out.maximal == clean.maximal
+            assert out.metrics.tasks_quarantined == 0
+            assert out.metrics.workers_died <= 1
+
     def test_repeated_poison_quarantines_not_loops(self):
         """A deterministic killer must converge to quarantine, not an
         infinite respawn-retry loop."""
