@@ -37,6 +37,47 @@ from .gthinker.engine_mp import mine_multiprocess
 from .gthinker.simulation import simulate_cluster
 
 
+def format_run_summary(out, backend: str | None = None,
+                       workers: int | None = None) -> str:
+    """The per-backend ``key=value`` tail of the one-line run summary.
+
+    Every front end (the local CLI, the cluster-master subcommand)
+    prints the same line, so the fields live here in exactly one place.
+    The ``backend=process procs=N`` / ``backend=cluster workers=N``
+    prefixes are load-bearing: the CI smoke jobs grep for them.
+    """
+    m = out.metrics
+    parts: list[str] = []
+    if backend == "process":
+        parts.append(f"backend=process procs={workers}")
+    elif backend == "cluster":
+        parts.append(f"backend=cluster workers={workers}")
+    parts += [f"tasks={m.tasks_executed}", f"decomposed={m.tasks_decomposed}"]
+    if backend == "cluster":
+        parts += [f"steals={m.steals}", f"stolen_tasks={m.stolen_tasks}"]
+    else:
+        parts.append(f"spills={m.spill_batches}")
+    if m.workers_died:
+        parts += [
+            f"workers_died={m.workers_died}",
+            f"retried={m.tasks_retried}",
+            f"quarantined={m.tasks_quarantined}",
+        ]
+        if m.stale_results_dropped:
+            parts.append(f"stale_dropped={m.stale_results_dropped}")
+    return " " + " ".join(parts)
+
+
+def dump_metrics_json(metrics, path: str) -> None:
+    """Write one run's EngineMetrics as a JSON document."""
+    import dataclasses
+    import json
+
+    with open(path, "w") as f:
+        json.dump(dataclasses.asdict(metrics), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="quasiclique-mine",
@@ -108,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record scheduler events and write them as JSON "
                         "lines to FILE (engine and --simulate modes)")
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write the run's engine metrics as JSON to FILE "
+                        "(engine modes only)")
     parser.add_argument("--serial", action="store_true",
                         help="use the plain serial miner (no engine)")
     parser.add_argument("--quiet", action="store_true",
@@ -196,6 +240,11 @@ def main(argv: list[str] | None = None) -> int:
         retry_backoff=args.retry_backoff,
     )
 
+    if args.metrics_json and (args.serial or args.query or args.checkpoint_dir):
+        print("error: --metrics-json requires an engine mode "
+              "(default or --simulate)", file=sys.stderr)
+        return 2
+
     tracer = None
     if args.trace:
         if args.serial or args.query or args.checkpoint_dir:
@@ -233,46 +282,22 @@ def main(argv: list[str] | None = None) -> int:
         out = mine_multiprocess(graph, gamma, min_size, config, tracer=tracer,
                                 start_method=args.mp_start_method)
         maximal = out.maximal
-        extra = (
-            f" backend=process procs={config.resolved_num_procs}"
-            f" tasks={out.metrics.tasks_executed}"
-            f" decomposed={out.metrics.tasks_decomposed}"
-            f" spills={out.metrics.spill_batches}"
-        )
-        if out.metrics.workers_died:
-            extra += (
-                f" workers_died={out.metrics.workers_died}"
-                f" retried={out.metrics.tasks_retried}"
-                f" quarantined={out.metrics.tasks_quarantined}"
-            )
+        extra = format_run_summary(out, "process", config.resolved_num_procs)
     elif config.backend == "cluster":
         from .gthinker.cluster import mine_cluster
 
         out = mine_cluster(graph, gamma, min_size, config, tracer=tracer,
                            start_method=args.mp_start_method)
         maximal = out.maximal
-        extra = (
-            f" backend=cluster workers={config.resolved_num_procs}"
-            f" tasks={out.metrics.tasks_executed}"
-            f" decomposed={out.metrics.tasks_decomposed}"
-            f" steals={out.metrics.steals}"
-        )
-        if out.metrics.workers_died:
-            extra += (
-                f" workers_died={out.metrics.workers_died}"
-                f" retried={out.metrics.tasks_retried}"
-                f" quarantined={out.metrics.tasks_quarantined}"
-            )
+        extra = format_run_summary(out, "cluster", config.resolved_num_procs)
     else:
         out = mine_parallel(graph, gamma, min_size, config, tracer=tracer)
         maximal = out.maximal
-        extra = (
-            f" tasks={out.metrics.tasks_executed}"
-            f" decomposed={out.metrics.tasks_decomposed}"
-            f" spills={out.metrics.spill_batches}"
-        )
+        extra = format_run_summary(out)
     elapsed = time.perf_counter() - start
 
+    if args.metrics_json:
+        dump_metrics_json(out.metrics, args.metrics_json)
     if tracer is not None:
         written = tracer.dump_jsonl(args.trace)
         extra += f" trace_events={written}"

@@ -68,6 +68,20 @@ class FaultInjection:
     worker_id: int
     after_batches: int = 0
 
+    def for_incarnation(
+        self, worker_id: int, generation: int
+    ) -> "FaultInjection | None":
+        """The injection to arm for one worker incarnation, if any.
+
+        Only the targeted slot's *first* incarnation (generation 0) is
+        armed; respawned incarnations must run clean or the supervisor's
+        recovery could never converge. Drivers call this instead of
+        re-encoding the gating rule.
+        """
+        if worker_id == self.worker_id and generation == 0:
+            return self
+        return None
+
 
 class _SingletonRootApp:
     """Shared base: one finished task per vertex, emitting ``{root}``."""

@@ -102,17 +102,9 @@ def master_cli(argv: list[str] | None = None) -> int:
         written = tracer.dump_jsonl(args.trace)
         print(f"cluster-master: wrote {written} trace events to {args.trace}",
               file=sys.stderr)
-    m = result.metrics
-    extra = (
-        f" backend=cluster workers={args.workers}"
-        f" tasks={m.tasks_executed} decomposed={m.tasks_decomposed}"
-        f" steals={m.steals} stolen_tasks={m.stolen_tasks}"
-    )
-    if m.workers_died:
-        extra += (
-            f" workers_died={m.workers_died} retried={m.tasks_retried}"
-            f" quarantined={m.tasks_quarantined}"
-        )
+    from ...cli import format_run_summary
+
+    extra = format_run_summary(result, "cluster", args.workers)
     print(
         f"|V|={graph.num_vertices} |E|={graph.num_edges} gamma={args.gamma} "
         f"min_size={args.min_size} results={len(result.maximal)} "

@@ -18,13 +18,18 @@ says must be global decisions:
   leased work unit like any other and survives the recipient dying.
 * **failure recovery** — a worker is dead on socket EOF (fast path) or
   a heartbeat gap over `heartbeat_timeout` (wedged-but-connected).
-  Its leases are reclaimed with the `engine_mp` attempt discipline:
-  re-pended until a unit has been dispatched `max_attempts` times,
-  then quarantined so one poisoned chunk cannot wedge the job.
+  Recovery itself is the shared coordination control plane
+  (:mod:`repro.gthinker.runtime`, the same layer under `engine_mp`):
+  death accounting through :class:`~repro.gthinker.runtime.
+  WorkerRegistry`, lease reclaim with exponential backoff retry and
+  `max_attempts` quarantine through :func:`~repro.gthinker.runtime.
+  reclaim_lease`, so one poisoned chunk cannot wedge the job.
 
-Results are deduplicated by the candidate sets themselves (frozensets
-into a `ResultSink`), which is what makes at-least-once delivery safe:
-a unit mined one-and-a-half times emits the same candidates twice.
+Results are deduplicated by the candidate sets themselves (the shared
+:class:`~repro.gthinker.runtime.ResultFolder` frozensets every
+candidate into the `ResultSink`), which is what makes at-least-once
+delivery safe: a unit mined one-and-a-half times emits the same
+candidates twice.
 """
 
 from __future__ import annotations
@@ -36,13 +41,23 @@ import socket
 import threading
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..app_protocol import ensure_app
 from ..config import EngineConfig
 from ..engine import MiningRunResult
 from ..metrics import EngineMetrics
 from ..partition import make_partitioner
+from ..runtime import (
+    ChannelClosed,
+    ResultFolder,
+    RetryPolicy,
+    StreamChannel,
+    WorkLedger,
+    WorkerRegistry,
+    WorkerSlot,
+    reclaim_lease,
+)
 from ..stealing import plan_steals
 from ..task import Task
 from ..tracing import NullTracer, Tracer
@@ -63,9 +78,6 @@ from .protocol import (
 
 __all__ = ["ClusterMaster"]
 
-#: Work units leased to one worker at a time (pipelining without
-#: hoarding: a dead worker forfeits at most this many units).
-_LEASE_WINDOW = 2
 #: Auto chunking target: about this many spawn-range units per worker.
 _UNITS_PER_WORKER = 8
 #: How long the shutdown handshake waits for Goodbyes (seconds).
@@ -74,13 +86,16 @@ _GOODBYE_GRACE = 10.0
 
 @dataclass
 class _WorkUnit:
-    """One leasable unit: a spawn-vertex chunk or an encoded-task batch."""
+    """One leasable unit: a spawn-vertex chunk or an encoded-task batch.
+
+    Dispatch counting lives in the master's :class:`WorkLedger` (keyed
+    by ``work_id``, sized by ``size``), not on the unit itself.
+    """
 
     work_id: int
     kind: str  # 'range' | 'batch'
     payload: tuple  # vertices (range) or Task.encode() blobs (batch)
     origin: str = "spawn"  # 'spawn' | 'remainder' | 'steal'
-    attempts: int = 0  # dispatch count (engine_mp lease discipline)
 
     @property
     def size(self) -> int:
@@ -88,17 +103,10 @@ class _WorkUnit:
 
 
 @dataclass
-class _Worker:
-    """Master-side view of one connected worker."""
+class _ClusterSlot(WorkerSlot):
+    """Master-side worker slot plus the cluster-only wiring fields."""
 
-    worker_id: int
-    stream: MessageStream
-    hello: Hello
-    alive: bool = True
-    last_seen: float = 0.0
-    pending_big: int = 0
-    active: int = 0
-    open_units: set[int] = field(default_factory=set)
+    hello: Hello | None = None
     stealing_from: bool = False  # a StealRequest is outstanding
 
 
@@ -141,17 +149,25 @@ class ClusterMaster:
         self.metrics = EngineMetrics()
         self.progress: dict[int, ProgressReport] = {}
         self.quarantined: list[_WorkUnit] = []
-        # -- ledger --------------------------------------------------------
+        # -- the shared coordination control plane -------------------------
+        self.ledger: WorkLedger[_WorkUnit] = WorkLedger(
+            config.max_attempts,
+            key=lambda unit: unit.work_id,
+            size=lambda unit: unit.size,
+            lease_window=config.lease_window,
+        )
+        self.registry = WorkerRegistry(metrics=self.metrics, tracer=self.tracer)
+        self._retries: RetryPolicy[_WorkUnit] = RetryPolicy(config.retry_backoff)
+        self._folder = ResultFolder(
+            self.app.sink, self.ledger, metrics=self.metrics, tracer=self.tracer
+        )
         self._pending: list[_WorkUnit] = []
-        self._leases: dict[int, tuple[_WorkUnit, int]] = {}  # id -> (unit, wid)
         self._work_ids = itertools.count()
         self._steal_ids = itertools.count()
         self._pending_steals: dict[int, tuple[int, int, int]] = {}
         # -- wiring --------------------------------------------------------
         self._inbox: queue.Queue = queue.Queue()
-        self._workers: dict[int, _Worker] = {}
-        self._by_stream: dict[MessageStream, _Worker] = {}
-        self._worker_ids = itertools.count()
+        self._by_channel: dict[StreamChannel, _ClusterSlot] = {}
         self._lsock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._accepting = False
@@ -188,22 +204,22 @@ class ClusterMaster:
             except OSError:
                 return  # listener closed
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            stream = MessageStream(conn)
+            channel = StreamChannel(MessageStream(conn))
             threading.Thread(
-                target=self._read_loop, args=(stream,),
+                target=self._read_loop, args=(channel,),
                 name="cluster-master-reader", daemon=True,
             ).start()
 
-    def _read_loop(self, stream: MessageStream) -> None:
+    def _read_loop(self, channel: StreamChannel) -> None:
         while True:
             try:
-                msg = stream.recv()
-            except Exception as exc:  # ProtocolError → treat as disconnect
+                msg = channel.recv()
+            except ChannelClosed as exc:  # torn frame → treat as disconnect
                 warnings.warn(
-                    f"dropping connection {stream.peer}: {exc}", RuntimeWarning
+                    f"dropping connection {channel.peer}: {exc}", RuntimeWarning
                 )
                 msg = None
-            self._inbox.put((stream, msg))
+            self._inbox.put((channel, msg))
             if msg is None:
                 return
 
@@ -239,15 +255,15 @@ class ClusterMaster:
                         )
                     )
 
-    def _alive(self) -> list[_Worker]:
-        return [w for w in self._workers.values() if w.alive]
+    def _alive(self) -> list[_ClusterSlot]:
+        return self.registry.alive()  # type: ignore[return-value]
 
     def _pump(self) -> None:
         """Lease pending units to workers with open window slots."""
         while self._pending:
             targets = sorted(
-                (w for w in self._alive() if len(w.open_units) < _LEASE_WINDOW),
-                key=lambda w: (len(w.open_units), w.worker_id),
+                (w for w in self._alive() if self.ledger.has_window(w.worker_id)),
+                key=lambda w: (self.ledger.open_count(w.worker_id), w.worker_id),
             )
             if not targets:
                 return
@@ -258,17 +274,23 @@ class ClusterMaster:
                 # A send failure inside _lease fails that worker and
                 # re-pends its units, so re-check before each grant: the
                 # sorted snapshot may hold a worker that just died.
-                if not worker.alive or len(worker.open_units) >= _LEASE_WINDOW:
+                if not worker.alive or not self.ledger.has_window(
+                    worker.worker_id
+                ):
                     continue
                 self._lease(self._pending.pop(0), worker)
                 progressed = True
             if not progressed:
                 return
 
-    def _lease(self, unit: _WorkUnit, worker: _Worker) -> None:
-        unit.attempts += 1
-        self._leases[unit.work_id] = (unit, worker.worker_id)
-        worker.open_units.add(unit.work_id)
+    def _lease(
+        self, unit: _WorkUnit, worker: _ClusterSlot, enforce_window: bool = True
+    ) -> None:
+        self.ledger.grant(
+            unit.work_id, worker.worker_id, [unit], time.monotonic(),
+            self.config.lease_timeout(unit.size),
+            enforce_window=enforce_window,
+        )
         if unit.kind == "range":
             msg = SpawnRange(work_id=unit.work_id, vertices=unit.payload)
         else:
@@ -277,21 +299,17 @@ class ClusterMaster:
             )
         self._send(worker, msg)
 
-    def _send(self, worker: _Worker, message) -> None:
+    def _send(self, worker: _ClusterSlot, message) -> None:
         try:
-            worker.stream.send(message)
-        except OSError:
+            worker.channel.send(message)
+        except ChannelClosed:
             self._fail_worker(worker, "send failed (connection lost)")
 
     # -- failure recovery --------------------------------------------------
 
-    def _fail_worker(self, worker: _Worker, reason: str) -> None:
-        if not worker.alive:
-            return
-        worker.alive = False
-        self.metrics.workers_died += 1
-        self.tracer.emit("worker_died", -1, worker.worker_id, detail=reason)
-        worker.stream.close()
+    def _fail_worker(self, worker: _ClusterSlot, reason: str) -> None:
+        if not self.registry.fail(worker, reason):
+            return  # already dead
         # Outstanding steal requests to/for this worker are void; the
         # donor's queue state is gone with it anyway.
         self._pending_steals = {
@@ -299,36 +317,22 @@ class ClusterMaster:
             for rid, (src, dst, n) in self._pending_steals.items()
             if src != worker.worker_id and dst != worker.worker_id
         }
-        for work_id in sorted(worker.open_units):
-            entry = self._leases.pop(work_id, None)
-            if entry is None:
-                continue
-            unit, _owner = entry
-            if unit.attempts >= self.config.max_attempts:
-                self.quarantined.append(unit)
-                self.metrics.tasks_quarantined += unit.size
-                self.tracer.emit(
-                    "task_quarantined", -1, worker.worker_id,
-                    detail=f"work={unit.work_id} kind={unit.kind} "
-                    f"attempts={unit.attempts}",
-                )
-            else:
-                self.metrics.tasks_retried += unit.size
-                self.tracer.emit(
-                    "task_retried", -1, worker.worker_id,
-                    detail=f"work={unit.work_id} kind={unit.kind} "
-                    f"attempt={unit.attempts}",
-                )
-                self._pending.insert(0, unit)
-        worker.open_units.clear()
+        now = time.monotonic()
+        for lease in self.ledger.leases_for(worker.worker_id):
+            reclaim_lease(
+                self.ledger, lease, self._retries, now,
+                metrics=self.metrics, tracer=self.tracer,
+                on_quarantine=self._on_quarantine,
+            )
+
+    def _on_quarantine(self, unit: _WorkUnit, attempts: int) -> None:
+        self.quarantined.append(unit)
 
     def _check_heartbeats(self, now: float) -> None:
-        for worker in self._alive():
-            if now - worker.last_seen > self.config.heartbeat_timeout:
-                self._fail_worker(
-                    worker,
-                    f"no heartbeat for {now - worker.last_seen:.1f}s",
-                )
+        for worker, reason in self.registry.stale(
+            now, self.config.heartbeat_timeout
+        ):
+            self._fail_worker(worker, reason)
 
     # -- stealing ----------------------------------------------------------
 
@@ -353,7 +357,7 @@ class ClusterMaster:
             donor.stealing_from = True
             self._send(donor, StealRequest(request_id=request_id, count=move.count))
 
-    def _handle_steal_grant(self, worker: _Worker, msg: StealGrant) -> None:
+    def _handle_steal_grant(self, worker: _ClusterSlot, msg: StealGrant) -> None:
         entry = self._pending_steals.pop(msg.request_id, None)
         worker.stealing_from = False
         if entry is None:
@@ -376,9 +380,12 @@ class ClusterMaster:
             payload=tuple(msg.tasks),
             origin="steal",
         )
-        recipient = self._workers.get(dst)
+        recipient = self.registry.get(dst)
         if recipient is not None and recipient.alive:
-            self._lease(unit, recipient)
+            # A stolen batch must land on its planned recipient even if
+            # that briefly over-commits the window — that is what the
+            # ledger's enforce_window escape hatch exists for.
+            self._lease(unit, recipient, enforce_window=False)
             self.metrics.steals_received += len(msg.tasks)
             if self.tracer.enabled:
                 for blob in msg.tasks:
@@ -398,25 +405,25 @@ class ClusterMaster:
 
     # -- message handling --------------------------------------------------
 
-    def _handle(self, stream: MessageStream, msg, now: float) -> None:
-        worker = self._by_stream.get(stream)
+    def _handle(self, channel: StreamChannel, msg, now: float) -> None:
+        worker = self._by_channel.get(channel)
         if msg is None:
             if worker is not None:
                 self._fail_worker(worker, "connection closed")
             else:
-                stream.close()
+                channel.close()
             return
         if isinstance(msg, Hello):
-            self._register(stream, msg, now)
+            self._register(channel, msg, now)
             return
         if worker is None:
             warnings.warn(
                 f"message {type(msg).__name__} from unregistered peer "
-                f"{stream.peer}; dropping",
+                f"{channel.peer}; dropping",
                 RuntimeWarning,
             )
             return
-        worker.last_seen = now
+        self.registry.heartbeat(worker, now)
         if isinstance(msg, Heartbeat):
             worker.pending_big = msg.pending_big
             worker.active = msg.active
@@ -429,13 +436,16 @@ class ClusterMaster:
         elif isinstance(msg, Goodbye):
             self._handle_goodbye(worker, msg)
 
-    def _register(self, stream: MessageStream, hello: Hello, now: float) -> None:
-        worker_id = next(self._worker_ids)
-        worker = _Worker(
-            worker_id=worker_id, stream=stream, hello=hello, last_seen=now
+    def _register(self, channel: StreamChannel, hello: Hello, now: float) -> None:
+        worker = self.registry.add(
+            _ClusterSlot(
+                worker_id=self.registry.new_id(),
+                channel=channel,
+                hello=hello,
+                last_seen=now,
+            )
         )
-        self._workers[worker_id] = worker
-        self._by_stream[stream] = worker
+        self._by_channel[channel] = worker
         graph_blob = None
         if hello.needs_graph:
             if self._graph_blob is None:
@@ -446,7 +456,7 @@ class ClusterMaster:
         self._send(
             worker,
             Welcome(
-                worker_id=worker_id,
+                worker_id=worker.worker_id,
                 config=self.config,
                 app_blob=self._app_blob,
                 graph_blob=graph_blob,
@@ -455,16 +465,11 @@ class ClusterMaster:
         )
         self._pump()
 
-    def _handle_results(self, worker: _Worker, msg: ResultBatch) -> None:
+    def _handle_results(self, worker: _ClusterSlot, msg: ResultBatch) -> None:
         # Candidates are folded even from stale/dead senders: dedup makes
         # them idempotent, and dropping mined truth would be wasteful.
-        for candidate in msg.candidates:
-            self.app.sink.emit(candidate)
-        if self.tracer.enabled:
-            for kind, task_id, thread, detail in msg.events:
-                self.tracer.emit(
-                    kind, task_id, worker.worker_id, thread, detail=detail
-                )
+        self._folder.fold(msg.candidates)
+        self._folder.forward_events(worker.worker_id, msg.events)
         worker.active = msg.active
         for blob in msg.remainders:
             self._pending.append(
@@ -476,17 +481,18 @@ class ClusterMaster:
                 )
             )
         for work_id in msg.completed:
-            entry = self._leases.get(work_id)
-            if entry is None or entry[1] != worker.worker_id:
-                continue  # stale ack from a presumed-dead era; unit re-leased
-            del self._leases[work_id]
-            worker.open_units.discard(work_id)
+            # A stale ack (unit reclaimed, possibly re-leased elsewhere)
+            # is dropped by the folder — at-least-once bookkeeping.
+            self._folder.complete(work_id, worker_id=worker.worker_id)
         self._pump()
 
-    def _handle_goodbye(self, worker: _Worker, msg: Goodbye) -> None:
+    def _handle_goodbye(self, worker: _ClusterSlot, msg: Goodbye) -> None:
+        # A clean exit, not a death: no workers_died accounting, so this
+        # deliberately bypasses registry.fail().
         self.metrics.merge(msg.metrics)
         worker.alive = False
-        worker.stream.close()
+        if worker.channel is not None:
+            worker.channel.close()
 
     # -- the run loop ------------------------------------------------------
 
@@ -499,25 +505,28 @@ class ClusterMaster:
         next_steal = time.monotonic() + self.config.steal_period_seconds
         registered_any = False
         try:
-            while self._pending or self._leases:
+            while self._pending or self.ledger or self._retries:
                 try:
-                    stream, msg = self._inbox.get(timeout=0.02)
+                    channel, msg = self._inbox.get(timeout=0.02)
                 except queue.Empty:
-                    stream = None
+                    channel = None
                 now = time.monotonic()
-                if stream is not None:
-                    self._handle(stream, msg, now)
+                if channel is not None:
+                    self._handle(channel, msg, now)
                     # Drain whatever else is queued before housekeeping.
                     while True:
                         try:
-                            stream, msg = self._inbox.get_nowait()
+                            channel, msg = self._inbox.get_nowait()
                         except queue.Empty:
                             break
-                        self._handle(stream, msg, now)
+                        self._handle(channel, msg, now)
                 self._check_heartbeats(now)
-                # Failure reclaim re-pends units outside any message
-                # handler; an idle survivor generates no result traffic,
-                # so the loop itself must offer reclaimed work around.
+                # Reclaimed units sit out their exponential backoff in the
+                # retry policy's heap; only the run loop moves them back
+                # to pending — an idle survivor generates no result
+                # traffic, so the loop itself must offer the work around.
+                for unit, _attempts in self._retries.pop_due(now):
+                    self._pending.insert(0, unit)
                 self._pump()
                 if now >= next_steal:
                     next_steal = now + self.config.steal_period_seconds
@@ -527,20 +536,20 @@ class ClusterMaster:
                 # still connecting, a late joiner may yet rescue the work
                 # (and the deadline bounds the wait regardless).
                 registered_any = registered_any or (
-                    len(self._workers) >= self.num_workers
+                    len(self.registry) >= self.num_workers
                 )
                 if registered_any and not self._alive():
                     raise RuntimeError(
                         f"all cluster workers died with work outstanding "
                         f"({len(self._pending)} pending, "
-                        f"{len(self._leases)} leased, "
+                        f"{len(self.ledger)} leased, "
                         f"{len(self.quarantined)} quarantined)"
                     )
                 if deadline is not None and now > deadline:
                     raise RuntimeError(
                         f"cluster job exceeded its {timeout}s deadline "
                         f"({len(self._pending)} pending, "
-                        f"{len(self._leases)} leased)"
+                        f"{len(self.ledger)} leased)"
                     )
             self._shutdown_workers()
         finally:
@@ -562,12 +571,12 @@ class ClusterMaster:
         deadline = time.monotonic() + _GOODBYE_GRACE
         while self._alive() and time.monotonic() < deadline:
             try:
-                stream, msg = self._inbox.get(
+                channel, msg = self._inbox.get(
                     timeout=max(0.01, deadline - time.monotonic())
                 )
             except queue.Empty:
                 continue
-            self._handle(stream, msg, time.monotonic())
+            self._handle(channel, msg, time.monotonic())
         for worker in self._alive():
             warnings.warn(
                 f"worker {worker.worker_id} never said Goodbye; its final "
@@ -575,7 +584,8 @@ class ClusterMaster:
                 RuntimeWarning,
             )
             worker.alive = False
-            worker.stream.close()
+            if worker.channel is not None:
+                worker.channel.close()
 
     def _close(self) -> None:
         self._accepting = False
@@ -584,5 +594,6 @@ class ClusterMaster:
                 self._lsock.close()
             except OSError:
                 pass
-        for worker in self._workers.values():
-            worker.stream.close()
+        for worker in self.registry.slots():
+            if worker.channel is not None:
+                worker.channel.close()

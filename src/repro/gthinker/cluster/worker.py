@@ -40,6 +40,7 @@ import traceback
 from dataclasses import replace
 
 from ..chaos import FaultInjection, die_hard
+from ..runtime import ChannelClosed, StreamChannel
 from ..scheduler import SchedulerCore, build_machines, collect_machine_metrics
 from ..task import Task
 from ..tracing import NullTracer, Tracer
@@ -90,13 +91,13 @@ class ClusterWorker:
 
     # -- wiring ------------------------------------------------------------
 
-    def _connect(self) -> MessageStream:
+    def _connect(self) -> StreamChannel:
         sock = socket.create_connection(
             (self.host, self.port), timeout=self._connect_timeout
         )
         sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return MessageStream(sock)
+        return StreamChannel(MessageStream(sock))
 
     def _task_queued(self, task: Task) -> None:
         self._active += 1
@@ -104,18 +105,18 @@ class ClusterWorker:
     # -- the mining loop ---------------------------------------------------
 
     def run(self) -> None:
-        stream = self._connect()
+        channel = self._connect()
         try:
-            self._run(stream)
+            self._run(channel)
         except BaseException:
             # A crash here is a worker death by definition; the master
             # sees the EOF and reclaims. Leave a trace for the operator.
             traceback.print_exc(file=sys.stderr)
             raise
         finally:
-            stream.close()
+            channel.close()
 
-    def _run(self, stream: MessageStream) -> None:
+    def _run(self, stream: StreamChannel) -> None:
         stream.send(
             Hello(
                 pid=os.getpid(),
@@ -164,7 +165,7 @@ class ClusterWorker:
             while True:
                 try:
                     msg = stream.recv()
-                except Exception as exc:  # ProtocolError or socket teardown
+                except ChannelClosed as exc:  # torn frame or socket teardown
                     inbox.put(("lost", exc))
                     return
                 inbox.put(("msg", msg))

@@ -60,6 +60,10 @@ class EngineConfig:
     #: Base (seconds) of the exponential backoff between dispatch
     #: attempts of a reclaimed task.
     retry_backoff: float = 0.05
+    #: Leases kept in flight per worker on the distributed backends
+    #: (pipelining without hoarding: a dead worker forfeits at most this
+    #: many leases' worth of work).
+    lease_window: int = 2
     #: Cluster backend: how often a worker reports liveness and its
     #: pending-big count to the master (the stealing planner's input).
     heartbeat_period: float = 0.25
@@ -96,6 +100,8 @@ class EngineConfig:
             raise ValueError("lease_slack must be non-negative")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.lease_window < 1:
+            raise ValueError("lease_window must be >= 1")
         if self.heartbeat_period <= 0:
             raise ValueError("heartbeat_period must be positive")
         if self.heartbeat_timeout <= self.heartbeat_period:
@@ -122,11 +128,12 @@ class EngineConfig:
         """Backoff before re-dispatching a task that failed `attempt` times.
 
         Exponential: ``retry_backoff × 2^(attempt−1)`` seconds, so the
-        sequence for the default base is 0.05, 0.1, 0.2, …
+        sequence for the default base is 0.05, 0.1, 0.2, … (delegates to
+        the control plane's :func:`~repro.gthinker.runtime.backoff_delay`).
         """
-        if attempt < 1:
-            raise ValueError("attempt is 1-based")
-        return self.retry_backoff * (2 ** (attempt - 1))
+        from .runtime.retry import backoff_delay
+
+        return backoff_delay(self.retry_backoff, attempt)
 
     def lease_timeout(self, batch_len: int) -> float:
         """Wall-clock lease granted to a dispatched batch of `batch_len` tasks.

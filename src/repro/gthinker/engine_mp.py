@@ -27,39 +27,33 @@ per core; this executor reproduces that with `multiprocessing`:
 
 **Fault tolerance.** Long skewed mining runs are the paper's whole
 motivation, and a production run cannot die because one worker did.
-Every dispatched batch is recorded in a
-:class:`~repro.gthinker.scheduler.TaskLeaseTable` (task ids, per-task
-attempt counts, a wall-clock deadline derived from ``tau_time`` plus
-``lease_slack``). The parent supervises its pool every loop iteration:
+This driver owns transport and dispatch only; every fault-semantic
+decision is delegated to the shared coordination control plane
+(:mod:`repro.gthinker.runtime`, also under the cluster runtime):
 
+* every dispatched batch is recorded in the control plane's
+  :class:`~repro.gthinker.runtime.TaskLeaseTable` (task ids, per-task
+  attempt counts, a wall-clock deadline derived from ``tau_time`` plus
+  ``lease_slack``, a ``lease_window``-bounded per-worker pipeline);
 * a worker that **died** (non-zero/None ``Process.exitcode``, broken
   pipe, injected SIGKILL) or whose **lease expired** (wedged — Alg. 10
-  promises no task legitimately outruns its budget) is joined,
-  its leases are reclaimed, and a fresh worker is respawned in its
-  slot;
-* reclaimed tasks re-enter the shared routing policy through
-  :meth:`SchedulerCore.requeue` after an exponential backoff
-  (``retry_backoff × 2^(attempt−1)``);
-* a task that has failed ``max_attempts`` dispatches is **quarantined**
-  exactly once — surfaced via ``metrics.tasks_quarantined``, the
-  ``task_quarantined`` trace event, and ``MultiprocessEngine.
-  quarantined`` — instead of crashing the run or retry-storming.
+  promises no task legitimately outruns its budget) is joined, its
+  death accounted through :class:`~repro.gthinker.runtime.
+  WorkerRegistry`, its leases reclaimed through :func:`~repro.gthinker.
+  runtime.reclaim_lease` (exponential backoff retry, ``max_attempts``
+  quarantine), and a fresh incarnation respawned in its slot;
+* at-least-once duplicates are dropped — and idempotent candidates
+  kept — by :class:`~repro.gthinker.runtime.ResultFolder`.
 
-Retry makes execution *at-least-once*, so results must stay exactly
-equal to the serial oracle's: candidates are deduplicated by frozenset
-in the app's `ResultSink` (the per-task dedup key is the candidate set
-itself), and a result message whose lease was already reclaimed is a
-*stale duplicate* — its children and metrics are dropped so re-mined
-work is never double-counted.
-
-Result channels are isolated per worker *incarnation*: each worker
-ships messages over its own one-writer pipe rather than a shared
-queue. A shared `multiprocessing.Queue` write lock is a fault-domain
-violation — a worker SIGKILLed while its feeder thread holds the lock
-dies owning it, wedging every peer's `put` until their leases expire
-and the whole pool death-spirals into quarantine. With private pipes a
-killed worker can tear only its own channel; the supervisor abandons
-it, reclaims the leases, and the rest of the pool never notices.
+Result channels are isolated per worker *incarnation*
+(:class:`~repro.gthinker.runtime.PipeChannel`): each worker ships
+messages over its own one-writer pipe rather than a shared queue. A
+shared `multiprocessing.Queue` write lock is a fault-domain violation —
+a worker SIGKILLed while its feeder thread holds the lock dies owning
+it, wedging every peer's `put` until their leases expire and the whole
+pool death-spirals into quarantine. With private pipes a killed worker
+can tear only its own channel; the supervisor abandons it, reclaims the
+leases, and the rest of the pool never notices.
 
 Because each worker owns a whole-graph replica, pull resolution is
 always local: `remote_messages` stays 0 and the vertex cache is idle on
@@ -76,7 +70,6 @@ dispatch die inside a worker.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import multiprocessing
 import pickle
@@ -95,13 +88,17 @@ from .chaos import FaultInjection, die_hard
 from .config import EngineConfig
 from .engine import MiningRunResult
 from .metrics import EngineMetrics
-from .scheduler import (
-    Lease,
-    SchedulerCore,
+from .runtime import (
+    ChannelClosed,
+    PipeChannel,
+    ResultFolder,
+    RetryPolicy,
     TaskLeaseTable,
-    build_machines,
-    collect_machine_metrics,
+    WorkerRegistry,
+    WorkerSlot,
+    reclaim_lease,
 )
+from .scheduler import SchedulerCore, build_machines, collect_machine_metrics
 from .task import Task
 from .tracing import NullTracer, Tracer
 
@@ -109,9 +106,6 @@ __all__ = ["FaultInjection", "MultiprocessEngine", "mine_multiprocess"]
 
 #: Trace-event kinds a worker may forward to the parent's tracer.
 _WORKER_EVENT_KINDS = ("execute", "finish", "decompose")
-
-#: Batches kept in flight per worker (its queue depth target).
-_WINDOW_PER_WORKER = 2
 
 
 # -- read-only graph shipping ---------------------------------------------
@@ -360,24 +354,27 @@ class MultiprocessEngine:
             task_queued=self._task_born,
         )
         self.tracer = self.core.tracer
-        # -- fault-tolerance state ----------------------------------------
-        self.leases = TaskLeaseTable(config.max_attempts)
+        # -- fault-tolerance state: the shared control plane ---------------
+        self.leases = TaskLeaseTable(
+            config.max_attempts, lease_window=config.lease_window
+        )
+        self.registry = WorkerRegistry(metrics=self.metrics, tracer=self.tracer)
+        self._retries: RetryPolicy[Task] = RetryPolicy(config.retry_backoff)
+        self._folder = ResultFolder(
+            self.app.sink, self.leases, metrics=self.metrics, tracer=self.tracer
+        )
         self._injection = fault_injection
         #: Tasks poisoned after max_attempts failed dispatches.
         self.quarantined: list[Task] = []
-        #: (task_id, attempt, backoff_delay) per scheduled retry — the
-        #: observable backoff sequence, asserted by tests.
-        self.retry_schedule: list[tuple[int, int, float]] = []
         #: Tracebacks reported by workers that failed at the app level.
         self.worker_errors: list[str] = []
-        self._retry_heap: list[tuple[float, int, int, Task]] = []
-        self._retry_seq = itertools.count()
         self._batch_ids = itertools.count()
-        self._procs: list = []
-        self._task_qs: list = []
-        self._result_conns: list = []
-        self._generations: list[int] = []
-        self._outstanding: list[set[int]] = []
+
+    @property
+    def retry_schedule(self) -> list[tuple[int, int, float]]:
+        """(task_id, attempt, backoff_delay) per scheduled retry — the
+        observable backoff sequence, asserted by tests."""
+        return self._retries.history
 
     def _task_born(self, task: Task) -> None:
         self._active += 1
@@ -412,115 +409,88 @@ class MultiprocessEngine:
         machine, slot = next(self._route_cycle)
         self.core.route(child, machine, slot)
 
-    def _forward_events(self, worker_id: int, events) -> None:
-        for kind, task_id, detail in events:
-            if kind in _WORKER_EVENT_KINDS:
-                self.tracer.emit(
-                    kind, task_id, machine=-1, thread=worker_id, detail=detail
-                )
-
     # -- pool management ----------------------------------------------------
 
-    def _spawn_worker(self, worker_id: int, generation: int) -> None:
-        """(Re)start the worker in slot `worker_id` with a fresh queue.
+    def _spawn_worker(self, slot: WorkerSlot) -> None:
+        """(Re)start the worker in `slot` with a fresh private channel.
 
-        Each incarnation gets a private result pipe: the worker is the
-        pipe's only writer, so there is no cross-worker write lock for a
-        SIGKILLed process to die holding, and a partially-written frame
-        from a terminated worker corrupts only its own (abandoned)
-        channel — never a peer's.
+        Each incarnation gets a private result pipe (wrapped in a
+        :class:`PipeChannel`): the worker is the pipe's only writer, so
+        there is no cross-worker write lock for a SIGKILLed process to
+        die holding, and a partially-written frame from a terminated
+        worker corrupts only its own (abandoned) channel — never a
+        peer's.
         """
         injection = None
-        if (
-            self._injection is not None
-            and self._injection.worker_id == worker_id
-            and generation == 0
-        ):
-            injection = self._injection
+        if self._injection is not None:
+            injection = self._injection.for_incarnation(
+                slot.worker_id, slot.generation
+            )
         task_q = self._ctx.Queue()
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
-        old_conn = self._result_conns[worker_id]
-        if old_conn is not None:
-            old_conn.close()
+        if slot.channel is not None:
+            slot.channel.close()
         proc = self._ctx.Process(
             target=_worker_main,
             args=(
-                worker_id, self._graph_payload, self._app_blob, self.config,
-                injection, task_q, send_conn, self.tracer.enabled,
+                slot.worker_id, self._graph_payload, self._app_blob,
+                self.config, injection, task_q, send_conn, self.tracer.enabled,
             ),
             daemon=True,
         )
-        self._task_qs[worker_id] = task_q
-        self._result_conns[worker_id] = recv_conn
-        self._procs[worker_id] = proc
-        self._generations[worker_id] = generation
-        self._outstanding[worker_id] = set()
+        slot.channel = PipeChannel(task_q, recv_conn)
+        slot.transport = proc
         proc.start()
         # The worker holds the write end now; dropping the parent's copy
-        # makes worker death observable as EOF on `recv_conn`.
+        # makes worker death observable as EOF on the channel.
         send_conn.close()
 
-    def _fail_worker(self, worker_id: int, reason: str, now: float) -> None:
+    def _fail_worker(self, slot: WorkerSlot, reason: str, now: float) -> None:
         """Handle one dead/wedged worker: reclaim its leases, respawn it."""
-        proc = self._procs[worker_id]
+        proc = slot.transport
         if proc.is_alive():
             proc.terminate()
         proc.join(timeout=5.0)
         # Results the worker shipped before failing are done work, not
         # retries — fold them in before reclaiming what remains.
         self._drain_results()
-        self.metrics.workers_died += 1
-        self.tracer.emit(
-            "worker_died", -1, machine=-1, thread=worker_id, detail=reason
-        )
-        # Anything still sitting on the dead worker's queue is covered
-        # by its leases; the queue itself is discarded.
-        old_q = self._task_qs[worker_id]
-        old_q.cancel_join_thread()
-        old_q.close()
-        for lease in self.leases.leases_for(worker_id):
-            self._reclaim(lease, now)
-        self._spawn_worker(worker_id, self._generations[worker_id] + 1)
+        channel = slot.channel
+        self.registry.fail(slot, reason)
+        if channel is not None:
+            # Anything still sitting on the dead worker's queue is
+            # covered by its leases; the queue itself is discarded.
+            channel.discard_task_queue()
+        for lease in self.leases.leases_for(slot.worker_id):
+            reclaim_lease(
+                self.leases, lease, self._retries, now,
+                metrics=self.metrics, tracer=self.tracer,
+                on_quarantine=self._on_quarantine,
+            )
+        self.registry.revive(slot)
+        self._spawn_worker(slot)
 
-    def _reclaim(self, lease: Lease, now: float) -> None:
-        """Requeue-or-quarantine every task of one failed lease."""
-        retry, quarantine = self.leases.reclaim(lease)
-        self._outstanding[lease.worker_id].discard(lease.batch_id)
-        for task, attempts in quarantine:
-            self._active -= 1
-            self.metrics.tasks_quarantined += 1
-            self.quarantined.append(task)
-            self.tracer.emit(
-                "task_quarantined", task.task_id, machine=-1,
-                thread=lease.worker_id, detail=f"attempts={attempts}",
-            )
-        for task, attempts in retry:
-            delay = self.config.retry_delay(attempts)
-            self.retry_schedule.append((task.task_id, attempts, delay))
-            heapq.heappush(
-                self._retry_heap,
-                (now + delay, next(self._retry_seq), attempts, task),
-            )
+    def _on_quarantine(self, task: Task, attempts: int) -> None:
+        self._active -= 1
+        self.quarantined.append(task)
 
     def _flush_due_retries(self, now: float) -> None:
-        while self._retry_heap and self._retry_heap[0][0] <= now:
-            _, _, attempts, task = heapq.heappop(self._retry_heap)
+        for task, _attempts in self._retries.pop_due(now):
             machine, slot = next(self._route_cycle)
-            self.core.requeue(task, machine, slot, attempt=attempts)
+            self.core.requeue(task, machine, slot)
 
     def _supervise(self, now: float) -> None:
         """Detect dead and wedged workers; reclaim and respawn."""
-        for worker_id, proc in enumerate(self._procs):
-            if not proc.is_alive():
+        for slot in self.registry.slots():
+            if not slot.transport.is_alive():
                 self._fail_worker(
-                    worker_id, f"exitcode={proc.exitcode}", now
+                    slot, f"exitcode={slot.transport.exitcode}", now
                 )
         for lease in self.leases.expired(now):
             # An earlier reclaim this round may have taken it already.
-            if self.leases.get(lease.batch_id) is not None:
+            if self.leases.get(lease.lease_id) is not None:
                 self._fail_worker(
-                    lease.worker_id,
-                    f"lease {lease.batch_id} expired (wedged worker)", now,
+                    self.registry.get(lease.worker_id),
+                    f"lease {lease.lease_id} expired (wedged worker)", now,
                 )
 
     # -- driver ------------------------------------------------------------
@@ -534,31 +504,23 @@ class MultiprocessEngine:
         else:
             shm, nbytes = _graph_to_shm(self.graph)
             self._graph_payload = ("shm", shm.name, nbytes)
-        self._procs = [None] * self.num_procs
-        self._task_qs = [None] * self.num_procs
-        self._result_conns = [None] * self.num_procs
-        self._generations = [0] * self.num_procs
-        self._outstanding = [set() for _ in range(self.num_procs)]
         try:
             for w in range(self.num_procs):
-                self._spawn_worker(w, generation=0)
+                self._spawn_worker(self.registry.add(WorkerSlot(worker_id=w)))
             self._dispatch_loop()
             self._shutdown()
         finally:
-            for proc in self._procs:
+            for slot in self.registry.slots():
+                proc = slot.transport
                 if proc is None:
                     continue
                 if proc.is_alive():
                     proc.terminate()
                 proc.join(timeout=5.0)
-            for q in self._task_qs:
-                if q is None:
-                    continue
-                q.cancel_join_thread()
-                q.close()
-            for conn in self._result_conns:
-                if conn is not None:
-                    conn.close()
+            for slot in self.registry.slots():
+                if slot.channel is not None:
+                    slot.channel.discard_task_queue()
+                    slot.channel.close()
             if shm is not None:
                 shm.close()
                 shm.unlink()
@@ -579,21 +541,25 @@ class MultiprocessEngine:
 
     def _fill_windows(self, pick_cycle, num_slots: int, now: float) -> None:
         """Lease fresh batches to every worker with spare window."""
-        for worker_id in range(self.num_procs):
-            while len(self._outstanding[worker_id]) < _WINDOW_PER_WORKER:
+        for slot in self.registry.slots():
+            while self.leases.has_window(slot.worker_id):
                 batch = self._collect_batch(pick_cycle, num_slots)
                 if not batch:
                     return  # nothing pickable right now
-                self._dispatch(worker_id, batch, now)
+                self._dispatch(slot, batch, now)
 
-    def _dispatch(self, worker_id: int, batch: list[Task], now: float) -> None:
+    def _dispatch(self, slot: WorkerSlot, batch: list[Task], now: float) -> None:
         batch_id = next(self._batch_ids)
         self.leases.grant(
-            batch_id, worker_id, batch, now,
+            batch_id, slot.worker_id, batch, now,
             self.config.lease_timeout(len(batch)),
         )
-        self._outstanding[worker_id].add(batch_id)
-        self._task_qs[worker_id].put((batch_id, [t.encode() for t in batch]))
+        try:
+            slot.channel.send((batch_id, [t.encode() for t in batch]))
+        except ChannelClosed:
+            # Dead incarnation caught mid-dispatch: the lease just
+            # granted is covered by the supervisor's reclaim next round.
+            pass
 
     def _dispatch_loop(self) -> None:
         config = self.config
@@ -612,7 +578,7 @@ class MultiprocessEngine:
                 if (
                     core.all_spawned()
                     and self._active == 0
-                    and not self._retry_heap
+                    and not self._retries
                 ):
                     return
                 # Nothing dispatchable yet (work on spill files
@@ -622,11 +588,11 @@ class MultiprocessEngine:
                     core.apply_steals()
                 time.sleep(0.001)
                 continue
-            ready = mp_connection.wait(self._live_conns(), timeout=0.05)
+            ready = self._wait_channels(timeout=0.05)
             if not ready:
                 continue
-            for conn in ready:
-                msg = self._recv_from(conn)
+            for channel in ready:
+                msg = self._recv_from(channel)
                 if msg is not None:
                     self._handle_message(msg)
             if steal_enabled:
@@ -635,33 +601,30 @@ class MultiprocessEngine:
                     core.apply_steals()
                     last_steal = now
 
-    def _live_conns(self):
-        return [c for c in self._result_conns if c is not None and not c.closed]
+    def _wait_channels(self, timeout: float) -> list[PipeChannel]:
+        """Channels with a readable message, via one multiplexed wait."""
+        by_conn = {ch.waitable: ch for ch in self.registry.channels()}
+        ready = mp_connection.wait(list(by_conn), timeout=timeout)
+        return [by_conn[conn] for conn in ready]
 
-    def _recv_from(self, conn):
+    def _recv_from(self, channel: PipeChannel):
         """Receive one message, tolerating a dead writer.
 
         EOF (the worker exited) and a torn frame (the worker was
         terminated mid-send) poison only this incarnation's private
-        pipe: the channel is closed and abandoned. Anything its
-        remaining messages carried is re-run through lease reclaim.
+        pipe: the channel marks itself closed and is abandoned. Anything
+        its remaining messages carried is re-run through lease reclaim.
         """
         try:
-            return conn.recv()
-        except (EOFError, OSError, pickle.UnpicklingError):
-            conn.close()
-            for slot, held in enumerate(self._result_conns):
-                if held is conn:
-                    self._result_conns[slot] = None
+            return channel.recv()
+        except ChannelClosed:
             return None
 
     def _drain_results(self) -> None:
         """Fold in every result message already sitting in the pipes."""
-        for conn in list(self._result_conns):
-            if conn is None:
-                continue
-            while not conn.closed and conn.poll():
-                msg = self._recv_from(conn)
+        for channel in self.registry.channels():
+            while not channel.closed and channel.poll():
+                msg = self._recv_from(channel)
                 if msg is None:
                     break
                 self._handle_message(msg)
@@ -688,17 +651,13 @@ class MultiprocessEngine:
             # tolerate it rather than crash a run that is otherwise fine.
             return
         _, worker_id, batch_id, finished, child_blobs, fresh, wmetrics, events = msg
-        # Candidates are deduplicated by the sink, so folding them in is
-        # always safe — even from a stale duplicate.
-        for candidate in fresh:
-            self.app.sink.emit(candidate)
-        lease = self.leases.complete(batch_id)
-        if lease is None:
-            # Stale at-least-once duplicate: the lease was reclaimed and
-            # the batch re-dispatched. Its children and metrics belong
-            # to the retry; dropping them keeps accounting single-count.
+        # Candidates fold unconditionally (idempotent); everything else
+        # folds only if the lease is still ours — a stale at-least-once
+        # duplicate's children and metrics belong to the retry that
+        # superseded it, and dropping them keeps accounting single-count.
+        self._folder.fold(fresh)
+        if self._folder.complete(batch_id) is None:
             return
-        self._outstanding[lease.worker_id].discard(batch_id)
         # Children first, exactly like the threaded driver: the active
         # counter must never hit zero while a finishing parent still has
         # unrouted offspring.
@@ -707,24 +666,27 @@ class MultiprocessEngine:
         self._active -= finished
         self.metrics.merge(wmetrics)
         if events:
-            self._forward_events(worker_id, events)
+            self._folder.forward_events(worker_id, events, _WORKER_EVENT_KINDS)
 
     def _shutdown(self) -> None:
-        for task_q in self._task_qs:
+        for slot in self.registry.slots():
             try:
-                task_q.put(None)
-            except (ValueError, OSError):  # queue already closed
+                slot.channel.send(None)
+            except ChannelClosed:
                 pass
         pending = set(range(self.num_procs))
         deadline = time.monotonic() + 30.0
         while pending and time.monotonic() < deadline:
-            ready = mp_connection.wait(self._live_conns(), timeout=1.0)
+            ready = self._wait_channels(timeout=1.0)
             if not ready:
-                if all(not proc.is_alive() for proc in self._procs):
+                if all(
+                    not slot.transport.is_alive()
+                    for slot in self.registry.slots()
+                ):
                     break
                 continue
-            for conn in ready:
-                msg = self._recv_from(conn)
+            for channel in ready:
+                msg = self._recv_from(channel)
                 if msg is None:
                     continue
                 if msg[0] == "done":
@@ -736,15 +698,14 @@ class MultiprocessEngine:
                     # for lease expiry: every lease was settled before
                     # the dispatch loop returned, so only fold the
                     # (deduplicated) candidates.
-                    for candidate in msg[5]:
-                        self.app.sink.emit(candidate)
+                    self._folder.fold(msg[5])
                 elif msg[0] == "error":
                     # All mining already completed; losing this worker's
                     # final stats blob is not worth failing the run over.
                     self.worker_errors.append(msg[2])
                     pending.discard(msg[1])
-        for proc in self._procs:
-            proc.join(timeout=5.0)
+        for slot in self.registry.slots():
+            slot.transport.join(timeout=5.0)
 
 
 def mine_multiprocess(

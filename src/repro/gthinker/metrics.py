@@ -62,11 +62,14 @@ class EngineMetrics:
     steals_planned: int = 0
     steals_sent: int = 0
     steals_received: int = 0
-    #: Fault tolerance (process backend): dead/wedged worker incidents,
-    #: at-least-once re-dispatches, and tasks poisoned after max_attempts.
+    #: Fault tolerance (process + cluster backends, emitted from the
+    #: shared control plane in repro.gthinker.runtime): dead/wedged
+    #: worker incidents, at-least-once re-dispatches, tasks poisoned
+    #: after max_attempts, and stale duplicate results dropped.
     workers_died: int = 0
     tasks_retried: int = 0
     tasks_quarantined: int = 0
+    stale_results_dropped: int = 0
     results: int = 0
     peak_pending_tasks: int = 0
     task_records: list[TaskRecord] = field(default_factory=list)
@@ -106,6 +109,7 @@ class EngineMetrics:
         self.workers_died += other.workers_died
         self.tasks_retried += other.tasks_retried
         self.tasks_quarantined += other.tasks_quarantined
+        self.stale_results_dropped += other.stale_results_dropped
         self.peak_pending_tasks = max(self.peak_pending_tasks, other.peak_pending_tasks)
         self.task_records.extend(other.task_records)
         self.mining_stats.merge(other.mining_stats)

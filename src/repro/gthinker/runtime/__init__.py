@@ -1,0 +1,54 @@
+"""The fault-tolerant coordination control plane.
+
+The paper's system contribution is one coordination design — task
+leasing, big-task stealing, and at-least-once result folding — and this
+package is its single implementation, shared by every distributed
+backend. The process pool (:mod:`repro.gthinker.engine_mp`) and the
+cluster master (:mod:`repro.gthinker.cluster.master`) are thin drivers:
+they own transport wiring (pipes and process handles; TCP sockets and
+launchers) and dispatch policy, while everything fault-semantic lives
+here:
+
+* :class:`~.ledger.WorkLedger` — grant/complete/expired/reclaim lease
+  bookkeeping with per-worker windows, per-member attempt counts, and
+  conservation invariants (:class:`~.ledger.TaskLeaseTable` is its
+  task-keyed spelling);
+* :class:`~.registry.WorkerRegistry` — worker slots, incarnation
+  numbers, heartbeat/EOF liveness, and the single ``worker_died``
+  accounting path;
+* :class:`~.retry.RetryPolicy` + :func:`~.retry.reclaim_lease` — the
+  ``retry_backoff * 2^(attempt-1)`` backoff schedule and the one
+  reclaim path that emits ``task_retried`` / ``task_quarantined``;
+* :class:`~.folding.ResultFolder` — at-least-once folding: frozenset
+  candidate dedup, stale-lease drops, worker trace-event forwarding;
+* :class:`~.channel.Channel` — the transport protocol both backends
+  implement (:class:`~.channel.PipeChannel`,
+  :class:`~.channel.StreamChannel`), with every peer-loss mode
+  surfacing as one :class:`~.channel.ChannelClosed` signal.
+
+Both backends get identical fault observability *by construction*: the
+``worker_died``, ``task_retried``, and ``task_quarantined`` trace kinds
+and their metrics counters are emitted only from this package.
+"""
+
+from .channel import Channel, ChannelClosed, PipeChannel, StreamChannel
+from .folding import ResultFolder
+from .ledger import Lease, TaskLeaseTable, WorkLedger
+from .registry import WorkerRegistry, WorkerSlot
+from .retry import RetryPolicy, backoff_delay, reclaim_lease
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "Lease",
+    "PipeChannel",
+    "ResultFolder",
+    "RetryPolicy",
+    "StreamChannel",
+    "TaskLeaseTable",
+    "WorkLedger",
+    "WorkerRegistry",
+    "WorkerSlot",
+    "backoff_delay",
+    "reclaim_lease",
+]

@@ -1,0 +1,194 @@
+"""Transport abstraction for the coordination control plane.
+
+The control plane (:mod:`repro.gthinker.runtime`) never talks to a
+transport directly — it sees a :class:`Channel`: something that can
+``send`` a message, ``recv`` one, report readability, and die. Two
+implementations cover the two distributed backends:
+
+* :class:`PipeChannel` — the process backend's parent-side view of one
+  worker *incarnation*: sends go to the worker's private task queue,
+  receives come off its private one-writer result pipe. EOF and torn
+  frames (the worker was SIGKILLed mid-send) poison only this channel.
+* :class:`StreamChannel` — the cluster backend's framed-pickle TCP
+  stream (:class:`repro.gthinker.cluster.protocol.MessageStream`), with
+  the same failure contract: protocol errors and socket teardown both
+  surface as :class:`ChannelClosed`.
+
+The shared contract is the fault-domain rule PR 5 bought with private
+pipes: one writer per channel, so a dead peer can corrupt its own
+channel and nothing else. Every failure mode a peer can inflict —
+clean EOF, torn frame, reset socket — surfaces as the single
+:class:`ChannelClosed` exception, and the channel marks itself closed,
+so supervision code has exactly one "this peer is gone" signal to
+handle regardless of transport.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Channel", "ChannelClosed", "PipeChannel", "StreamChannel"]
+
+
+class ChannelClosed(Exception):
+    """The peer is unreachable: EOF, torn frame, or reset transport."""
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """One coordination link to a single worker (one writer per side)."""
+
+    def send(self, message: Any) -> None:
+        """Ship a message to the peer; raises ChannelClosed if it is gone."""
+        ...
+
+    def recv(self) -> Any:
+        """Block for the peer's next message; raises ChannelClosed on
+        EOF or a torn frame (the channel is closed as a side effect)."""
+        ...
+
+    def poll(self) -> bool:
+        """True if a recv() would not block."""
+        ...
+
+    def close(self) -> None:
+        """Tear down this side of the transport (idempotent)."""
+        ...
+
+    @property
+    def closed(self) -> bool: ...
+
+
+class PipeChannel:
+    """Process-backend channel: task queue out, private result pipe in.
+
+    The parent holds one of these per worker *incarnation*. The worker
+    is the pipe's only writer, so a SIGKILL can never leave a shared
+    write lock held (the fault-domain violation a shared
+    ``multiprocessing.Queue`` used to have) — a killed worker tears
+    only its own channel.
+    """
+
+    def __init__(self, task_queue: Any, result_conn: Any):
+        self._task_queue = task_queue
+        self._conn = result_conn
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fileno(self) -> int:
+        """The result pipe's descriptor, for multiplexed waits."""
+        return self._conn.fileno()  # type: ignore[no-any-return]
+
+    @property
+    def waitable(self) -> Any:
+        """The raw object `multiprocessing.connection.wait` accepts."""
+        return self._conn
+
+    def send(self, message: Any) -> None:
+        if self._closed:
+            raise ChannelClosed("channel already closed")
+        try:
+            self._task_queue.put(message)
+        except (ValueError, OSError) as exc:
+            raise ChannelClosed(str(exc)) from exc
+
+    def recv(self) -> Any:
+        if self._closed:
+            raise ChannelClosed("channel already closed")
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError, pickle.UnpicklingError) as exc:
+            # EOF: the worker exited. Torn frame: it died mid-send.
+            # Either way only this incarnation's channel is poisoned.
+            self.close()
+            raise ChannelClosed(str(exc) or type(exc).__name__) from exc
+
+    def poll(self) -> bool:
+        if self._closed:
+            return False
+        try:
+            return bool(self._conn.poll())
+        except (OSError, ValueError):
+            self.close()
+            return False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def discard_task_queue(self) -> None:
+        """Abandon the outbound queue of a dead incarnation.
+
+        Anything still sitting on it is covered by the worker's leases;
+        the queue itself must not block interpreter shutdown.
+        """
+        try:
+            self._task_queue.cancel_join_thread()
+            self._task_queue.close()
+        except (OSError, ValueError):
+            pass
+
+
+class StreamChannel:
+    """Cluster-backend channel over one framed-pickle TCP stream."""
+
+    def __init__(self, stream: Any):
+        self._stream = stream
+        self._closed = False
+
+    @property
+    def stream(self) -> Any:
+        return self._stream
+
+    @property
+    def peer(self) -> str:
+        return str(getattr(self._stream, "peer", "<unknown>"))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: Any) -> None:
+        if self._closed:
+            raise ChannelClosed("channel already closed")
+        try:
+            self._stream.send(message)
+        except OSError as exc:
+            self.close()
+            raise ChannelClosed(str(exc) or type(exc).__name__) from exc
+
+    def recv(self) -> Any:
+        """One framed message; None (clean shutdown) stays None, while a
+        truncated or invalid frame raises ChannelClosed — both mean the
+        peer's era is over, but only the latter is abnormal."""
+        if self._closed:
+            raise ChannelClosed("channel already closed")
+        try:
+            msg = self._stream.recv()
+        except Exception as exc:  # ProtocolError or socket teardown
+            self.close()
+            raise ChannelClosed(str(exc) or type(exc).__name__) from exc
+        if msg is None:
+            self.close()
+        return msg
+
+    def poll(self) -> bool:
+        # Framed TCP streams are consumed by a dedicated reader thread
+        # (see ClusterMaster._read_loop); polling is not part of their
+        # usage pattern.
+        return False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stream.close()

@@ -1,0 +1,175 @@
+"""Worker registry: slots, incarnations, liveness, death accounting.
+
+The coordinator's view of its pool, shared by both distributed
+backends. A :class:`WorkerSlot` is one logical worker identity; the
+process underneath it may die and be replaced — each replacement bumps
+the slot's *generation* (incarnation number), which is what lets chaos
+injection arm only a worker's first life and lets stale results from a
+previous incarnation be recognized as such.
+
+Liveness has two signals, and the registry handles both:
+
+* **channel EOF** — the transport itself reports the peer gone
+  (:class:`~.channel.ChannelClosed`); the driver calls :meth:`
+  WorkerRegistry.fail`;
+* **silence** — a wedged-but-connected worker stops heartbeating (the
+  cluster) or outruns its lease deadline (the process pool);
+  :meth:`WorkerRegistry.stale` surfaces the silent ones for the driver
+  to fail.
+
+:meth:`WorkerRegistry.fail` is the single place a worker death is
+accounted: ``metrics.workers_died`` and the ``worker_died`` trace event
+(machine=-1, thread=worker id) come from here for every backend, so
+fault observability cannot drift between them. What happens *next* —
+reclaiming the dead worker's leases (:func:`~.retry.reclaim_lease`) and
+whether the slot is revived with a fresh process (the pool respawns;
+the cluster does not) — is the driver's transport policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .channel import Channel
+
+if TYPE_CHECKING:
+    from ..metrics import EngineMetrics
+
+__all__ = ["WorkerRegistry", "WorkerSlot"]
+
+
+@dataclass
+class WorkerSlot:
+    """One logical worker identity, across all its incarnations."""
+
+    worker_id: int
+    channel: Channel | None = None
+    #: Backend handle for the current incarnation: a
+    #: ``multiprocessing.Process`` (pool) or the registration ``Hello``
+    #: (cluster). The registry never touches it.
+    transport: Any = None
+    alive: bool = True
+    #: Incarnation number: 0 for the first process in this slot, +1 per
+    #: respawn. Chaos injection arms generation 0 only.
+    generation: int = 0
+    last_seen: float = 0.0
+    # -- load-report fields (heartbeats feed the steal planner) ------------
+    pending_big: int = 0
+    active: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class WorkerRegistry:
+    """The coordinator's pool roster and its single death-accounting path."""
+
+    def __init__(self, *, metrics: EngineMetrics, tracer: Any):
+        self.metrics = metrics
+        self.tracer = tracer
+        self._slots: dict[int, WorkerSlot] = {}
+        self._ids = itertools.count()
+
+    # -- membership --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[WorkerSlot]:
+        return iter(self._slots.values())
+
+    def new_id(self) -> int:
+        """The next free worker id (for callers building their own slots)."""
+        return next(self._ids)
+
+    def add(self, slot: WorkerSlot) -> WorkerSlot:
+        if slot.worker_id in self._slots:
+            raise ValueError(f"worker slot {slot.worker_id} already registered")
+        self._slots[slot.worker_id] = slot
+        return slot
+
+    def create(
+        self,
+        *,
+        channel: Channel | None = None,
+        transport: Any = None,
+        now: float = 0.0,
+    ) -> WorkerSlot:
+        """Register a newly-connected worker under the next free id."""
+        return self.add(
+            WorkerSlot(
+                worker_id=next(self._ids),
+                channel=channel,
+                transport=transport,
+                last_seen=now,
+            )
+        )
+
+    def get(self, worker_id: int) -> WorkerSlot | None:
+        return self._slots.get(worker_id)
+
+    def slots(self) -> list[WorkerSlot]:
+        return list(self._slots.values())
+
+    def alive(self) -> list[WorkerSlot]:
+        return [s for s in self._slots.values() if s.alive]
+
+    def channels(self) -> list[Channel]:
+        """Every open channel, regardless of slot liveness.
+
+        A just-failed slot's channel is closed (excluded here), but a
+        dead-but-undetected worker's channel must stay readable — its
+        final messages are done work the driver still folds in.
+        """
+        return [
+            s.channel
+            for s in self._slots.values()
+            if s.channel is not None and not s.channel.closed
+        ]
+
+    # -- liveness ----------------------------------------------------------
+
+    def heartbeat(self, slot: WorkerSlot, now: float) -> None:
+        slot.last_seen = now
+
+    def stale(self, now: float, timeout: float) -> list[tuple[WorkerSlot, str]]:
+        """Live slots silent past `timeout`, with a human-readable reason."""
+        return [
+            (slot, f"no heartbeat for {now - slot.last_seen:.1f}s")
+            for slot in self.alive()
+            if now - slot.last_seen > timeout
+        ]
+
+    def fail(self, slot: WorkerSlot, reason: str) -> bool:
+        """Account one worker death; False if the slot was already dead.
+
+        The one emission point for ``workers_died`` and the
+        ``worker_died`` trace kind on every backend. Closes the slot's
+        channel; lease reclaim and any respawn are the caller's move.
+        """
+        if not slot.alive:
+            return False
+        slot.alive = False
+        self.metrics.workers_died += 1
+        self.tracer.emit(
+            "worker_died", -1, machine=-1, thread=slot.worker_id, detail=reason
+        )
+        if slot.channel is not None:
+            slot.channel.close()
+        return True
+
+    def revive(
+        self,
+        slot: WorkerSlot,
+        *,
+        channel: Channel | None = None,
+        transport: Any = None,
+    ) -> WorkerSlot:
+        """Bring a slot back with a fresh incarnation (generation + 1)."""
+        slot.generation += 1
+        slot.alive = True
+        if channel is not None:
+            slot.channel = channel
+        if transport is not None:
+            slot.transport = transport
+        return slot

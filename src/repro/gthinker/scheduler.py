@@ -209,22 +209,17 @@ class SchedulerCore:
             self._task_queued(task)
         self._enqueue(task, machine, slot)
 
-    def requeue(
-        self, task: Task, machine: MachineState, slot: ThreadSlot, attempt: int = 0
-    ) -> None:
+    def requeue(self, task: Task, machine: MachineState, slot: ThreadSlot) -> None:
         """Re-route a reclaimed task for another dispatch attempt.
 
         The retry twin of :meth:`route`: same big/small policy, but the
         task was already counted when first queued, so the `task_queued`
         liveness hook must not fire again — a retry is the same unit of
-        work re-entering the queues, not new work.
+        work re-entering the queues, not new work. Retry accounting
+        (``tasks_retried``, the ``task_retried`` trace event) happened
+        at reclaim time in :func:`repro.gthinker.runtime.reclaim_lease`;
+        this is pure re-enqueue.
         """
-        with self._metrics_lock:
-            self.metrics.tasks_retried += 1
-        self.tracer.emit(
-            "task_retried", task.task_id, machine.machine_id,
-            detail=f"attempt={attempt}",
-        )
         self._enqueue(task, machine, slot)
 
     def _enqueue(self, task: Task, machine: MachineState, slot: ThreadSlot) -> None:
@@ -413,138 +408,9 @@ class SchedulerCore:
 
 
 # -- fault tolerance: the task-lease table ---------------------------------
-
-
-@dataclass
-class Lease:
-    """One batch of tasks shipped to a worker, awaiting its result."""
-
-    batch_id: int
-    worker_id: int
-    tasks: list[Task]
-    #: Highest per-task dispatch count in the batch at grant time (1-based).
-    attempt: int
-    #: Monotonic-clock deadline; past it the worker is presumed wedged.
-    deadline: float
-
-    @property
-    def task_ids(self) -> tuple[int, ...]:
-        return tuple(t.task_id for t in self.tasks)
-
-
-class TaskLeaseTable:
-    """Parent-side ledger of task batches in flight to worker processes.
-
-    The at-least-once bookkeeping behind the fault-tolerant process
-    backend: a batch is *granted* when it ships to a worker, *completed*
-    when its result message returns, and *reclaimed* when its worker
-    dies or its deadline passes. Reclaiming splits the batch into tasks
-    to retry (dispatched fewer than `max_attempts` times) and tasks to
-    quarantine as poisoned. A quarantined task is never granted again,
-    so per-task dispatch counts can never exceed `max_attempts`.
-
-    Single-owner by design: only the parent's dispatch loop touches it,
-    exactly as only the parent owns the rest of the scheduler state.
-    """
-
-    def __init__(self, max_attempts: int):
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        self.max_attempts = max_attempts
-        self._leases: dict[int, Lease] = {}
-        self._attempts: dict[int, int] = {}  # task_id -> dispatch count
-        self.tasks_completed = 0
-        self.tasks_quarantined = 0
-        self.quarantined_ids: list[int] = []
-
-    def __len__(self) -> int:
-        return len(self._leases)
-
-    def __bool__(self) -> bool:
-        return bool(self._leases)
-
-    @property
-    def outstanding(self) -> set[int]:
-        """Batch ids currently leased."""
-        return set(self._leases)
-
-    def get(self, batch_id: int) -> Lease | None:
-        return self._leases.get(batch_id)
-
-    def leased_task_ids(self) -> set[int]:
-        return {tid for lease in self._leases.values() for tid in lease.task_ids}
-
-    def leased_task_count(self) -> int:
-        return sum(len(lease.tasks) for lease in self._leases.values())
-
-    def attempts(self, task_id: int) -> int:
-        """Dispatch count of a live task (0 once completed/quarantined)."""
-        return self._attempts.get(task_id, 0)
-
-    def attempts_snapshot(self) -> dict[int, int]:
-        return dict(self._attempts)
-
-    def grant(
-        self, batch_id: int, worker_id: int, tasks: list[Task],
-        now: float, timeout: float,
-    ) -> Lease:
-        """Record a batch shipping to `worker_id`; bumps per-task attempts."""
-        if batch_id in self._leases:
-            raise ValueError(f"batch {batch_id} is already leased")
-        attempt = 0
-        for task in tasks:
-            count = self._attempts.get(task.task_id, 0) + 1
-            if count > self.max_attempts:
-                raise ValueError(
-                    f"task {task.task_id} granted beyond max_attempts="
-                    f"{self.max_attempts}"
-                )
-            self._attempts[task.task_id] = count
-            attempt = max(attempt, count)
-        lease = Lease(
-            batch_id=batch_id, worker_id=worker_id, tasks=list(tasks),
-            attempt=attempt, deadline=now + timeout,
-        )
-        self._leases[batch_id] = lease
-        return lease
-
-    def complete(self, batch_id: int) -> Lease | None:
-        """Mark a batch's result received; None if the lease was reclaimed
-        earlier (a stale at-least-once duplicate the caller must drop)."""
-        lease = self._leases.pop(batch_id, None)
-        if lease is not None:
-            self.tasks_completed += len(lease.tasks)
-            for tid in lease.task_ids:
-                self._attempts.pop(tid, None)
-        return lease
-
-    def leases_for(self, worker_id: int) -> list[Lease]:
-        return [
-            lease for lease in self._leases.values()
-            if lease.worker_id == worker_id
-        ]
-
-    def expired(self, now: float) -> list[Lease]:
-        return [lease for lease in self._leases.values() if now >= lease.deadline]
-
-    def reclaim(self, lease: Lease) -> tuple[list[tuple[Task, int]], list[tuple[Task, int]]]:
-        """Take back a failed lease; returns (to_retry, to_quarantine).
-
-        Both lists pair each task with its dispatch count so far. Tasks
-        at `max_attempts` are quarantined (counted once, dropped from
-        the attempts ledger); the rest stay live for re-dispatch.
-        """
-        if self._leases.pop(lease.batch_id, None) is None:
-            return [], []
-        retry: list[tuple[Task, int]] = []
-        quarantine: list[tuple[Task, int]] = []
-        for task in lease.tasks:
-            count = self._attempts.get(task.task_id, 0)
-            if count >= self.max_attempts:
-                self._attempts.pop(task.task_id, None)
-                self.tasks_quarantined += 1
-                self.quarantined_ids.append(task.task_id)
-                quarantine.append((task, count))
-            else:
-                retry.append((task, count))
-        return retry, quarantine
+#
+# The lease/retry/quarantine bookkeeping lives in the shared
+# coordination control plane now; these names are re-exported because
+# the task-batch ledger grew up here and the process backend's public
+# surface (``engine.leases``) is a TaskLeaseTable.
+from .runtime.ledger import Lease, TaskLeaseTable, WorkLedger  # noqa: E402,F401

@@ -17,6 +17,7 @@ import itertools
 import json
 import os
 import threading
+import warnings
 from collections import deque
 from dataclasses import asdict, dataclass
 
@@ -60,6 +61,38 @@ KINDS = (
 #: vocabulary comparisons must treat them as timing-dependent.
 STEAL_KINDS = frozenset({"steal", "steal_planned", "steal_sent", "steal_received"})
 
+#: Unknown kinds already warned about (production mode warns once per kind).
+_warned_kinds: set[str] = set()
+
+
+def _validate_kind(kind: str) -> None:
+    """Check an emitted kind against the KINDS vocabulary.
+
+    Under pytest (or with ``REPRO_STRICT_TRACE=1``) an unknown kind is a
+    hard error — a typo'd kind would silently vanish from every
+    ``events(kind=...)`` filter and cross-executor vocabulary check.
+    In production it degrades to a once-per-kind warning and the event
+    is still recorded: tracing must never take down a mining run.
+    """
+    if kind in KINDS:
+        return
+    strict = (
+        "PYTEST_CURRENT_TEST" in os.environ
+        or os.environ.get("REPRO_STRICT_TRACE") == "1"
+    )
+    if strict:
+        raise ValueError(
+            f"unknown trace kind {kind!r}; add it to tracing.KINDS"
+        )
+    if kind not in _warned_kinds:
+        _warned_kinds.add(kind)
+        warnings.warn(
+            f"unknown trace kind {kind!r} (not in tracing.KINDS); "
+            f"recording it anyway",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
 
 class Tracer:
     """Bounded, thread-safe event recorder."""
@@ -77,8 +110,7 @@ class Tracer:
         self, kind: str, task_id: int, machine: int = -1, thread: int = -1,
         detail: str = "",
     ) -> None:
-        if kind not in KINDS:
-            raise ValueError(f"unknown trace kind {kind!r}")
+        _validate_kind(kind)
         with self._lock:
             self._events.append(
                 TraceEvent(

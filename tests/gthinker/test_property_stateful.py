@@ -7,11 +7,14 @@ interleavings.
 """
 
 import tempfile
+from dataclasses import dataclass
 
+import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
+from repro.gthinker.runtime import WorkLedger
 from repro.gthinker.scheduler import TaskLeaseTable
 from repro.gthinker.spill import SpillableQueue, SpillFileList
 from repro.gthinker.task import Task
@@ -261,6 +264,190 @@ class LeaseTableMachine(RuleBasedStateMachine):
         assert len(self.table) == len(self.model_leased)
         assert self.table.outstanding == set(self.model_leased)
 
+    @invariant()
+    def ledger_internal_invariants(self):
+        self.table.check_invariants()
+
+
+@dataclass
+class _Unit:
+    """Stand-in for the cluster master's _WorkUnit: one member per lease."""
+
+    work_id: int
+    payload: tuple
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+class WorkUnitLedgerMachine(RuleBasedStateMachine):
+    """Model: the same WorkLedger driven socket-style, as the cluster
+    master drives it.
+
+    Where the process pool grants *batches of tasks* (many members per
+    lease, attempts per task id), the cluster grants *work units* (one
+    member per lease, attempts per work id, task-granular sizes) under a
+    per-worker lease window — with the deliberate over-commit escape
+    hatch used for steal forwarding. Both styles must satisfy the same
+    conservation/attempt/quarantine laws; this machine checks the
+    second, including owner-identified stale completions.
+    """
+
+    MAX_ATTEMPTS = 3
+    WORKERS = 3
+    WINDOW = 2
+    LEASE_TIMEOUT = 5.0
+
+    def __init__(self):
+        super().__init__()
+        self.ledger: WorkLedger[_Unit] = WorkLedger(
+            self.MAX_ATTEMPTS,
+            key=lambda u: u.work_id,
+            size=lambda u: u.size,
+            lease_window=self.WINDOW,
+        )
+        self.clock = 0.0
+        self.next_work = 0
+        self.pending: list[_Unit] = []
+        self.model_leased: dict[int, int] = {}  # work_id -> owner worker
+        self.model_completed: dict[int, int] = {}  # work_id -> size
+        self.model_quarantined: set[int] = set()
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(size=st.integers(min_value=1, max_value=3))
+    def make_unit(self, size):
+        self.pending.append(_Unit(self.next_work, tuple(range(size))))
+        self.next_work += 1
+
+    @precondition(lambda self: self.pending)
+    @rule(worker=st.integers(min_value=0, max_value=WORKERS - 1))
+    def grant(self, worker):
+        """The _pump path: a grant either fits the window or is refused
+        outright — refusal must leave the ledger untouched."""
+        unit = self.pending[0]
+        if self.ledger.has_window(worker):
+            lease = self.ledger.grant(
+                unit.work_id, worker, [unit],
+                now=self.clock, timeout=self.LEASE_TIMEOUT,
+            )
+            self.pending.pop(0)
+            assert lease.keys == (unit.work_id,)
+            self.model_leased[unit.work_id] = worker
+        else:
+            before = self.ledger.attempts_snapshot()
+            with pytest.raises(ValueError):
+                self.ledger.grant(
+                    unit.work_id, worker, [unit],
+                    now=self.clock, timeout=self.LEASE_TIMEOUT,
+                )
+            assert self.ledger.attempts_snapshot() == before
+
+    @precondition(lambda self: self.pending)
+    @rule(worker=st.integers(min_value=0, max_value=WORKERS - 1))
+    def grant_over_window(self, worker):
+        """The steal-forwarding path: enforce_window=False always lands."""
+        unit = self.pending.pop(0)
+        self.ledger.grant(
+            unit.work_id, worker, [unit],
+            now=self.clock, timeout=self.LEASE_TIMEOUT,
+            enforce_window=False,
+        )
+        self.model_leased[unit.work_id] = worker
+
+    @precondition(lambda self: self.model_leased)
+    @rule(pick=st.integers(min_value=0, max_value=99))
+    def complete_by_owner(self, pick):
+        work_id = sorted(self.model_leased)[pick % len(self.model_leased)]
+        owner = self.model_leased[work_id]
+        lease = self.ledger.complete(work_id, worker_id=owner)
+        assert lease is not None and lease.worker_id == owner
+        del self.model_leased[work_id]
+        self.model_completed[work_id] = sum(u.size for u in lease.items)
+
+    @precondition(lambda self: self.model_leased)
+    @rule(pick=st.integers(min_value=0, max_value=99))
+    def complete_wrong_owner_is_stale(self, pick):
+        """A completion from a worker that no longer owns the lease is
+        the at-least-once duplicate: dropped, nothing retired."""
+        work_id = sorted(self.model_leased)[pick % len(self.model_leased)]
+        wrong = self.model_leased[work_id] + self.WORKERS  # never a real owner
+        assert self.ledger.complete(work_id, worker_id=wrong) is None
+        assert work_id in self.ledger.outstanding
+
+    @rule(work_id=st.integers(min_value=0, max_value=500))
+    def complete_unknown_is_stale(self, work_id):
+        if work_id in self.model_leased:
+            return
+        assert self.ledger.complete(work_id) is None
+
+    @precondition(lambda self: self.model_leased)
+    @rule(worker=st.integers(min_value=0, max_value=WORKERS - 1))
+    def fail_worker(self, worker):
+        for lease in self.ledger.leases_for(worker):
+            retry, quarantine = self.ledger.reclaim(lease)
+            assert self.model_leased.pop(lease.lease_id) == worker
+            self.pending.extend(u for u, _ in retry)
+            self.model_quarantined |= {u.work_id for u, _ in quarantine}
+
+    @precondition(lambda self: self.model_leased)
+    @rule()
+    def expire_all_leases(self):
+        self.clock += self.LEASE_TIMEOUT + 1.0
+        for lease in self.ledger.expired(self.clock):
+            retry, quarantine = self.ledger.reclaim(lease)
+            self.model_leased.pop(lease.lease_id)
+            self.pending.extend(u for u, _ in retry)
+            self.model_quarantined |= {u.work_id for u, _ in quarantine}
+
+    @rule()
+    def tick(self):
+        self.clock += 1.0
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def conservation(self):
+        pending_ids = {u.work_id for u in self.pending}
+        leased_ids = set(self.model_leased)
+        accounted = (
+            pending_ids | leased_ids
+            | set(self.model_completed) | self.model_quarantined
+        )
+        assert accounted == set(range(self.next_work))
+        assert (
+            len(pending_ids) + len(leased_ids)
+            + len(self.model_completed) + len(self.model_quarantined)
+            == self.next_work
+        )
+
+    @invariant()
+    def ledger_agrees_with_model(self):
+        assert self.ledger.outstanding == set(self.model_leased)
+        for work_id, worker in self.model_leased.items():
+            lease = self.ledger.get(work_id)
+            assert lease is not None and lease.worker_id == worker
+        assert self.ledger.tasks_completed == sum(self.model_completed.values())
+        assert self.ledger.tasks_quarantined >= len(self.model_quarantined)
+
+    @invariant()
+    def attempts_bounded(self):
+        counts = self.ledger.attempts_snapshot().values()
+        assert all(1 <= c <= self.MAX_ATTEMPTS for c in counts)
+
+    @invariant()
+    def quarantine_is_terminal(self):
+        assert not (self.model_quarantined & {u.work_id for u in self.pending})
+        assert not (self.model_quarantined & set(self.model_leased))
+        assert len(self.ledger.quarantined_ids) == len(
+            set(self.ledger.quarantined_ids)
+        )
+
+    @invariant()
+    def ledger_internal_invariants(self):
+        self.ledger.check_invariants()
+
 
 TestSpillableQueueStateful = SpillableQueueMachine.TestCase
 TestSpillableQueueStateful.settings = settings(max_examples=40, deadline=None)
@@ -268,3 +455,5 @@ TestCacheStateful = CacheMachine.TestCase
 TestCacheStateful.settings = settings(max_examples=40, deadline=None)
 TestLeaseTableStateful = LeaseTableMachine.TestCase
 TestLeaseTableStateful.settings = settings(max_examples=60, deadline=None)
+TestWorkUnitLedgerStateful = WorkUnitLedgerMachine.TestCase
+TestWorkUnitLedgerStateful.settings = settings(max_examples=60, deadline=None)

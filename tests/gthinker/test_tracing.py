@@ -1,6 +1,7 @@
 """Tests for engine tracing and scheduling-policy assertions."""
 
 import json
+import warnings as warnings_module
 
 import pytest
 
@@ -38,6 +39,29 @@ class TestTracerBasics:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             Tracer().emit("teleport", 1)
+
+    def test_unknown_kind_strict_env_var(self, monkeypatch):
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        monkeypatch.setenv("REPRO_STRICT_TRACE", "1")
+        with pytest.raises(ValueError):
+            Tracer().emit("teleport", 1)
+
+    def test_unknown_kind_warns_once_in_production(self, monkeypatch):
+        from repro.gthinker import tracing
+
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        monkeypatch.delenv("REPRO_STRICT_TRACE", raising=False)
+        monkeypatch.setattr(tracing, "_warned_kinds", set())
+        t = Tracer()
+        with pytest.warns(RuntimeWarning, match="teleport"):
+            t.emit("teleport", 1)
+        # The event is still recorded — tracing must not lose data.
+        assert t.counts() == {"teleport": 1}
+        # Second emission of the same kind is silent.
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            t.emit("teleport", 2)
+        assert len(t) == 2
 
     def test_bounded(self):
         t = Tracer(capacity=5)
@@ -195,3 +219,37 @@ class TestSimulatorTracing:
         sim = SimulatedClusterEngine(g, app, EngineConfig(**self.WORKLOAD))
         sim.run()
         assert isinstance(sim.core.tracer, NullTracer)
+
+
+class TestEmittedVocabulary:
+    """The KINDS tuple and the emit sites in src/ must agree exactly."""
+
+    @staticmethod
+    def _emitted_literals():
+        import re
+        from pathlib import Path
+
+        import repro
+
+        src_root = Path(repro.__file__).resolve().parent
+        pattern = re.compile(r"""\.emit\(\s*["']([a-z_]+)["']""")
+        emitted: dict[str, set[str]] = {}
+        for path in src_root.rglob("*.py"):
+            for match in pattern.finditer(path.read_text()):
+                emitted.setdefault(match.group(1), set()).add(path.name)
+        return emitted
+
+    def test_every_emitted_kind_is_declared(self):
+        emitted = self._emitted_literals()
+        unknown = set(emitted) - set(KINDS)
+        assert not unknown, (
+            f"kinds emitted in src/ but missing from tracing.KINDS: "
+            f"{ {k: sorted(emitted[k]) for k in unknown} }"
+        )
+
+    def test_every_declared_kind_has_an_emit_site(self):
+        emitted = self._emitted_literals()
+        dead = set(KINDS) - set(emitted)
+        assert not dead, (
+            f"kinds declared in tracing.KINDS but never emitted: {sorted(dead)}"
+        )

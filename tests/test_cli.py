@@ -145,6 +145,54 @@ class TestExtendedModes:
         assert os.path.exists(os.path.join(ckpt, "roots.journal"))
 
 
+class TestRunSummary:
+    def _out(self, **fields):
+        from types import SimpleNamespace
+
+        from repro.gthinker.metrics import EngineMetrics
+
+        return SimpleNamespace(metrics=EngineMetrics(**fields))
+
+    def test_backend_prefixes(self):
+        from repro.cli import format_run_summary
+
+        out = self._out(tasks_executed=5, tasks_decomposed=1, spill_batches=2)
+        line = format_run_summary(out, "process", 4)
+        assert line.startswith(" backend=process procs=4")
+        assert "spills=2" in line and "workers_died" not in line
+        line = format_run_summary(out, "cluster", 2)
+        assert line.startswith(" backend=cluster workers=2")
+        assert "steals=0" in line and "spills" not in line
+        assert format_run_summary(out).startswith(" tasks=5")
+
+    def test_fault_fields_appear_only_after_deaths(self):
+        from repro.cli import format_run_summary
+
+        out = self._out(workers_died=1, tasks_retried=3, tasks_quarantined=1,
+                        stale_results_dropped=2)
+        line = format_run_summary(out, "process", 2)
+        assert "workers_died=1" in line
+        assert "retried=3" in line and "quarantined=1" in line
+        assert "stale_dropped=2" in line
+
+    def test_metrics_json(self, graph_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--metrics-json", str(path), "--quiet"]) == 0
+        data = json.loads(path.read_text())
+        assert data["tasks_executed"] >= 1
+        assert data["results"] == 1
+        assert "stale_results_dropped" in data
+        assert isinstance(data["mining_stats"], dict)
+
+    def test_metrics_json_rejects_serial(self, graph_file, capsys):
+        assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
+                     "--serial", "--metrics-json", "m.json"]) == 2
+        assert "--metrics-json" in capsys.readouterr().err
+
+
 class TestBackendSelection:
     def test_backend_process(self, graph_file, capsys):
         assert main([graph_file, "--gamma", "1.0", "--min-size", "3",
