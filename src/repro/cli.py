@@ -13,6 +13,8 @@ Examples::
     quasiclique-mine cluster-master graph.txt --gamma 0.8 --min-size 10 \
         --workers 4 --port 7464
     quasiclique-mine cluster-worker --host master-host --port 7464
+    quasiclique-mine cluster-status --host master-host --port 7464
+    quasiclique-mine trace-report run.jsonl --top 10
     quasiclique-mine graph.txt --gamma 0.9 --min-size 10 --query 42
     quasiclique-mine --postprocess raw.txt maximal.txt
     quasiclique-mine graph.txt --stats
@@ -152,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-json", metavar="FILE", default=None,
                         help="write the run's engine metrics as JSON to FILE "
                         "(engine modes only)")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live progress snapshots to stderr "
+                        "(process/cluster backends)")
     parser.add_argument("--serial", action="store_true",
                         help="use the plain serial miner (no engine)")
     parser.add_argument("--quiet", action="store_true",
@@ -171,11 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     raw = sys.argv[1:] if argv is None else argv
-    if raw and raw[0] in ("cluster-master", "cluster-worker"):
-        from .gthinker.cluster.cli import master_cli, worker_cli
+    if raw and raw[0] in ("cluster-master", "cluster-worker", "cluster-status"):
+        from .gthinker.cluster.cli import master_cli, status_cli, worker_cli
 
-        dispatch = master_cli if raw[0] == "cluster-master" else worker_cli
+        dispatch = {"cluster-master": master_cli,
+                    "cluster-worker": worker_cli,
+                    "cluster-status": status_cli}[raw[0]]
         return dispatch(raw[1:])
+    if raw and raw[0] == "trace-report":
+        from .gthinker.obs.report import report_cli
+
+        return report_cli(raw[1:])
     args = build_parser().parse_args(raw)
 
     if args.postprocess:
@@ -245,6 +256,17 @@ def main(argv: list[str] | None = None) -> int:
               "(default or --simulate)", file=sys.stderr)
         return 2
 
+    on_progress = None
+    if args.progress:
+        if config.backend not in ("process", "cluster"):
+            print("error: --progress requires --backend process or cluster "
+                  "(the distributed coordinators emit the snapshots)",
+                  file=sys.stderr)
+            return 2
+        from .gthinker.obs import format_progress
+
+        on_progress = lambda s: print(format_progress(s), file=sys.stderr)  # noqa: E731
+
     tracer = None
     if args.trace:
         if args.serial or args.query or args.checkpoint_dir:
@@ -280,14 +302,16 @@ def main(argv: list[str] | None = None) -> int:
         extra = f" virtual_makespan={out.makespan:.0f} utilization={out.utilization:.2f}"
     elif config.backend == "process":
         out = mine_multiprocess(graph, gamma, min_size, config, tracer=tracer,
-                                start_method=args.mp_start_method)
+                                start_method=args.mp_start_method,
+                                on_progress=on_progress)
         maximal = out.maximal
         extra = format_run_summary(out, "process", config.resolved_num_procs)
     elif config.backend == "cluster":
         from .gthinker.cluster import mine_cluster
 
         out = mine_cluster(graph, gamma, min_size, config, tracer=tracer,
-                           start_method=args.mp_start_method)
+                           start_method=args.mp_start_method,
+                           on_progress=on_progress)
         maximal = out.maximal
         extra = format_run_summary(out, "cluster", config.resolved_num_procs)
     else:

@@ -27,7 +27,7 @@ from ..tracing import Tracer
 from .master import ClusterMaster
 from .worker import ClusterWorker
 
-__all__ = ["master_cli", "worker_cli"]
+__all__ = ["master_cli", "status_cli", "worker_cli"]
 
 #: Default master port (arbitrary, unprivileged).
 DEFAULT_PORT = 7464
@@ -62,6 +62,8 @@ def _master_parser() -> argparse.ArgumentParser:
                         help="abort the job after this many seconds")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write master-side scheduler events as JSON lines")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live progress snapshots to stderr")
     parser.add_argument("--output", help="write results (one set per line)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the summary line")
@@ -88,9 +90,15 @@ def master_cli(argv: list[str] | None = None) -> int:
         sink=ResultSink(), options=DEFAULT_OPTIONS,
     )
     tracer = Tracer() if args.trace else None
+    on_progress = None
+    if args.progress:
+        from ..obs import format_progress
+
+        on_progress = lambda s: print(format_progress(s), file=sys.stderr)  # noqa: E731
     master = ClusterMaster(
         graph, app, config, tracer=tracer,
         host=args.host, port=args.port, num_workers=args.workers,
+        on_progress=on_progress,
     )
     host, port = master.start()
     print(f"cluster-master: listening on {host}:{port}, "
@@ -142,4 +150,31 @@ def worker_cli(argv: list[str] | None = None) -> int:
     )
     worker.run()
     print(f"cluster-worker {worker.worker_id}: done", file=sys.stderr)
+    return 0
+
+
+def _status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quasiclique-mine cluster-status",
+        description="Ask a running master for one live-progress snapshot.",
+    )
+    parser.add_argument("--host", required=True, help="master address")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="connect/read timeout in seconds")
+    return parser
+
+
+def status_cli(argv: list[str] | None = None) -> int:
+    args = _status_parser().parse_args(argv)
+    from ..obs import format_progress, query_master_status
+    from .protocol import ProtocolError
+
+    try:
+        snapshot = query_master_status(args.host, args.port,
+                                       timeout=args.timeout)
+    except (OSError, ProtocolError) as exc:
+        print(f"cluster-status: {exc}", file=sys.stderr)
+        return 1
+    print(format_progress(snapshot))
     return 0

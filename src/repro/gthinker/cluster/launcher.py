@@ -46,6 +46,7 @@ def run_cluster_app(
     start_method: str | None = None,
     fault_injection: FaultInjection | None = None,
     timeout: float | None = None,
+    on_progress=None,
 ) -> MiningRunResult:
     """Run `app` on a localhost cluster: one master, N worker processes.
 
@@ -66,7 +67,7 @@ def run_cluster_app(
         )
     master = ClusterMaster(
         graph, app, config, tracer=tracer, host="127.0.0.1", port=0,
-        num_workers=num_workers,
+        num_workers=num_workers, on_progress=on_progress,
     )
     host, port = master.start()
     ctx = multiprocessing.get_context(start_method)
@@ -108,6 +109,7 @@ def mine_cluster(
     start_method: str | None = None,
     fault_injection: FaultInjection | None = None,
     timeout: float | None = None,
+    on_progress=None,
 ) -> MiningRunResult:
     """Convenience front-end: mine `graph` on a localhost TCP cluster."""
     config = config or EngineConfig(backend="cluster")
@@ -120,5 +122,5 @@ def mine_cluster(
     return run_cluster_app(
         graph, app, config, tracer=tracer, num_workers=num_workers,
         start_method=start_method, fault_injection=fault_injection,
-        timeout=timeout,
+        timeout=timeout, on_progress=on_progress,
     )

@@ -47,6 +47,7 @@ from ..app_protocol import ensure_app
 from ..config import EngineConfig
 from ..engine import MiningRunResult
 from ..metrics import EngineMetrics
+from ..obs.progress import ProgressSnapshot, progress_detail
 from ..partition import make_partitioner
 from ..runtime import (
     ChannelClosed,
@@ -70,6 +71,8 @@ from .protocol import (
     ResultBatch,
     Shutdown,
     SpawnRange,
+    StatusReply,
+    StatusRequest,
     StealGrant,
     StealRequest,
     TaskBatch,
@@ -127,11 +130,18 @@ class ClusterMaster:
         host: str = "127.0.0.1",
         port: int = 0,
         num_workers: int | None = None,
+        on_progress=None,
     ):
         self.graph = graph
         self.app = ensure_app(app)
         self.config = config
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Live-progress callback, called with a ProgressSnapshot every
+        #: config.progress_interval seconds (1s default when a callback
+        #: or tracer is attached); StatusRequest peers get the same
+        #: snapshot on demand.
+        self.on_progress = on_progress
+        self._run_start = time.perf_counter()
         self.num_workers = num_workers or config.resolved_num_procs
         if self.num_workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -403,6 +413,56 @@ class ClusterMaster:
             self._pending.insert(0, unit)
             self._pump()
 
+    # -- live progress -----------------------------------------------------
+
+    def status_snapshot(self) -> ProgressSnapshot:
+        """One live-progress snapshot of the job, as the master sees it.
+
+        ``tasks_pending``/``tasks_leased`` count master-side work units
+        (spawn-range chunks and task batches); ``tasks_done`` is executed
+        tasks as reported by worker ProgressReports.
+        """
+        return ProgressSnapshot(
+            wall_seconds=time.perf_counter() - self._run_start,
+            tasks_pending=len(self._pending),
+            tasks_leased=self.ledger.leased_task_count(),
+            tasks_done=sum(p.tasks_executed for p in self.progress.values()),
+            candidates=len(self.app.sink),
+            workers_alive=len(self._alive()),
+            workers_died=self.metrics.workers_died,
+        )
+
+    def _progress_interval(self) -> float:
+        """Seconds between progress emissions; 0 disables them."""
+        if self.config.progress_interval:
+            return self.config.progress_interval
+        if self.on_progress is not None or self.tracer.enabled:
+            return 1.0
+        return 0.0
+
+    def _emit_progress(self) -> None:
+        snapshot = self.status_snapshot()
+        self.tracer.emit("progress", -1, detail=progress_detail(snapshot))
+        if self.on_progress is not None:
+            self.on_progress(snapshot)
+
+    def _reply_status(self, channel: StreamChannel) -> None:
+        s = self.status_snapshot()
+        try:
+            channel.send(
+                StatusReply(
+                    wall_seconds=s.wall_seconds,
+                    tasks_pending=s.tasks_pending,
+                    tasks_leased=s.tasks_leased,
+                    tasks_done=s.tasks_done,
+                    candidates=s.candidates,
+                    workers_alive=s.workers_alive,
+                    workers_died=s.workers_died,
+                )
+            )
+        except ChannelClosed:
+            channel.close()  # observer gone before the reply; no worker to fail
+
     # -- message handling --------------------------------------------------
 
     def _handle(self, channel: StreamChannel, msg, now: float) -> None:
@@ -415,6 +475,11 @@ class ClusterMaster:
             return
         if isinstance(msg, Hello):
             self._register(channel, msg, now)
+            return
+        if isinstance(msg, StatusRequest):
+            # Served for any connected peer — observers query progress
+            # without registering as a worker.
+            self._reply_status(channel)
             return
         if worker is None:
             warnings.warn(
@@ -499,10 +564,13 @@ class ClusterMaster:
     def run(self, timeout: float | None = None) -> MiningRunResult:
         """Drive the job to completion; returns the standard run result."""
         start = time.perf_counter()
+        self._run_start = start
         self.start()
         self._build_work()
         deadline = None if timeout is None else time.monotonic() + timeout
         next_steal = time.monotonic() + self.config.steal_period_seconds
+        progress_every = self._progress_interval()
+        last_progress = time.monotonic()
         registered_any = False
         try:
             while self._pending or self.ledger or self._retries:
@@ -528,6 +596,9 @@ class ClusterMaster:
                 for unit, _attempts in self._retries.pop_due(now):
                     self._pending.insert(0, unit)
                 self._pump()
+                if progress_every and now - last_progress >= progress_every:
+                    self._emit_progress()
+                    last_progress = now
                 if now >= next_steal:
                     next_steal = now + self.config.steal_period_seconds
                     self._plan_steals()

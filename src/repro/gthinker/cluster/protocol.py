@@ -38,7 +38,8 @@ from ..metrics import EngineMetrics
 #: Frame magic: G-Thinker CLuster.
 MAGIC = b"GTCL"
 #: Protocol version; bump on any incompatible message change.
-VERSION = 1
+#: v2: StatusRequest/StatusReply (live-progress query, repro.gthinker.obs).
+VERSION = 2
 _HEADER = struct.Struct("<4sHQ")
 
 #: Refuse frames larger than this (64 GiB): a corrupt length header must
@@ -157,6 +158,37 @@ class ProgressReport:
 
 
 @dataclass(frozen=True)
+class StatusRequest:
+    """Any peer → master: ask for one live-progress snapshot.
+
+    Served before registration, so an observer (``repro cluster-status``,
+    the launcher's ``--progress`` poller) can connect, send this one
+    message, read the :class:`StatusReply`, and disconnect without ever
+    becoming a worker.
+    """
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """Master → requester: the job's progress counters right now.
+
+    Plain fields mirroring ``repro.gthinker.obs.ProgressSnapshot``
+    (the protocol module stays import-light; obs converts the reply
+    back into a snapshot). ``tasks_pending``/``tasks_leased`` count
+    master-side work units; ``tasks_done`` counts executed tasks as
+    reported by workers.
+    """
+
+    wall_seconds: float
+    tasks_pending: int
+    tasks_leased: int
+    tasks_done: int
+    candidates: int
+    workers_alive: int
+    workers_died: int = 0
+
+
+@dataclass(frozen=True)
 class Shutdown:
     """Master → worker: the job is complete; flush and say Goodbye."""
 
@@ -182,6 +214,8 @@ MESSAGE_TYPES = (
     StealGrant,
     Heartbeat,
     ProgressReport,
+    StatusRequest,
+    StatusReply,
     Shutdown,
     Goodbye,
 )

@@ -40,6 +40,8 @@ import traceback
 from dataclasses import replace
 
 from ..chaos import FaultInjection, die_hard
+from ..metrics import WorkerTiming
+from ..obs.spans import emit_span
 from ..runtime import ChannelClosed, StreamChannel
 from ..scheduler import SchedulerCore, build_machines, collect_machine_metrics
 from ..task import Task
@@ -181,6 +183,8 @@ class ClusterWorker:
         period = config.heartbeat_period
         next_heartbeat = time.monotonic() + period
         heartbeats_sent = 0
+        t_run_start = time.perf_counter()
+        mine_seconds = 0.0
         try:
             while True:
                 block = self._active == 0
@@ -189,6 +193,12 @@ class ClusterWorker:
                     block_until=next_heartbeat if block else None,
                 )
                 if action == "stop":
+                    wall = time.perf_counter() - t_run_start
+                    self.metrics.timing[self.worker_id] = WorkerTiming(
+                        wall_seconds=wall,
+                        mine_seconds=mine_seconds,
+                        idle_seconds=max(0.0, wall - mine_seconds),
+                    )
                     self._flush(stream, app, tracer, completed_all=True)
                     collect_machine_metrics(self.metrics, [machine])
                     self.metrics.mining_stats.merge(app.stats)
@@ -240,9 +250,11 @@ class ClusterWorker:
                         # loop here starves co-hosted processes.
                         time.sleep(0.001)
                     continue
+                t_quantum = time.perf_counter()
                 quantum = core.run_quantum(
-                    task, machine, record=self.metrics.record_task
+                    task, machine, record=self.metrics.record_task, slot=slot
                 )
+                mine_seconds += time.perf_counter() - t_quantum
                 for child in quantum.children:
                     if child.is_big(config.tau_split):
                         # Big remainders go back to the master for
@@ -299,7 +311,7 @@ class ClusterWorker:
                         task.task_id = core.next_task_id()
                         core.route(task, machine, slot)
             elif isinstance(msg, StealRequest):
-                self._serve_steal(msg, stream, machine)
+                self._serve_steal(msg, stream, machine, core.tracer)
             # Heartbeat/ProgressReport never flow master -> worker;
             # anything else is ignored for forward compatibility.
 
@@ -315,8 +327,10 @@ class ClusterWorker:
             core.tracer.emit("spawn", task.task_id, 0, detail=f"root={v}")
             core.route(task, machine, slot)
 
-    def _serve_steal(self, msg: StealRequest, stream, machine) -> None:
+    def _serve_steal(self, msg: StealRequest, stream, machine, tracer) -> None:
         """Give up to `count` big tasks from Q_global (+ its spill list)."""
+        trace = tracer.enabled
+        t0 = time.monotonic() if trace else 0.0
         granted: list[Task] = []
         while len(granted) < msg.count:
             batch = machine.qglobal.pop_batch(msg.count - len(granted))
@@ -326,6 +340,13 @@ class ClusterWorker:
                 continue
             granted.extend(batch)
         self._active -= len(granted)
+        if trace and granted:
+            # Donor-side half of the move; the events forward to the
+            # master's trace attributed machine=this worker.
+            emit_span(
+                tracer, "steal_transfer", t0, time.monotonic(),
+                detail=f"granted={len(granted)} requested={msg.count}",
+            )
         stream.send(
             StealGrant(
                 request_id=msg.request_id,

@@ -76,6 +76,11 @@ class EngineConfig:
     #: chunks automatically (~8 units per worker) so dead-worker
     #: reassignment has useful granularity.
     cluster_chunk_size: int = 0
+    #: Seconds between live-progress snapshots emitted by the process-pool
+    #: parent and the cluster master (`progress` trace event + on_progress
+    #: callback). 0 = automatic: 1s whenever a callback or tracer is
+    #: attached, otherwise off.
+    progress_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_machines < 1 or self.threads_per_machine < 1:
@@ -108,6 +113,8 @@ class EngineConfig:
             raise ValueError("heartbeat_timeout must exceed heartbeat_period")
         if self.cluster_chunk_size < 0:
             raise ValueError("cluster_chunk_size must be >= 0 (0 = auto)")
+        if self.progress_interval < 0:
+            raise ValueError("progress_interval must be >= 0 (0 = auto)")
 
     @property
     def total_threads(self) -> int:

@@ -31,7 +31,7 @@ from ..graph.adjacency import Graph
 from .app_protocol import GThinkerApp
 from .app_quasiclique import QuasiCliqueApp
 from .config import EngineConfig
-from .metrics import EngineMetrics
+from .metrics import EngineMetrics, WorkerTiming
 from .scheduler import (
     MachineState,
     SchedulerCore,
@@ -120,7 +120,7 @@ class GThinkerEngine:
         task = self.core.pick(machine, slot)
         if task is None:
             return False
-        result = self.core.run_quantum(task, machine, metrics.record_task)
+        result = self.core.run_quantum(task, machine, metrics.record_task, slot=slot)
         # Children first: the active counter must never dip to zero while
         # a finishing parent still has unrouted offspring.
         for child in result.children:
@@ -179,30 +179,53 @@ class GThinkerEngine:
             m.cleanup()
         return MiningRunResult(maximal=maximal, candidates=candidates, metrics=self.metrics)
 
+    def _timing_key(self, machine: MachineState, slot: ThreadSlot) -> int:
+        """Global thread index: the key of EngineMetrics.timing rows."""
+        return machine.machine_id * self.config.threads_per_machine + slot.slot_id
+
     def _run_serial(self) -> None:
         machine = self.machines[0]
         slot = machine.threads[0]
         local = EngineMetrics()
+        timing = WorkerTiming()
+        t_start = time.perf_counter()
         while True:
-            if not self._step(machine, slot, local):
+            t0 = time.perf_counter()
+            worked = self._step(machine, slot, local)
+            dt = time.perf_counter() - t0
+            if worked:
+                timing.mine_seconds += dt
+            else:
+                timing.idle_seconds += dt
                 self._maybe_finish()
                 if self._done.is_set():
                     break
+        timing.wall_seconds = time.perf_counter() - t_start
+        local.timing[self._timing_key(machine, slot)] = timing
         with self._metrics_lock:
             self.metrics.merge(local)
 
     def _run_threaded(self) -> None:
         def worker(machine: MachineState, slot: ThreadSlot) -> None:
             local = EngineMetrics()
+            timing = WorkerTiming()
             idle_spins = 0
+            t_start = time.perf_counter()
             try:
                 while not self._done.is_set():
-                    if self._step(machine, slot, local):
+                    t0 = time.perf_counter()
+                    worked = self._step(machine, slot, local)
+                    dt = time.perf_counter() - t0
+                    if worked:
+                        timing.mine_seconds += dt
                         idle_spins = 0
                         continue
+                    timing.idle_seconds += dt
                     idle_spins += 1
                     self._maybe_finish()
+                    t0 = time.perf_counter()
                     time.sleep(min(0.002, 0.0001 * idle_spins))
+                    timing.idle_seconds += time.perf_counter() - t0
             except BaseException as exc:  # noqa: BLE001 - repropagated in run()
                 # A dead worker with queued work would hang the job on
                 # the active counter; record the failure and stop the
@@ -212,6 +235,8 @@ class GThinkerEngine:
                         self._worker_error = exc
                 self._done.set()
             finally:
+                timing.wall_seconds = time.perf_counter() - t_start
+                local.timing[self._timing_key(machine, slot)] = timing
                 with self._metrics_lock:
                     self.metrics.merge(local)
 

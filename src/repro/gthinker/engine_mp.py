@@ -87,7 +87,8 @@ from .app_quasiclique import QuasiCliqueApp
 from .chaos import FaultInjection, die_hard
 from .config import EngineConfig
 from .engine import MiningRunResult
-from .metrics import EngineMetrics
+from .metrics import EngineMetrics, WorkerTiming
+from .obs.progress import ProgressSnapshot, progress_detail
 from .runtime import (
     ChannelClosed,
     PipeChannel,
@@ -105,7 +106,7 @@ from .tracing import NullTracer, Tracer
 __all__ = ["FaultInjection", "MultiprocessEngine", "mine_multiprocess"]
 
 #: Trace-event kinds a worker may forward to the parent's tracer.
-_WORKER_EVENT_KINDS = ("execute", "finish", "decompose")
+_WORKER_EVENT_KINDS = ("execute", "finish", "decompose", "span_begin", "span_end")
 
 
 # -- read-only graph shipping ---------------------------------------------
@@ -196,6 +197,7 @@ def _run_task(app, config, graph, task, next_task_id, metrics, events):
         config=config, next_task_id=next_task_id, record=metrics.record_task
     )
     children: list[Task] = []
+    t0 = time.monotonic() if events is not None else 0.0
     while True:
         if task.pulls:
             frontier = {
@@ -217,6 +219,19 @@ def _run_task(app, config, graph, task, next_task_id, metrics, events):
         if outcome.finished:
             if events is not None:
                 events.append(("finish", task.task_id, ""))
+                # The batch_mine span of this task, as a forwarded event
+                # pair (retroactive emission — same rule as emit_span, so
+                # pairing/nesting holds in the parent's trace too).
+                t1 = time.monotonic()
+                events.append(
+                    ("span_begin", task.task_id,
+                     f"name=batch_mine t={t0:.6f} children={len(children)}")
+                )
+                events.append(
+                    ("span_end", task.task_id,
+                     f"name=batch_mine t={t1:.6f} dur={t1 - t0:.6f} "
+                     f"children={len(children)}")
+                )
             return children
 
 
@@ -257,7 +272,9 @@ def _worker_main(
         shipped: set[frozenset[int]] = set()
         completed = 0
         while True:
+            t_wait = time.monotonic()
             item = task_q.get()
+            waited = time.monotonic() - t_wait
             if item is None:
                 result_conn.send(("done", worker_id, pickle.dumps(app.stats)))
                 return
@@ -267,6 +284,7 @@ def _worker_main(
             metrics = EngineMetrics()
             events: list | None = [] if trace_enabled else None
             children: list[Task] = []
+            t_mine = time.monotonic()
             for blob in blobs:
                 task = Task.decode(blob)
                 children.extend(
@@ -275,6 +293,12 @@ def _worker_main(
                         lambda: -next(provisional), metrics, events,
                     )
                 )
+            busy = time.monotonic() - t_mine
+            # Per-batch wall/mine/idle slice; the parent's metrics merge
+            # sums slices per worker id into one WorkerTiming row.
+            metrics.timing[worker_id] = WorkerTiming(
+                wall_seconds=waited + busy, mine_seconds=busy, idle_seconds=waited
+            )
             results = app.sink.results()
             fresh = results - shipped
             shipped |= fresh
@@ -321,10 +345,15 @@ class MultiprocessEngine:
         tracer: Tracer | NullTracer | None = None,
         start_method: str | None = None,
         fault_injection: FaultInjection | None = None,
+        on_progress=None,
     ):
         self.graph = graph
         self.app = ensure_app(app)
         self.config = config
+        #: Live-progress callback: called with a ProgressSnapshot every
+        #: config.progress_interval seconds (default 1s when a callback
+        #: is given; the `progress` trace event fires on the same clock).
+        self.on_progress = on_progress
         try:
             self._app_blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -478,6 +507,38 @@ class MultiprocessEngine:
             machine, slot = next(self._route_cycle)
             self.core.requeue(task, machine, slot)
 
+    # -- live progress -----------------------------------------------------
+
+    def _progress_interval(self) -> float:
+        """Seconds between progress emissions; 0 disables them."""
+        if self.config.progress_interval:
+            return self.config.progress_interval
+        if self.on_progress is not None or self.tracer.enabled:
+            return 1.0
+        return 0.0
+
+    def status_snapshot(self) -> ProgressSnapshot:
+        """One live-progress snapshot of the pool, as the parent sees it."""
+        leased = self.leases.leased_task_count()
+        return ProgressSnapshot(
+            wall_seconds=time.perf_counter() - self._run_start,
+            tasks_pending=max(0, self._active - leased),
+            tasks_leased=leased,
+            tasks_done=self.metrics.tasks_executed,
+            candidates=len(self.app.sink.results()),
+            workers_alive=sum(
+                1 for slot in self.registry.slots()
+                if slot.transport is not None and slot.transport.is_alive()
+            ),
+            workers_died=self.metrics.workers_died,
+        )
+
+    def _emit_progress(self) -> None:
+        snapshot = self.status_snapshot()
+        self.tracer.emit("progress", -1, detail=progress_detail(snapshot))
+        if self.on_progress is not None:
+            self.on_progress(snapshot)
+
     def _supervise(self, now: float) -> None:
         """Detect dead and wedged workers; reclaim and respawn."""
         for slot in self.registry.slots():
@@ -497,6 +558,7 @@ class MultiprocessEngine:
 
     def run(self) -> MiningRunResult:
         start = time.perf_counter()
+        self._run_start = start
         self._ctx = multiprocessing.get_context(self.start_method)
         shm = None
         if self.start_method == "fork":
@@ -569,8 +631,13 @@ class MultiprocessEngine:
         self._route_cycle = itertools.cycle(slots)
         steal_enabled = config.use_stealing and config.num_machines > 1
         last_steal = time.monotonic()
+        progress_every = self._progress_interval()
+        last_progress = time.monotonic()
         while True:
             now = time.monotonic()
+            if progress_every and now - last_progress >= progress_every:
+                self._emit_progress()
+                last_progress = now
             self._flush_due_retries(now)
             self._supervise(now)
             self._fill_windows(pick_cycle, len(slots), now)
@@ -717,6 +784,7 @@ def mine_multiprocess(
     tracer: Tracer | NullTracer | None = None,
     start_method: str | None = None,
     fault_injection: FaultInjection | None = None,
+    on_progress=None,
 ) -> MiningRunResult:
     """Convenience front-end: mine `graph` on the process-pool backend."""
     from ..core.options import DEFAULT_OPTIONS
@@ -730,5 +798,5 @@ def mine_multiprocess(
     )
     return MultiprocessEngine(
         graph, app, config, tracer=tracer, start_method=start_method,
-        fault_injection=fault_injection,
+        fault_injection=fault_injection, on_progress=on_progress,
     ).run()

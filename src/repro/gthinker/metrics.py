@@ -34,6 +34,28 @@ class TaskRecord:
 
 
 @dataclass
+class WorkerTiming:
+    """Per-worker wall/mine/idle accounting (seconds, monotonic clock).
+
+    ``wall_seconds`` is the worker's observed loop time, split into
+    ``mine_seconds`` (inside a task quantum) and ``idle_seconds``
+    (waiting for work: queue gets, empty picks, backoff sleeps).
+    ``merge`` sums component-wise, so the same key accumulated across
+    batches (process workers report per batch) stays consistent:
+    wall == mine + idle holds whenever the producer maintained it.
+    """
+
+    wall_seconds: float = 0.0
+    mine_seconds: float = 0.0
+    idle_seconds: float = 0.0
+
+    def merge(self, other: "WorkerTiming") -> None:
+        self.wall_seconds += other.wall_seconds
+        self.mine_seconds += other.mine_seconds
+        self.idle_seconds += other.idle_seconds
+
+
+@dataclass
 class EngineMetrics:
     """Aggregated over one engine run (merge per-thread copies at the end)."""
 
@@ -72,6 +94,11 @@ class EngineMetrics:
     stale_results_dropped: int = 0
     results: int = 0
     peak_pending_tasks: int = 0
+    #: Per-worker wall/mine/idle split (repro.gthinker.obs). Keyed by a
+    #: backend-native worker index: global thread index on the serial/
+    #: threaded engines, worker id on the process pool and cluster.
+    #: Empty on the simulated backend (its clock is virtual).
+    timing: dict[int, WorkerTiming] = field(default_factory=dict)
     task_records: list[TaskRecord] = field(default_factory=list)
     mining_stats: MiningStats = field(default_factory=MiningStats)
 
@@ -111,6 +138,8 @@ class EngineMetrics:
         self.tasks_quarantined += other.tasks_quarantined
         self.stale_results_dropped += other.stale_results_dropped
         self.peak_pending_tasks = max(self.peak_pending_tasks, other.peak_pending_tasks)
+        for worker, timing in other.timing.items():
+            self.timing.setdefault(worker, WorkerTiming()).merge(timing)
         self.task_records.extend(other.task_records)
         self.mining_stats.merge(other.mining_stats)
 

@@ -1,0 +1,119 @@
+"""Timed spans over the existing trace channel.
+
+A *span* is one timed occurrence of a named hot-path phase, carried as
+a ``span_begin``/``span_end`` event pair through the same
+:class:`~repro.gthinker.tracing.Tracer` every other scheduling event
+rides. Both events carry the phase name and a monotonic-clock reading
+in their ``detail`` (``name=<phase> t=<monotonic>``; the end event adds
+``dur=<seconds>``), so a trace alone reconstructs where time went —
+per task, per worker, per phase — without any side channel.
+
+Spans are emitted *retroactively*: the instrumentation site measures
+``t0``/``t1`` around the work and emits both events once the phase
+completed (:func:`emit_span`). That buys three properties the contract
+in docs/OBSERVABILITY.md relies on:
+
+* **pairing** — a ``span_begin`` is always immediately followed by its
+  ``span_end`` in the same ``(machine, thread)`` stream, so spans pair
+  and nest trivially (no crash can orphan a begin);
+* **no no-op storms** — sites that run very often but usually do
+  nothing (spill refills on a hot pick loop) emit only when work
+  actually happened;
+* **zero cost when tracing is off** — every site guards its
+  ``time.monotonic()`` calls behind ``tracer.enabled``, so the
+  :class:`~repro.gthinker.tracing.NullTracer` fast path stays clean.
+
+The begin/end timestamps still carry the real interval, so timeline
+reconstruction is exact even though the events are adjacent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["SPAN_NAMES", "emit_span", "parse_detail", "span"]
+
+#: The instrumented hot-path phases (the observability contract's span
+#: vocabulary; docs/OBSERVABILITY.md documents each emitting site).
+SPAN_NAMES = (
+    "root_spawn",  # spawn_batch / SpawnRange: tasks minted from the vertex table
+    "batch_mine",  # one task's compute quanta (per task_id; feeds top-K slowest)
+    "spill_refill",  # a queue reloaded one batch from its L_big/L_small spill
+    "steal_transfer",  # big tasks moved between machines/workers
+    "lease_reclaim",  # a failed lease split into retries and quarantine
+    "result_fold",  # worker candidates folded into the coordinator sink
+)
+
+
+def emit_span(
+    tracer: Any,
+    name: str,
+    t0: float,
+    t1: float,
+    *,
+    task_id: int = -1,
+    machine: int = -1,
+    thread: int = -1,
+    detail: str = "",
+) -> None:
+    """Emit one completed span as a begin/end event pair.
+
+    `t0`/`t1` are ``time.monotonic()`` readings taken by the caller
+    around the spanned work (measure only when ``tracer.enabled``).
+    Extra ``detail`` is appended verbatim to both events after the
+    standard ``name=``/``t=``/``dur=`` fields.
+    """
+    if not tracer.enabled:
+        return
+    extra = f" {detail}" if detail else ""
+    tracer.emit(
+        "span_begin", task_id, machine=machine, thread=thread,
+        detail=f"name={name} t={t0:.6f}{extra}",
+    )
+    tracer.emit(
+        "span_end", task_id, machine=machine, thread=thread,
+        detail=f"name={name} t={t1:.6f} dur={t1 - t0:.6f}{extra}",
+    )
+
+
+@contextmanager
+def span(
+    tracer: Any,
+    name: str,
+    *,
+    task_id: int = -1,
+    machine: int = -1,
+    thread: int = -1,
+    detail: str = "",
+) -> Iterator[None]:
+    """Context-manager form of :func:`emit_span` for non-hot-path sites.
+
+    The span is emitted only on clean exit — an exception inside the
+    block produces no events, keeping the begin/end pairing invariant
+    unconditional.
+    """
+    if not tracer.enabled:
+        yield
+        return
+    t0 = time.monotonic()
+    yield
+    emit_span(
+        tracer, name, t0, time.monotonic(),
+        task_id=task_id, machine=machine, thread=thread, detail=detail,
+    )
+
+
+def parse_detail(detail: str) -> dict[str, str]:
+    """Parse a ``key=value`` detail string into a dict.
+
+    Tolerant of free-text tails: tokens without ``=`` are ignored, so it
+    is safe on every trace kind's detail, not just span events.
+    """
+    out: dict[str, str] = {}
+    for token in detail.split():
+        key, sep, value = token.partition("=")
+        if sep:
+            out[key] = value
+    return out

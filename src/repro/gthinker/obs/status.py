@@ -1,0 +1,60 @@
+"""One-shot live-status query against a running cluster master.
+
+The master answers a :class:`~repro.gthinker.cluster.protocol.StatusRequest`
+from *any* connected peer — before registration — with one
+:class:`~repro.gthinker.cluster.protocol.StatusReply`. That makes "how
+far along is the job" a single round trip from anywhere that can reach
+the master's port: connect, ask, read, disconnect. No worker identity,
+no lease, no side effects on the run.
+
+``repro cluster-status HOST PORT`` (see :mod:`repro.cli`) is the
+human-facing wrapper around :func:`query_master_status`.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..cluster.protocol import MessageStream, ProtocolError, StatusReply, StatusRequest
+from .progress import ProgressSnapshot
+
+__all__ = ["query_master_status", "snapshot_from_reply"]
+
+
+def snapshot_from_reply(reply: StatusReply) -> ProgressSnapshot:
+    """Convert a wire reply back into the obs-layer snapshot."""
+    return ProgressSnapshot(
+        wall_seconds=reply.wall_seconds,
+        tasks_pending=reply.tasks_pending,
+        tasks_leased=reply.tasks_leased,
+        tasks_done=reply.tasks_done,
+        candidates=reply.candidates,
+        workers_alive=reply.workers_alive,
+        workers_died=reply.workers_died,
+    )
+
+
+def query_master_status(
+    host: str, port: int, timeout: float = 10.0
+) -> ProgressSnapshot:
+    """Ask a running master for one progress snapshot.
+
+    Raises ``OSError`` when the master is unreachable and
+    :class:`ProtocolError` when it answers with anything other than a
+    ``StatusReply`` (e.g. a version-mismatched runtime).
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        stream = MessageStream(sock)
+        stream.send(StatusRequest())
+        reply = stream.recv()
+    if reply is None:
+        raise ProtocolError(
+            f"master at {host}:{port} closed the connection without replying"
+        )
+    if not isinstance(reply, StatusReply):
+        raise ProtocolError(
+            f"master at {host}:{port} answered a StatusRequest with "
+            f"{type(reply).__name__}, expected StatusReply"
+        )
+    return snapshot_from_reply(reply)

@@ -34,7 +34,7 @@ and their metrics counters are emitted only from this package.
 from .channel import Channel, ChannelClosed, PipeChannel, StreamChannel
 from .folding import ResultFolder
 from .ledger import Lease, TaskLeaseTable, WorkLedger
-from .registry import WorkerRegistry, WorkerSlot
+from .registry import WorkerRegistry, WorkerSlot, worker_attribution
 from .retry import RetryPolicy, backoff_delay, reclaim_lease
 
 __all__ = [
@@ -51,4 +51,5 @@ __all__ = [
     "WorkerSlot",
     "backoff_delay",
     "reclaim_lease",
+    "worker_attribution",
 ]

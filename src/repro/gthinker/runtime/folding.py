@@ -18,16 +18,20 @@ both distributed backends decide what survives a duplicate:
 * **worker trace events forward through one gate** —
   :meth:`ResultFolder.forward_events` replays a worker's scheduler
   events into the coordinator's tracer, optionally filtered to an
-  allow-list, attributing 3-tuple events (process pool) as
-  ``machine=-1, thread=worker`` and 4-tuple events (cluster, which
-  ships the worker-local thread) as ``machine=worker``.
+  allow-list, attributed by the one worker-origin rule
+  (:func:`~.registry.worker_attribution`): ``machine=worker id`` on
+  every backend, ``thread`` the worker-local thread when the backend
+  ships one (cluster 4-tuples) and -1 otherwise (pool 3-tuples).
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Collection, Generic, Iterable, TypeVar
 
+from ..obs.spans import emit_span
 from .ledger import Lease, WorkLedger
+from .registry import worker_attribution
 
 if TYPE_CHECKING:
     from ..metrics import EngineMetrics
@@ -60,10 +64,20 @@ class ResultFolder(Generic[T]):
         last gasp: the sink keys on ``frozenset(candidate)``, so the
         same vertex set folded twice is one result.
         """
+        trace = self.tracer.enabled
+        t0 = time.monotonic() if trace else 0.0
         before = len(self.sink)
+        folded = 0
         for candidate in candidates:
             self.sink.emit(frozenset(candidate))
-        return len(self.sink) - before
+            folded += 1
+        new = len(self.sink) - before
+        if trace and folded:
+            emit_span(
+                self.tracer, "result_fold", t0, time.monotonic(),
+                detail=f"candidates={folded} new={new}",
+            )
+        return new
 
     def complete(self, lease_id: int, worker_id: int | None = None) -> Lease[T] | None:
         """Retire a lease on its result; None (and a counted drop) if stale.
@@ -90,10 +104,10 @@ class ResultFolder(Generic[T]):
         for event in events:
             if len(event) == 4:
                 kind, task_id, thread, detail = event
-                machine, thread_id = worker_id, thread
+                machine, thread_id = worker_attribution(worker_id, thread)
             else:
                 kind, task_id, detail = event
-                machine, thread_id = -1, worker_id
+                machine, thread_id = worker_attribution(worker_id)
             if allowed is not None and kind not in allowed:
                 continue
             self.tracer.emit(

@@ -37,7 +37,25 @@ from .channel import Channel
 if TYPE_CHECKING:
     from ..metrics import EngineMetrics
 
-__all__ = ["WorkerRegistry", "WorkerSlot"]
+__all__ = ["WorkerRegistry", "WorkerSlot", "worker_attribution"]
+
+
+def worker_attribution(worker_id: int, thread: int = -1) -> tuple[int, int]:
+    """(machine, thread) of a trace event that *originated on* a worker.
+
+    One rule for every backend: worker-origin events (forwarded
+    scheduler events, spans measured inside a worker) are attributed
+    ``machine=worker id``, with ``thread`` the worker-local thread when
+    the backend ships one and -1 otherwise. Control-plane events *about*
+    a worker (``worker_died``, ``task_retried``, …) are the mirror
+    image — ``machine=-1, thread=worker id`` (see
+    :meth:`WorkerRegistry.fail`) — so the two origins can never be
+    confused in a trace. The process pool's 3-tuple events historically
+    landed as ``machine=-1, thread=worker`` (indistinguishable from
+    control-plane rows); routing both backends through this helper is
+    what closed that gap.
+    """
+    return worker_id, thread
 
 
 @dataclass

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import TYPE_CHECKING, Any, Callable, Generic, TypeVar
 
+from ..obs.spans import emit_span
 from .ledger import Lease, WorkLedger
 
 if TYPE_CHECKING:
@@ -111,20 +113,36 @@ def reclaim_lease(
     `on_quarantine(item, attempts)` lets the driver record the poisoned
     member for post-mortem (e.g. ``engine.quarantined``).
     """
+    trace = tracer.enabled
+    t0 = time.monotonic() if trace else 0.0
     retry, quarantine = ledger.reclaim(lease)
+    retried_tasks = quarantined_tasks = 0
     for item, attempts in quarantine:
-        metrics.tasks_quarantined += ledger.size_of(item)
+        size = ledger.size_of(item)
+        quarantined_tasks += size
+        metrics.tasks_quarantined += size
+        # size= lets trace analysis reproduce the run's task-granular
+        # counters exactly (a cluster work unit covers several tasks).
         tracer.emit(
             "task_quarantined", ledger.key_of(item), machine=-1,
-            thread=lease.worker_id, detail=f"attempts={attempts}",
+            thread=lease.worker_id, detail=f"attempts={attempts} size={size}",
         )
         if on_quarantine is not None:
             on_quarantine(item, attempts)
     for item, attempts in retry:
         delay = policy.schedule(ledger.key_of(item), item, attempts, now)
-        metrics.tasks_retried += ledger.size_of(item)
+        size = ledger.size_of(item)
+        retried_tasks += size
+        metrics.tasks_retried += size
         tracer.emit(
             "task_retried", ledger.key_of(item), machine=-1,
-            thread=lease.worker_id, detail=f"attempt={attempts} delay={delay:.4g}",
+            thread=lease.worker_id,
+            detail=f"attempt={attempts} delay={delay:.4g} size={size}",
+        )
+    if trace:
+        emit_span(
+            tracer, "lease_reclaim", t0, time.monotonic(),
+            thread=lease.worker_id,
+            detail=f"retried={retried_tasks} quarantined={quarantined_tasks}",
         )
     return retry, quarantine

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -39,6 +40,7 @@ from ..graph.adjacency import Graph
 from .app_protocol import ComputeContext, GThinkerApp, ensure_app
 from .config import EngineConfig
 from .metrics import EngineMetrics, TaskRecord
+from .obs.spans import emit_span
 from .spill import SpillableQueue, SpillFileList
 from .stealing import plan_steals
 from .task import Task
@@ -49,7 +51,9 @@ from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache
 class ThreadSlot:
     """Per-mining-thread queue state: its local queue and ready buffer."""
 
-    def __init__(self, config: EngineConfig, lsmall: SpillFileList):
+    def __init__(self, config: EngineConfig, lsmall: SpillFileList, slot_id: int = 0):
+        #: Index of this slot on its machine (span/timing attribution).
+        self.slot_id = slot_id
         self.qlocal = SpillableQueue(config.queue_capacity, config.batch_size, lsmall)
         self.blocal: deque[Task] = deque()
 
@@ -83,7 +87,8 @@ class MachineState:
         self.bglobal: deque[Task] = deque()
         self.bglobal_lock = threading.Lock()
         self.threads = [
-            ThreadSlot(config, self.lsmall) for _ in range(config.threads_per_machine)
+            ThreadSlot(config, self.lsmall, slot_id=i)
+            for i in range(config.threads_per_machine)
         ]
         self.spawn_order = self.table.vertices_sorted()
         self.spawn_pos = 0
@@ -250,6 +255,8 @@ class SchedulerCore:
         stop (the paper's guard against flooding the global queue with
         big tasks) never skips a vertex. Returns the number spawned.
         """
+        trace = self.tracer.enabled
+        t0 = time.monotonic() if trace else 0.0
         spawned = 0
         while spawned < self.config.batch_size:
             vertices = machine.next_spawn_vertices(1)
@@ -268,11 +275,26 @@ class SchedulerCore:
             spawned += 1
             if self.config.use_global_queue and task.is_big(self.config.tau_split):
                 break
+        if trace and spawned:
+            emit_span(
+                self.tracer, "root_spawn", t0, time.monotonic(),
+                machine=machine.machine_id, thread=slot.slot_id,
+                detail=f"spawned={spawned}",
+            )
         return spawned
 
     def refill_qlocal(self, machine: MachineState, slot: ThreadSlot) -> None:
         """Refill priority: L_small, then B_local, then spawn new tasks."""
-        if slot.qlocal.refill_from_spill():
+        trace = self.tracer.enabled
+        t0 = time.monotonic() if trace else 0.0
+        loaded = slot.qlocal.refill_from_spill()
+        if loaded:
+            if trace:
+                emit_span(
+                    self.tracer, "spill_refill", t0, time.monotonic(),
+                    machine=machine.machine_id, thread=slot.slot_id,
+                    detail=f"queue=qlocal loaded={loaded}",
+                )
             return
         if slot.blocal:
             while slot.blocal and len(slot.qlocal) < self.config.batch_size:
@@ -296,7 +318,7 @@ class SchedulerCore:
         if task is None and slot.blocal:
             task = slot.blocal.popleft()
         if task is None:
-            task = self._pop_global(machine)
+            task = self._pop_global(machine, slot)
         if task is None:
             if slot.qlocal.needs_refill():
                 self.refill_qlocal(machine, slot)
@@ -304,16 +326,27 @@ class SchedulerCore:
             if task is not None:
                 self.tracer.emit("pop_local", task.task_id, machine.machine_id)
             else:
-                task = self._pop_global(machine)
+                task = self._pop_global(machine, slot)
         if task is not None and self._task_picked is not None:
             self._task_picked(task)
         return task
 
-    def _pop_global(self, machine: MachineState) -> Task | None:
+    def _pop_global(
+        self, machine: MachineState, slot: ThreadSlot | None = None
+    ) -> Task | None:
         if not self.config.use_global_queue:
             return None
         if machine.qglobal.needs_refill():
-            machine.qglobal.refill_from_spill()
+            trace = self.tracer.enabled
+            t0 = time.monotonic() if trace else 0.0
+            loaded = machine.qglobal.refill_from_spill()
+            if trace and loaded:
+                emit_span(
+                    self.tracer, "spill_refill", t0, time.monotonic(),
+                    machine=machine.machine_id,
+                    thread=slot.slot_id if slot is not None else -1,
+                    detail=f"queue=qglobal loaded={loaded}",
+                )
         acquired, task = machine.qglobal.try_pop()
         if acquired and task is not None:
             self.tracer.emit("pop_global", task.task_id, machine.machine_id)
@@ -327,6 +360,7 @@ class SchedulerCore:
         task: Task,
         machine: MachineState,
         record: Callable[[TaskRecord], None] | None = None,
+        slot: ThreadSlot | None = None,
     ) -> QuantumResult:
         """Run compute iterations until the task finishes or suspends.
 
@@ -335,7 +369,31 @@ class SchedulerCore:
         `sim_message_cost` per remote message) feeds the simulator's
         virtual clock and is computed identically — for free — on the
         real engine.
+
+        With tracing on, the quantum is wrapped in a ``batch_mine``
+        span (attributed to `slot` when the executor passes one), so a
+        trace reconstructs per-task mining time without the metrics
+        side channel.
         """
+        trace = self.tracer.enabled
+        t0 = time.monotonic() if trace else 0.0
+        result = self._run_quantum(task, machine, record)
+        if trace:
+            emit_span(
+                self.tracer, "batch_mine", t0, time.monotonic(),
+                task_id=task.task_id, machine=machine.machine_id,
+                thread=slot.slot_id if slot is not None else -1,
+                detail=f"finished={int(result.finished)} "
+                f"children={len(result.children)}",
+            )
+        return result
+
+    def _run_quantum(
+        self,
+        task: Task,
+        machine: MachineState,
+        record: Callable[[TaskRecord], None] | None = None,
+    ) -> QuantumResult:
         ctx = ComputeContext(config=self.config, next_task_id=self.next_task_id, record=record)
         data = machine.data
         cost = 0.0
@@ -371,6 +429,8 @@ class SchedulerCore:
 
     def apply_steals(self) -> int:
         """Plan and apply one stealing period; returns tasks moved."""
+        trace = self.tracer.enabled
+        t_start = time.monotonic() if trace else 0.0
         counts = [m.pending_big() for m in self.machines]
         moves = plan_steals(counts, self.config.batch_size)
         moved = 0
@@ -404,6 +464,11 @@ class SchedulerCore:
                 self.metrics.steals_sent += len(batch)
                 self.metrics.steals_received += len(batch)
             moved += len(batch)
+        if trace and moved:
+            emit_span(
+                self.tracer, "steal_transfer", t_start, time.monotonic(),
+                detail=f"moves={len(moves)} moved={moved}",
+            )
         return moved
 
 

@@ -53,6 +53,9 @@ KINDS = (
     "worker_died",  # a worker process died or was declared wedged
     "task_retried",  # reclaimed task re-entered the routing policy
     "task_quarantined",  # task poisoned after max_attempts failures
+    "span_begin",  # a timed hot-path span opened (detail: name= t=)
+    "span_end",  # a timed hot-path span closed (detail: name= t= dur=)
+    "progress",  # periodic live-progress snapshot (coordinator only)
 )
 
 #: Kinds emitted by the stealing path. They fire on wall-clock timing in
@@ -60,6 +63,14 @@ KINDS = (
 #: network round-trips in the cluster runtime, so cross-executor
 #: vocabulary comparisons must treat them as timing-dependent.
 STEAL_KINDS = frozenset({"steal", "steal_planned", "steal_sent", "steal_received"})
+
+#: Kinds emitted by the observability layer (repro.gthinker.obs): timed
+#: span pairs around the hot-path phases and the coordinator's periodic
+#: progress snapshot. Like STEAL_KINDS they are timing-dependent — which
+#: spans fire depends on wall-clock spill/steal/fault behaviour — so
+#: cross-executor vocabulary comparisons must exclude them too.
+SPAN_KINDS = frozenset({"span_begin", "span_end"})
+OBS_KINDS = SPAN_KINDS | {"progress"}
 
 #: Unknown kinds already warned about (production mode warns once per kind).
 _warned_kinds: set[str] = set()

@@ -192,3 +192,82 @@ class TestFaultTolerance:
         assert out.maximal == expected
         assert out.metrics.workers_died >= 1
         assert out.metrics.tasks_retried >= 1
+
+
+class TestStatusQuery:
+    """StatusRequest/StatusReply: one-round-trip live progress from the
+    master, served to any connected peer without registration."""
+
+    def test_observer_queries_running_master(self):
+        start_method = start_method_or_skip("fork")
+        import threading
+
+        from repro.gthinker.cluster.master import ClusterMaster
+        from repro.gthinker.cluster.worker import ClusterWorker
+        from repro.gthinker.obs import ProgressSnapshot, query_master_status
+
+        graph = make_random_graph(10, 0.5, seed=17)
+        master = ClusterMaster(
+            graph, _quasiclique_app(0.75, 3), cluster_config(num_procs=1),
+            host="127.0.0.1", port=0, num_workers=1,
+        )
+        host, port = master.start()
+        result: dict = {}
+
+        def drive():
+            try:
+                result["out"] = master.run(timeout=JOB_TIMEOUT)
+            except Exception as exc:  # surfaced after join
+                result["error"] = exc
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        # No worker has joined yet: the job is fully pending, and the
+        # observer still gets an answer without registering.
+        snapshot = query_master_status(host, port, timeout=10.0)
+        assert isinstance(snapshot, ProgressSnapshot)
+        assert snapshot.workers_alive == 0
+        assert snapshot.tasks_pending >= 1
+        assert snapshot.tasks_done == 0
+        assert snapshot.wall_seconds >= 0.0
+        # Now let one real worker finish the job.
+        ctx = multiprocessing.get_context(start_method)
+        proc = ctx.Process(
+            target=_status_worker_entry, args=(host, port), daemon=True
+        )
+        proc.start()
+        thread.join(JOB_TIMEOUT)
+        proc.join(10.0)
+        assert "error" not in result, result.get("error")
+        assert result["out"].maximal == enumerate_maximal_quasicliques(
+            graph, 0.75, 3
+        )
+
+    def test_unreachable_master_raises_oserror(self):
+        import socket
+
+        from repro.gthinker.obs import query_master_status
+
+        # Grab a port that is certainly not listening.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            query_master_status("127.0.0.1", port, timeout=1.0)
+
+
+def _status_worker_entry(host: str, port: int) -> None:
+    from repro.gthinker.cluster.worker import ClusterWorker
+
+    ClusterWorker(host, port).run()
+
+
+def _quasiclique_app(gamma: float, min_size: int):
+    from repro.core.options import DEFAULT_OPTIONS, ResultSink
+    from repro.gthinker.app_quasiclique import QuasiCliqueApp
+
+    return QuasiCliqueApp(
+        gamma=gamma, min_size=min_size, sink=ResultSink(),
+        options=DEFAULT_OPTIONS,
+    )

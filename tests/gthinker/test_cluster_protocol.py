@@ -27,6 +27,8 @@ from repro.gthinker.cluster.protocol import (
     ResultBatch,
     Shutdown,
     SpawnRange,
+    StatusReply,
+    StatusRequest,
     StealGrant,
     StealRequest,
     TaskBatch,
@@ -67,6 +69,11 @@ SAMPLE_MESSAGES = [
     TaskBatch(work_id=8, tasks=(b"t3",), origin="remainder"),
     ProgressReport(
         worker_id=1, tasks_executed=5, tasks_decomposed=1, candidates_emitted=4
+    ),
+    StatusRequest(),
+    StatusReply(
+        wall_seconds=1.5, tasks_pending=4, tasks_leased=2, tasks_done=9,
+        candidates=3, workers_alive=2, workers_died=1,
     ),
     Shutdown(reason="job complete"),
     Goodbye(worker_id=0, metrics=EngineMetrics(), stats_blob=b"stats"),

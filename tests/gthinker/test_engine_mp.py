@@ -167,8 +167,12 @@ class TestMetricsAndTracing:
         mine_multiprocess(planted.graph, 0.9, 7, small_config(), tracer=tracer)
         kinds = set(tracer.counts())
         assert {"spawn", "execute", "finish"} <= kinds
-        # Worker-side events carry the worker slot in the thread field.
-        assert all(e.machine == -1 for e in tracer.events(kind="execute"))
+        # Worker-origin events carry the worker id in the machine field
+        # (the unified worker_attribution rule); pool events have no
+        # worker-local thread, so thread stays -1.
+        executes = tracer.events(kind="execute")
+        assert all(e.machine >= 0 for e in executes)
+        assert all(e.thread == -1 for e in executes)
 
 
 class _UnpicklableApp:
@@ -277,7 +281,7 @@ class TestFaultTolerance:
         assert engine.retry_schedule == [(0, 1, 0.01), (0, 2, 0.02)]
         quarantine_events = tracer.events(kind="task_quarantined")
         assert len(quarantine_events) == 1
-        assert quarantine_events[0].detail == "attempts=3"
+        assert quarantine_events[0].detail == "attempts=3 size=1"
         assert len(tracer.events(kind="worker_died")) == 3
 
     def test_wedged_worker_reclaimed_on_lease_expiry(self):

@@ -75,13 +75,15 @@ class TestResultFolder:
         assert folder.complete(1, worker_id=1) is not None
 
     def test_forward_events_attribution(self):
+        """Worker-origin events get machine=worker id on every backend
+        (the unified worker_attribution rule): 3-tuple pool events carry
+        no thread (-1), 4-tuple cluster events carry their worker-local
+        thread. machine=-1 is reserved for control-plane events."""
         folder, _, _, tracer = make_folder()
-        # 3-tuple (process pool): worker identity becomes the thread.
         folder.forward_events(4, [("execute", 7, "d")])
-        # 4-tuple (cluster): worker identity becomes the machine.
         folder.forward_events(4, [("finish", 7, 2, "d")])
         by_kind = {e.kind: e for e in tracer.events()}
-        assert (by_kind["execute"].machine, by_kind["execute"].thread) == (-1, 4)
+        assert (by_kind["execute"].machine, by_kind["execute"].thread) == (4, -1)
         assert (by_kind["finish"].machine, by_kind["finish"].thread) == (4, 2)
 
     def test_forward_events_allow_list(self):
@@ -144,7 +146,7 @@ class TestReclaimLease:
         assert policy.history == [(0, 1, 0.05)]
         (quarantined_event,) = tracer.events(kind="task_quarantined")
         assert quarantined_event.task_id == 1
-        assert quarantined_event.detail == "attempts=2"
+        assert quarantined_event.detail == "attempts=2 size=1"
         (retried_event,) = tracer.events(kind="task_retried")
         assert retried_event.task_id == 0
         assert (retried_event.machine, retried_event.thread) == (-1, 0)

@@ -1,0 +1,133 @@
+"""Documentation is part of the contract — keep it executable and in sync.
+
+Two enforcement layers:
+
+1. every fenced ``python`` block in the user-facing docs is executed,
+   per document, in a **subprocess** (importing engine apps registers
+   them globally, and doc snippets define throwaway apps that must not
+   leak into this process's registry — see the registry parity tests);
+   blocks in one document share a namespace, in order, so a later
+   snippet may use names a previous one defined — exactly how a reader
+   would follow the page;
+2. the trace-kind and span tables in ``docs/OBSERVABILITY.md`` are
+   checked **bidirectionally** against ``tracing.KINDS`` and
+   ``obs.spans.SPAN_NAMES``: a kind added to either the code or the doc
+   without the other fails here.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "docs/ALGORITHMS.md",
+    "docs/API.md",
+    "docs/BACKENDS.md",
+    "docs/OBSERVABILITY.md",
+]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.S)
+
+
+def _read_doc(rel_path):
+    with open(os.path.join(REPO_ROOT, rel_path), encoding="utf-8") as f:
+        return f.read()
+
+
+def _python_blocks(rel_path):
+    return [m.group(1) for m in _FENCE.finditer(_read_doc(rel_path))]
+
+
+def test_every_doc_exists():
+    for rel_path in DOC_FILES:
+        assert os.path.isfile(os.path.join(REPO_ROOT, rel_path)), rel_path
+
+
+@pytest.mark.parametrize(
+    "rel_path",
+    [p for p in DOC_FILES if _python_blocks(p)],
+)
+def test_doc_python_blocks_execute(rel_path, tmp_path):
+    """Concatenate the doc's ``python`` fences and run them as one
+    script against ``src`` — stale imports, renamed arguments, or
+    changed behaviour in any snippet fail loudly."""
+    blocks = _python_blocks(rel_path)
+    script = "\n\n".join(
+        f"# --- {rel_path} block {i} ---\n{block}"
+        for i, block in enumerate(blocks)
+    )
+    script_path = tmp_path / (rel_path.replace("/", "_") + ".py")
+    script_path.write_text(script, encoding="utf-8")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    # Doc snippets must run as a plain user would run them, outside
+    # pytest's strict-trace mode.
+    env.pop("PYTEST_CURRENT_TEST", None)
+    proc = subprocess.run(
+        [sys.executable, str(script_path)],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{rel_path} snippets failed "
+        f"(exit {proc.returncode})\n--- stdout ---\n{proc.stdout}"
+        f"\n--- stderr ---\n{proc.stderr}"
+    )
+
+
+def _table_kinds(section_heading):
+    """First-column backticked identifiers of the markdown table that
+    follows ``section_heading`` in docs/OBSERVABILITY.md."""
+    text = _read_doc("docs/OBSERVABILITY.md")
+    start = text.index(section_heading)
+    end = text.find("\n## ", start)
+    section = text[start : end if end != -1 else len(text)]
+    return re.findall(r"^\| `([a-z_]+)` \|", section, re.M)
+
+
+def test_observability_kind_table_matches_tracing_kinds():
+    from repro.gthinker.tracing import KINDS
+
+    documented = _table_kinds("### Trace kinds")
+    assert sorted(documented) == sorted(set(documented)), "duplicate rows"
+    missing = set(KINDS) - set(documented)
+    extra = set(documented) - set(KINDS)
+    assert not missing, f"kinds missing from docs/OBSERVABILITY.md: {missing}"
+    assert not extra, f"kinds documented but not in tracing.KINDS: {extra}"
+
+
+def test_observability_span_table_matches_span_names():
+    from repro.gthinker.obs.spans import SPAN_NAMES
+
+    documented = _table_kinds("## Spans")
+    assert sorted(documented) == sorted(set(documented)), "duplicate rows"
+    assert set(documented) == set(SPAN_NAMES)
+
+
+def test_observability_metrics_table_matches_engine_metrics():
+    import dataclasses
+
+    from repro.gthinker.metrics import EngineMetrics
+
+    text = _read_doc("docs/OBSERVABILITY.md")
+    start = text.index("## `EngineMetrics`")
+    end = text.find("\n## ", start + 1)
+    section = text[start : end if end != -1 else len(text)]
+    documented = set()
+    for row in re.findall(r"^\| (`[^|]+`(?: / `[^|]+`)*) \|", section, re.M):
+        documented.update(re.findall(r"`([a-z_]+)`", row))
+    fields = {f.name for f in dataclasses.fields(EngineMetrics)}
+    missing = fields - documented
+    assert not missing, f"EngineMetrics fields missing from docs: {missing}"
+    extra = documented - fields
+    assert not extra, f"documented fields not on EngineMetrics: {extra}"
