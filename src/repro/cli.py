@@ -187,6 +187,10 @@ def main(argv: list[str] | None = None) -> int:
         from .gthinker.obs.report import report_cli
 
         return report_cli(raw[1:])
+    if raw and raw[0] == "sim-fuzz":
+        from .gthinker.sim.cli import sim_fuzz_cli
+
+        return sim_fuzz_cli(raw[1:])
     args = build_parser().parse_args(raw)
 
     if args.postprocess:

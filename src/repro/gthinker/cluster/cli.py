@@ -16,6 +16,7 @@ Welcome message.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -45,6 +46,9 @@ def _master_parser() -> argparse.ArgumentParser:
                         help="bind address (default: all interfaces)")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT,
                         help=f"bind port (default: {DEFAULT_PORT}; 0 = ephemeral)")
+    parser.add_argument("--port-file", metavar="FILE", default=None,
+                        help="write the bound port here once listening "
+                        "(lets scripts use --port 0 without collisions)")
     parser.add_argument("--workers", type=int, required=True, metavar="N",
                         help="expected worker count (sizes the work ledger)")
     parser.add_argument("--tau-split", type=int, default=64)
@@ -101,6 +105,13 @@ def master_cli(argv: list[str] | None = None) -> int:
         on_progress=on_progress,
     )
     host, port = master.start()
+    if args.port_file:
+        # Written atomically (rename) so a polling reader never sees a
+        # half-written port number.
+        tmp = args.port_file + ".tmp"
+        with open(tmp, "w") as f:
+            f.write(str(port))
+        os.replace(tmp, args.port_file)
     print(f"cluster-master: listening on {host}:{port}, "
           f"waiting for {args.workers} worker(s)", file=sys.stderr)
     start = time.perf_counter()

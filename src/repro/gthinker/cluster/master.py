@@ -1,116 +1,46 @@
-"""Cluster master: work ledger, steal coordination, failure recovery.
+"""Cluster master: the TCP driver of the coordinator reactor.
 
-The master owns no mining compute. It owns the three things the paper
-says must be global decisions:
+The master owns no mining compute, and — since the reactor split — no
+coordination logic either. Everything the paper says must be a global
+decision (the work ledger, big-task steal coordination, failure
+recovery) lives in the transport-free
+:class:`~.reactor.MasterReactor`; this module supplies the parts only
+a real deployment needs:
 
-* **the work ledger** — the spawn-vertex range is partitioned with the
-  job's partition strategy (`repro.gthinker.partition`) and cut into
-  lease-sized chunks; every chunk, and later every batch of
-  decomposition remainders, is a *work unit* leased to exactly one
-  worker at a time. A unit is retired only when its worker reports its
-  local scheduler drained with the unit open (`ResultBatch.completed`).
-* **big-task stealing** — workers report pending-big counts in
-  heartbeats; every `steal_period_seconds` the master feeds those
-  counts to :func:`repro.gthinker.stealing.plan_steals` and turns each
-  :class:`StealMove` into a real transfer: `StealRequest` → donor,
-  `StealGrant` ← donor, `TaskBatch` → recipient. The grant passes
-  *through* the master (store-and-forward), so a stolen batch becomes a
-  leased work unit like any other and survives the recipient dying.
-* **failure recovery** — a worker is dead on socket EOF (fast path) or
-  a heartbeat gap over `heartbeat_timeout` (wedged-but-connected).
-  Recovery itself is the shared coordination control plane
-  (:mod:`repro.gthinker.runtime`, the same layer under `engine_mp`):
-  death accounting through :class:`~repro.gthinker.runtime.
-  WorkerRegistry`, lease reclaim with exponential backoff retry and
-  `max_attempts` quarantine through :func:`~repro.gthinker.runtime.
-  reclaim_lease`, so one poisoned chunk cannot wedge the job.
+* a listening socket plus an accept thread that wraps each connection
+  in a :class:`~repro.gthinker.runtime.StreamChannel`;
+* one reader thread per channel funnelling frames into a single inbox
+  queue (the reactor is advanced from exactly one thread);
+* the run loop: pop the inbox, feed :meth:`MasterReactor.on_message`,
+  call :meth:`MasterReactor.on_tick` with ``time.monotonic()``, and
+  run the Shutdown → Goodbye-collection handshake when the reactor
+  reports :attr:`~.reactor.MasterReactor.done`.
 
-Results are deduplicated by the candidate sets themselves (the shared
-:class:`~repro.gthinker.runtime.ResultFolder` frozensets every
-candidate into the `ResultSink`), which is what makes at-least-once
-delivery safe: a unit mined one-and-a-half times emits the same
-candidates twice.
+The deterministic simulator (:mod:`repro.gthinker.sim`) drives the
+same reactor over in-memory channels on a virtual clock — a seed that
+fails there is a schedule this driver could really execute.
 """
 
 from __future__ import annotations
 
-import itertools
-import pickle
 import queue
 import socket
 import threading
 import time
 import warnings
-from dataclasses import dataclass
 
-from ..app_protocol import ensure_app
 from ..config import EngineConfig
 from ..engine import MiningRunResult
-from ..metrics import EngineMetrics
-from ..obs.progress import ProgressSnapshot, progress_detail
-from ..partition import make_partitioner
-from ..runtime import (
-    ChannelClosed,
-    ResultFolder,
-    RetryPolicy,
-    StreamChannel,
-    WorkLedger,
-    WorkerRegistry,
-    WorkerSlot,
-    reclaim_lease,
-)
-from ..stealing import plan_steals
-from ..task import Task
+from ..obs.progress import ProgressSnapshot
+from ..runtime import ChannelClosed, StreamChannel
 from ..tracing import NullTracer, Tracer
-from .protocol import (
-    Goodbye,
-    Heartbeat,
-    Hello,
-    MessageStream,
-    ProgressReport,
-    ResultBatch,
-    Shutdown,
-    SpawnRange,
-    StatusReply,
-    StatusRequest,
-    StealGrant,
-    StealRequest,
-    TaskBatch,
-    Welcome,
-)
+from .protocol import MessageStream
+from .reactor import MasterReactor, _ClusterSlot, _WorkUnit  # noqa: F401
 
 __all__ = ["ClusterMaster"]
 
-#: Auto chunking target: about this many spawn-range units per worker.
-_UNITS_PER_WORKER = 8
 #: How long the shutdown handshake waits for Goodbyes (seconds).
 _GOODBYE_GRACE = 10.0
-
-
-@dataclass
-class _WorkUnit:
-    """One leasable unit: a spawn-vertex chunk or an encoded-task batch.
-
-    Dispatch counting lives in the master's :class:`WorkLedger` (keyed
-    by ``work_id``, sized by ``size``), not on the unit itself.
-    """
-
-    work_id: int
-    kind: str  # 'range' | 'batch'
-    payload: tuple  # vertices (range) or Task.encode() blobs (batch)
-    origin: str = "spawn"  # 'spawn' | 'remainder' | 'steal'
-
-    @property
-    def size(self) -> int:
-        return len(self.payload)
-
-
-@dataclass
-class _ClusterSlot(WorkerSlot):
-    """Master-side worker slot plus the cluster-only wiring fields."""
-
-    hello: Hello | None = None
-    stealing_from: bool = False  # a StealRequest is outstanding
 
 
 class ClusterMaster:
@@ -132,55 +62,63 @@ class ClusterMaster:
         num_workers: int | None = None,
         on_progress=None,
     ):
-        self.graph = graph
-        self.app = ensure_app(app)
-        self.config = config
-        self.tracer = tracer if tracer is not None else NullTracer()
         #: Live-progress callback, called with a ProgressSnapshot every
         #: config.progress_interval seconds (1s default when a callback
         #: or tracer is attached); StatusRequest peers get the same
         #: snapshot on demand.
-        self.on_progress = on_progress
-        self._run_start = time.perf_counter()
-        self.num_workers = num_workers or config.resolved_num_procs
-        if self.num_workers < 1:
-            raise ValueError("a cluster needs at least one worker")
-        try:
-            self._app_blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as exc:
-            raise TypeError(
-                f"the cluster backend ships the app to every worker, but "
-                f"{type(app).__name__} is not picklable: {exc}. Keep engine "
-                f"apps free of locks, open files, and lambdas."
-            ) from exc
-        self._graph_blob: bytes | None = None
+        self.reactor = MasterReactor(
+            graph, app, config,
+            tracer=tracer, num_workers=num_workers, on_progress=on_progress,
+        )
+        self.config = config
         self._host = host
         self._port = port
-        self.metrics = EngineMetrics()
-        self.progress: dict[int, ProgressReport] = {}
-        self.quarantined: list[_WorkUnit] = []
-        # -- the shared coordination control plane -------------------------
-        self.ledger: WorkLedger[_WorkUnit] = WorkLedger(
-            config.max_attempts,
-            key=lambda unit: unit.work_id,
-            size=lambda unit: unit.size,
-            lease_window=config.lease_window,
-        )
-        self.registry = WorkerRegistry(metrics=self.metrics, tracer=self.tracer)
-        self._retries: RetryPolicy[_WorkUnit] = RetryPolicy(config.retry_backoff)
-        self._folder = ResultFolder(
-            self.app.sink, self.ledger, metrics=self.metrics, tracer=self.tracer
-        )
-        self._pending: list[_WorkUnit] = []
-        self._work_ids = itertools.count()
-        self._steal_ids = itertools.count()
-        self._pending_steals: dict[int, tuple[int, int, int]] = {}
         # -- wiring --------------------------------------------------------
         self._inbox: queue.Queue = queue.Queue()
-        self._by_channel: dict[StreamChannel, _ClusterSlot] = {}
         self._lsock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._accepting = False
+
+    # -- reactor views (the public coordination surface) -------------------
+
+    @property
+    def graph(self):
+        return self.reactor.graph
+
+    @property
+    def app(self):
+        return self.reactor.app
+
+    @property
+    def tracer(self):
+        return self.reactor.tracer
+
+    @property
+    def num_workers(self) -> int:
+        return self.reactor.num_workers
+
+    @property
+    def metrics(self):
+        return self.reactor.metrics
+
+    @property
+    def ledger(self):
+        return self.reactor.ledger
+
+    @property
+    def registry(self):
+        return self.reactor.registry
+
+    @property
+    def progress(self):
+        return self.reactor.progress
+
+    @property
+    def quarantined(self):
+        return self.reactor.quarantined
+
+    def status_snapshot(self) -> ProgressSnapshot:
+        return self.reactor.status_snapshot(time.monotonic())
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -233,430 +171,57 @@ class ClusterMaster:
             if msg is None:
                 return
 
-    # -- the work ledger ---------------------------------------------------
-
-    def _build_work(self) -> None:
-        """Cut the spawn-vertex range into leasable chunks.
-
-        The job's partition strategy decides which worker *should* own
-        which vertices; chunks of the per-worker parts are interleaved
-        so that with fewer live workers than expected the load still
-        spreads.
-        """
-        parts = make_partitioner(
-            self.config.partition, self.graph, self.num_workers
-        ).parts()
-        n_vertices = sum(len(p) for p in parts)
-        chunk = self.config.cluster_chunk_size or max(
-            1, -(-n_vertices // (self.num_workers * _UNITS_PER_WORKER))
-        )
-        chunked = [
-            [part[i: i + chunk] for i in range(0, len(part), chunk)]
-            for part in parts
-        ]
-        for round_ in itertools.zip_longest(*chunked):
-            for vertices in round_:
-                if vertices:
-                    self._pending.append(
-                        _WorkUnit(
-                            work_id=next(self._work_ids),
-                            kind="range",
-                            payload=tuple(vertices),
-                        )
-                    )
-
-    def _alive(self) -> list[_ClusterSlot]:
-        return self.registry.alive()  # type: ignore[return-value]
-
-    def _pump(self) -> None:
-        """Lease pending units to workers with open window slots."""
-        while self._pending:
-            targets = sorted(
-                (w for w in self._alive() if self.ledger.has_window(w.worker_id)),
-                key=lambda w: (self.ledger.open_count(w.worker_id), w.worker_id),
-            )
-            if not targets:
-                return
-            progressed = False
-            for worker in targets:
-                if not self._pending:
-                    return
-                # A send failure inside _lease fails that worker and
-                # re-pends its units, so re-check before each grant: the
-                # sorted snapshot may hold a worker that just died.
-                if not worker.alive or not self.ledger.has_window(
-                    worker.worker_id
-                ):
-                    continue
-                self._lease(self._pending.pop(0), worker)
-                progressed = True
-            if not progressed:
-                return
-
-    def _lease(
-        self, unit: _WorkUnit, worker: _ClusterSlot, enforce_window: bool = True
-    ) -> None:
-        self.ledger.grant(
-            unit.work_id, worker.worker_id, [unit], time.monotonic(),
-            self.config.lease_timeout(unit.size),
-            enforce_window=enforce_window,
-        )
-        if unit.kind == "range":
-            msg = SpawnRange(work_id=unit.work_id, vertices=unit.payload)
-        else:
-            msg = TaskBatch(
-                work_id=unit.work_id, tasks=unit.payload, origin=unit.origin
-            )
-        self._send(worker, msg)
-
-    def _send(self, worker: _ClusterSlot, message) -> None:
-        try:
-            worker.channel.send(message)
-        except ChannelClosed:
-            self._fail_worker(worker, "send failed (connection lost)")
-
-    # -- failure recovery --------------------------------------------------
-
-    def _fail_worker(self, worker: _ClusterSlot, reason: str) -> None:
-        if not self.registry.fail(worker, reason):
-            return  # already dead
-        # Outstanding steal requests to/for this worker are void; the
-        # donor's queue state is gone with it anyway.
-        self._pending_steals = {
-            rid: (src, dst, n)
-            for rid, (src, dst, n) in self._pending_steals.items()
-            if src != worker.worker_id and dst != worker.worker_id
-        }
-        now = time.monotonic()
-        for lease in self.ledger.leases_for(worker.worker_id):
-            reclaim_lease(
-                self.ledger, lease, self._retries, now,
-                metrics=self.metrics, tracer=self.tracer,
-                on_quarantine=self._on_quarantine,
-            )
-
-    def _on_quarantine(self, unit: _WorkUnit, attempts: int) -> None:
-        self.quarantined.append(unit)
-
-    def _check_heartbeats(self, now: float) -> None:
-        for worker, reason in self.registry.stale(
-            now, self.config.heartbeat_timeout
-        ):
-            self._fail_worker(worker, reason)
-
-    # -- stealing ----------------------------------------------------------
-
-    def _plan_steals(self) -> None:
-        alive = sorted(self._alive(), key=lambda w: w.worker_id)
-        if len(alive) < 2 or not self.config.use_stealing:
-            return
-        counts = [w.pending_big for w in alive]
-        for move in plan_steals(counts, self.config.batch_size):
-            donor, recipient = alive[move.src], alive[move.dst]
-            if donor.stealing_from:
-                continue  # one outstanding request per donor
-            self.metrics.steals_planned += 1
-            self.tracer.emit(
-                "steal_planned", -1, donor.worker_id,
-                detail=f"dst=m{recipient.worker_id} count={move.count}",
-            )
-            request_id = next(self._steal_ids)
-            self._pending_steals[request_id] = (
-                donor.worker_id, recipient.worker_id, move.count
-            )
-            donor.stealing_from = True
-            self._send(donor, StealRequest(request_id=request_id, count=move.count))
-
-    def _handle_steal_grant(self, worker: _ClusterSlot, msg: StealGrant) -> None:
-        entry = self._pending_steals.pop(msg.request_id, None)
-        worker.stealing_from = False
-        if entry is None:
-            return  # request voided (a party died); blobs re-mine via leases
-        _src, dst, _count = entry
-        if not msg.tasks:
-            return
-        self.metrics.steals += 1
-        self.metrics.stolen_tasks += len(msg.tasks)
-        self.metrics.steals_sent += len(msg.tasks)
-        if self.tracer.enabled:
-            for blob in msg.tasks:
-                self.tracer.emit(
-                    "steal_sent", Task.decode(blob).task_id, worker.worker_id,
-                    detail=f"dst=m{dst}",
-                )
-        unit = _WorkUnit(
-            work_id=next(self._work_ids),
-            kind="batch",
-            payload=tuple(msg.tasks),
-            origin="steal",
-        )
-        recipient = self.registry.get(dst)
-        if recipient is not None and recipient.alive:
-            # A stolen batch must land on its planned recipient even if
-            # that briefly over-commits the window — that is what the
-            # ledger's enforce_window escape hatch exists for.
-            self._lease(unit, recipient, enforce_window=False)
-            self.metrics.steals_received += len(msg.tasks)
-            if self.tracer.enabled:
-                for blob in msg.tasks:
-                    self.tracer.emit(
-                        "steal_received", Task.decode(blob).task_id, dst,
-                        detail=f"from=m{worker.worker_id}",
-                    )
-                    self.tracer.emit(
-                        "steal", Task.decode(blob).task_id, dst,
-                        detail=f"from=m{worker.worker_id}",
-                    )
-        else:
-            # Recipient died while the grant was in flight: the batch is
-            # ordinary pending work now.
-            self._pending.insert(0, unit)
-            self._pump()
-
-    # -- live progress -----------------------------------------------------
-
-    def status_snapshot(self) -> ProgressSnapshot:
-        """One live-progress snapshot of the job, as the master sees it.
-
-        ``tasks_pending``/``tasks_leased`` count master-side work units
-        (spawn-range chunks and task batches); ``tasks_done`` is executed
-        tasks as reported by worker ProgressReports.
-        """
-        return ProgressSnapshot(
-            wall_seconds=time.perf_counter() - self._run_start,
-            tasks_pending=len(self._pending),
-            tasks_leased=self.ledger.leased_task_count(),
-            tasks_done=sum(p.tasks_executed for p in self.progress.values()),
-            candidates=len(self.app.sink),
-            workers_alive=len(self._alive()),
-            workers_died=self.metrics.workers_died,
-        )
-
-    def _progress_interval(self) -> float:
-        """Seconds between progress emissions; 0 disables them."""
-        if self.config.progress_interval:
-            return self.config.progress_interval
-        if self.on_progress is not None or self.tracer.enabled:
-            return 1.0
-        return 0.0
-
-    def _emit_progress(self) -> None:
-        snapshot = self.status_snapshot()
-        self.tracer.emit("progress", -1, detail=progress_detail(snapshot))
-        if self.on_progress is not None:
-            self.on_progress(snapshot)
-
-    def _reply_status(self, channel: StreamChannel) -> None:
-        s = self.status_snapshot()
-        try:
-            channel.send(
-                StatusReply(
-                    wall_seconds=s.wall_seconds,
-                    tasks_pending=s.tasks_pending,
-                    tasks_leased=s.tasks_leased,
-                    tasks_done=s.tasks_done,
-                    candidates=s.candidates,
-                    workers_alive=s.workers_alive,
-                    workers_died=s.workers_died,
-                )
-            )
-        except ChannelClosed:
-            channel.close()  # observer gone before the reply; no worker to fail
-
-    # -- message handling --------------------------------------------------
-
-    def _handle(self, channel: StreamChannel, msg, now: float) -> None:
-        worker = self._by_channel.get(channel)
-        if msg is None:
-            if worker is not None:
-                self._fail_worker(worker, "connection closed")
-            else:
-                channel.close()
-            return
-        if isinstance(msg, Hello):
-            self._register(channel, msg, now)
-            return
-        if isinstance(msg, StatusRequest):
-            # Served for any connected peer — observers query progress
-            # without registering as a worker.
-            self._reply_status(channel)
-            return
-        if worker is None:
-            warnings.warn(
-                f"message {type(msg).__name__} from unregistered peer "
-                f"{channel.peer}; dropping",
-                RuntimeWarning,
-            )
-            return
-        self.registry.heartbeat(worker, now)
-        if isinstance(msg, Heartbeat):
-            worker.pending_big = msg.pending_big
-            worker.active = msg.active
-        elif isinstance(msg, ProgressReport):
-            self.progress[worker.worker_id] = msg
-        elif isinstance(msg, ResultBatch):
-            self._handle_results(worker, msg)
-        elif isinstance(msg, StealGrant):
-            self._handle_steal_grant(worker, msg)
-        elif isinstance(msg, Goodbye):
-            self._handle_goodbye(worker, msg)
-
-    def _register(self, channel: StreamChannel, hello: Hello, now: float) -> None:
-        worker = self.registry.add(
-            _ClusterSlot(
-                worker_id=self.registry.new_id(),
-                channel=channel,
-                hello=hello,
-                last_seen=now,
-            )
-        )
-        self._by_channel[channel] = worker
-        graph_blob = None
-        if hello.needs_graph:
-            if self._graph_blob is None:
-                self._graph_blob = pickle.dumps(
-                    self.graph, protocol=pickle.HIGHEST_PROTOCOL
-                )
-            graph_blob = self._graph_blob
-        self._send(
-            worker,
-            Welcome(
-                worker_id=worker.worker_id,
-                config=self.config,
-                app_blob=self._app_blob,
-                graph_blob=graph_blob,
-                trace=self.tracer.enabled,
-            ),
-        )
-        self._pump()
-
-    def _handle_results(self, worker: _ClusterSlot, msg: ResultBatch) -> None:
-        # Candidates are folded even from stale/dead senders: dedup makes
-        # them idempotent, and dropping mined truth would be wasteful.
-        self._folder.fold(msg.candidates)
-        self._folder.forward_events(worker.worker_id, msg.events)
-        worker.active = msg.active
-        for blob in msg.remainders:
-            self._pending.append(
-                _WorkUnit(
-                    work_id=next(self._work_ids),
-                    kind="batch",
-                    payload=(blob,),
-                    origin="remainder",
-                )
-            )
-        for work_id in msg.completed:
-            # A stale ack (unit reclaimed, possibly re-leased elsewhere)
-            # is dropped by the folder — at-least-once bookkeeping.
-            self._folder.complete(work_id, worker_id=worker.worker_id)
-        self._pump()
-
-    def _handle_goodbye(self, worker: _ClusterSlot, msg: Goodbye) -> None:
-        # A clean exit, not a death: no workers_died accounting, so this
-        # deliberately bypasses registry.fail().
-        self.metrics.merge(msg.metrics)
-        worker.alive = False
-        if worker.channel is not None:
-            worker.channel.close()
-
     # -- the run loop ------------------------------------------------------
 
     def run(self, timeout: float | None = None) -> MiningRunResult:
         """Drive the job to completion; returns the standard run result."""
         start = time.perf_counter()
-        self._run_start = start
+        reactor = self.reactor
         self.start()
-        self._build_work()
+        reactor.start_work(time.monotonic())
         deadline = None if timeout is None else time.monotonic() + timeout
-        next_steal = time.monotonic() + self.config.steal_period_seconds
-        progress_every = self._progress_interval()
-        last_progress = time.monotonic()
-        registered_any = False
         try:
-            while self._pending or self.ledger or self._retries:
+            while not reactor.done:
                 try:
                     channel, msg = self._inbox.get(timeout=0.02)
                 except queue.Empty:
                     channel = None
                 now = time.monotonic()
                 if channel is not None:
-                    self._handle(channel, msg, now)
+                    reactor.on_message(channel, msg, now)
                     # Drain whatever else is queued before housekeeping.
                     while True:
                         try:
                             channel, msg = self._inbox.get_nowait()
                         except queue.Empty:
                             break
-                        self._handle(channel, msg, now)
-                self._check_heartbeats(now)
-                # Reclaimed units sit out their exponential backoff in the
-                # retry policy's heap; only the run loop moves them back
-                # to pending — an idle survivor generates no result
-                # traffic, so the loop itself must offer the work around.
-                for unit, _attempts in self._retries.pop_due(now):
-                    self._pending.insert(0, unit)
-                self._pump()
-                if progress_every and now - last_progress >= progress_every:
-                    self._emit_progress()
-                    last_progress = now
-                if now >= next_steal:
-                    next_steal = now + self.config.steal_period_seconds
-                    self._plan_steals()
-                # Declare the job lost only once the full expected
-                # complement has registered and then died; with stragglers
-                # still connecting, a late joiner may yet rescue the work
-                # (and the deadline bounds the wait regardless).
-                registered_any = registered_any or (
-                    len(self.registry) >= self.num_workers
-                )
-                if registered_any and not self._alive():
-                    raise RuntimeError(
-                        f"all cluster workers died with work outstanding "
-                        f"({len(self._pending)} pending, "
-                        f"{len(self.ledger)} leased, "
-                        f"{len(self.quarantined)} quarantined)"
-                    )
+                        reactor.on_message(channel, msg, now)
+                reactor.on_tick(now)
                 if deadline is not None and now > deadline:
                     raise RuntimeError(
                         f"cluster job exceeded its {timeout}s deadline "
-                        f"({len(self._pending)} pending, "
-                        f"{len(self.ledger)} leased)"
+                        f"({len(reactor._pending)} pending, "
+                        f"{len(reactor.ledger)} leased)"
                     )
             self._shutdown_workers()
         finally:
             self._close()
-        from ...core.postprocess import postprocess_results
-
-        candidates = self.app.sink.results()
-        maximal = postprocess_results(candidates)
-        self.metrics.results = len(maximal)
-        self.metrics.wall_seconds = time.perf_counter() - start
-        return MiningRunResult(
-            maximal=maximal, candidates=candidates, metrics=self.metrics
-        )
+        return reactor.finalize(time.perf_counter() - start)
 
     def _shutdown_workers(self) -> None:
         """Job done: Shutdown → collect Goodbyes (metrics) → close."""
-        for worker in self._alive():
-            self._send(worker, Shutdown())
+        reactor = self.reactor
+        reactor.begin_shutdown(time.monotonic())
         deadline = time.monotonic() + _GOODBYE_GRACE
-        while self._alive() and time.monotonic() < deadline:
+        while reactor.awaiting_goodbye() and time.monotonic() < deadline:
             try:
                 channel, msg = self._inbox.get(
                     timeout=max(0.01, deadline - time.monotonic())
                 )
             except queue.Empty:
                 continue
-            self._handle(channel, msg, time.monotonic())
-        for worker in self._alive():
-            warnings.warn(
-                f"worker {worker.worker_id} never said Goodbye; its final "
-                f"metrics are lost",
-                RuntimeWarning,
-            )
-            worker.alive = False
-            if worker.channel is not None:
-                worker.channel.close()
+            reactor.on_message(channel, msg, time.monotonic())
+        reactor.abandon_stragglers()
 
     def _close(self) -> None:
         self._accepting = False
@@ -665,6 +230,4 @@ class ClusterMaster:
                 self._lsock.close()
             except OSError:
                 pass
-        for worker in self.registry.slots():
-            if worker.channel is not None:
-                worker.channel.close()
+        self.reactor.close_channels()

@@ -1,0 +1,1000 @@
+"""Steppable reactors: the cluster's coordination logic, transport-free.
+
+The distributed control flow of the cluster runtime lives here as two
+*reactors* — pure state machines advanced by explicit ``on_message`` /
+``on_tick`` / ``mine_step`` transitions over :class:`~repro.gthinker.
+runtime.Channel` objects. Neither class owns a socket, a thread, a
+queue, or a wall clock: every transition receives ``now`` from its
+driver, and the only timers a reactor keeps are deadlines derived from
+those ``now`` values.
+
+Two drivers advance the same reactors:
+
+* the real TCP runtime (:class:`~.master.ClusterMaster` /
+  :class:`~.worker.ClusterWorker`) — accept/reader threads feed
+  ``on_message`` from framed sockets and a run loop supplies
+  ``time.monotonic()`` ticks;
+* the deterministic simulation (:mod:`repro.gthinker.sim`) — a
+  single-threaded event heap feeds the same transitions on a virtual
+  clock, so every schedule the simulator explores is a schedule the
+  shipping coordination code could really execute.
+
+That the simulated code *is* the shipping code — not a model of it —
+is the point of the split: a seed that breaks the simulation replays a
+real coordination bug.
+
+Failure semantics are channel-mediated exactly as before the split: a
+send to a gone peer raises :class:`~repro.gthinker.runtime.
+ChannelClosed` (the master reactor absorbs it into
+:meth:`MasterReactor.fail_worker`; the worker reactor lets it
+propagate — a worker that cannot reach its master is dead by
+definition), and a received ``None`` means the peer's era is over.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from ..app_protocol import ensure_app
+from ..config import EngineConfig
+from ..engine import MiningRunResult
+from ..metrics import EngineMetrics, WorkerTiming
+from ..obs.progress import ProgressSnapshot, progress_detail
+from ..obs.spans import emit_span
+from ..partition import make_partitioner
+from ..runtime import (
+    Channel,
+    ChannelClosed,
+    ResultFolder,
+    RetryPolicy,
+    WorkLedger,
+    WorkerRegistry,
+    WorkerSlot,
+    reclaim_lease,
+)
+from ..scheduler import SchedulerCore, build_machines, collect_machine_metrics
+from ..stealing import plan_steals
+from ..task import Task
+from ..tracing import NullTracer, Tracer
+from .protocol import (
+    Goodbye,
+    Heartbeat,
+    Hello,
+    ProgressReport,
+    ResultBatch,
+    Shutdown,
+    SpawnRange,
+    StatusReply,
+    StatusRequest,
+    StealGrant,
+    StealRequest,
+    TaskBatch,
+    Welcome,
+)
+
+__all__ = ["MasterReactor", "WorkerReactor", "_ClusterSlot", "_WorkUnit"]
+
+#: Auto chunking target: about this many spawn-range units per worker.
+_UNITS_PER_WORKER = 8
+#: Send a ProgressReport every this many heartbeats (worker side).
+_PROGRESS_EVERY = 4
+
+
+@dataclass
+class _WorkUnit:
+    """One leasable unit: a spawn-vertex chunk or an encoded-task batch.
+
+    Dispatch counting lives in the master's :class:`WorkLedger` (keyed
+    by ``work_id``, sized by ``size``), not on the unit itself.
+    """
+
+    work_id: int
+    kind: str  # 'range' | 'batch'
+    payload: tuple  # vertices (range) or Task.encode() blobs (batch)
+    origin: str = "spawn"  # 'spawn' | 'remainder' | 'steal'
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class _ClusterSlot(WorkerSlot):
+    """Master-side worker slot plus the cluster-only wiring fields."""
+
+    hello: Hello | None = None
+    stealing_from: bool = False  # a StealRequest is outstanding
+
+
+class MasterReactor:
+    """Coordinator state machine of one distributed mining job.
+
+    Owns the three global decisions (the work ledger, big-task steal
+    coordination, failure recovery) plus result folding — everything
+    the old ``ClusterMaster`` decided, minus its sockets and threads.
+    The driver is responsible for (a) feeding every received message to
+    :meth:`on_message`, (b) calling :meth:`on_tick` often enough that
+    heartbeat timeouts, retry backoffs, and steal periods fire (any
+    cadence at or below ``config.heartbeat_period`` is safe), and
+    (c) running the shutdown handshake once :attr:`done` turns true.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        app: Any,
+        config: EngineConfig,
+        tracer: Tracer | NullTracer | None = None,
+        num_workers: int | None = None,
+        on_progress: Callable[[ProgressSnapshot], None] | None = None,
+    ):
+        self.graph = graph
+        self.app = ensure_app(app)
+        self.config = config
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.on_progress = on_progress
+        self.num_workers = num_workers or config.resolved_num_procs
+        if self.num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        try:
+            self._app_blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                f"the cluster backend ships the app to every worker, but "
+                f"{type(app).__name__} is not picklable: {exc}. Keep engine "
+                f"apps free of locks, open files, and lambdas."
+            ) from exc
+        self._graph_blob: bytes | None = None
+        self.metrics = EngineMetrics()
+        self.progress: dict[int, ProgressReport] = {}
+        self.quarantined: list[_WorkUnit] = []
+        # -- the shared coordination control plane -------------------------
+        self.ledger: WorkLedger[_WorkUnit] = WorkLedger(
+            config.max_attempts,
+            key=lambda unit: unit.work_id,
+            size=lambda unit: unit.size,
+            lease_window=config.lease_window,
+        )
+        self.registry = WorkerRegistry(metrics=self.metrics, tracer=self.tracer)
+        self._retries: RetryPolicy[_WorkUnit] = RetryPolicy(config.retry_backoff)
+        self._folder = ResultFolder(
+            self.app.sink, self.ledger, metrics=self.metrics, tracer=self.tracer
+        )
+        self._pending: list[_WorkUnit] = []
+        self._work_ids = itertools.count()
+        self._steal_ids = itertools.count()
+        self._pending_steals: dict[int, tuple[int, int, int]] = {}
+        #: Stale StealGrants absorbed (voided request ids: the donor died
+        #: between planning and the grant's arrival, or a duplicated
+        #: grant frame). Their payload is re-pended — the blobs may be
+        #: the only copy of their tasks — and this counter keeps the
+        #: decision observable to tests and the simulator.
+        self.stale_steal_grants = 0
+        self._by_channel: dict[Channel, _ClusterSlot] = {}
+        # -- timers (all derived from driver-supplied `now` values) --------
+        self._run_start = 0.0
+        self._next_steal: float | None = None
+        self._last_progress: float | None = None
+        self._registered_any = False
+        self.shutdown_started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start_work(self, now: float) -> None:
+        """Anchor the run clock and cut the spawn range into work units."""
+        self._run_start = now
+        self._next_steal = now + self.config.steal_period_seconds
+        self._last_progress = now
+        self._build_work()
+
+    @property
+    def done(self) -> bool:
+        """True once no unit is pending, leased, or awaiting retry — and
+        no steal request is outstanding.
+
+        The steal clause is load-bearing: a granted batch physically
+        leaves the donor's queues before the grant reaches the master,
+        so the donor can drain and ack every lease while the stolen
+        tasks exist only inside an in-flight ``StealGrant``. Declaring
+        the job finished in that window would orphan them. An
+        outstanding request always resolves: the donor either answers
+        it (grant arrives, entry cleared) or dies (entry voided by
+        :meth:`fail_worker`, tasks covered by its reclaimed leases).
+        """
+        return not (
+            self._pending or self.ledger or self._retries
+            or self._pending_steals
+        )
+
+    # -- the work ledger ---------------------------------------------------
+
+    def _build_work(self) -> None:
+        """Cut the spawn-vertex range into leasable chunks.
+
+        The job's partition strategy decides which worker *should* own
+        which vertices; chunks of the per-worker parts are interleaved
+        so that with fewer live workers than expected the load still
+        spreads.
+        """
+        parts = make_partitioner(
+            self.config.partition, self.graph, self.num_workers
+        ).parts()
+        n_vertices = sum(len(p) for p in parts)
+        chunk = self.config.cluster_chunk_size or max(
+            1, -(-n_vertices // (self.num_workers * _UNITS_PER_WORKER))
+        )
+        chunked = [
+            [part[i: i + chunk] for i in range(0, len(part), chunk)]
+            for part in parts
+        ]
+        for round_ in itertools.zip_longest(*chunked):
+            for vertices in round_:
+                if vertices:
+                    self._pending.append(
+                        _WorkUnit(
+                            work_id=next(self._work_ids),
+                            kind="range",
+                            payload=tuple(vertices),
+                        )
+                    )
+
+    def _alive(self) -> list[_ClusterSlot]:
+        return self.registry.alive()  # type: ignore[return-value]
+
+    def _pump(self, now: float) -> None:
+        """Lease pending units to workers with open window slots."""
+        while self._pending:
+            targets = sorted(
+                (w for w in self._alive() if self.ledger.has_window(w.worker_id)),
+                key=lambda w: (self.ledger.open_count(w.worker_id), w.worker_id),
+            )
+            if not targets:
+                return
+            progressed = False
+            for worker in targets:
+                if not self._pending:
+                    return
+                # A send failure inside _lease fails that worker and
+                # re-pends its units, so re-check before each grant: the
+                # sorted snapshot may hold a worker that just died.
+                if not worker.alive or not self.ledger.has_window(
+                    worker.worker_id
+                ):
+                    continue
+                self._lease(self._pending.pop(0), worker, now)
+                progressed = True
+            if not progressed:
+                return
+
+    def _lease(
+        self,
+        unit: _WorkUnit,
+        worker: _ClusterSlot,
+        now: float,
+        enforce_window: bool = True,
+    ) -> None:
+        self.ledger.grant(
+            unit.work_id, worker.worker_id, [unit], now,
+            self.config.lease_timeout(unit.size),
+            enforce_window=enforce_window,
+        )
+        if unit.kind == "range":
+            msg: Any = SpawnRange(work_id=unit.work_id, vertices=unit.payload)
+        else:
+            msg = TaskBatch(
+                work_id=unit.work_id, tasks=unit.payload, origin=unit.origin
+            )
+        self._send(worker, msg, now)
+
+    def _send(self, worker: _ClusterSlot, message: Any, now: float) -> None:
+        try:
+            worker.channel.send(message)
+        except ChannelClosed:
+            self.fail_worker(worker, "send failed (connection lost)", now)
+
+    # -- failure recovery --------------------------------------------------
+
+    def fail_worker(self, worker: _ClusterSlot, reason: str, now: float) -> None:
+        if not self.registry.fail(worker, reason):
+            return  # already dead
+        # Steal requests this worker was *donating* for are void: the
+        # grant will never arrive (its channel is gone), and the granted
+        # tasks — if any left its queues — are covered by the leases
+        # reclaimed below. Requests where it was only the *recipient*
+        # stay outstanding: the donor is alive and its grant is coming;
+        # dropping that grant would lose tasks that exist nowhere else,
+        # since the donor already evicted them and will ack its leases.
+        self._pending_steals = {
+            rid: (src, dst, n)
+            for rid, (src, dst, n) in self._pending_steals.items()
+            if src != worker.worker_id
+        }
+        for lease in self.ledger.leases_for(worker.worker_id):
+            reclaim_lease(
+                self.ledger, lease, self._retries, now,
+                metrics=self.metrics, tracer=self.tracer,
+                on_quarantine=self._on_quarantine,
+            )
+
+    def _on_quarantine(self, unit: _WorkUnit, attempts: int) -> None:
+        self.quarantined.append(unit)
+
+    def _check_heartbeats(self, now: float) -> None:
+        for worker, reason in self.registry.stale(
+            now, self.config.heartbeat_timeout
+        ):
+            self.fail_worker(worker, reason, now)
+
+    def check_liveness(self, now: float) -> None:
+        """Declare the job lost once the full expected complement has
+        registered and then died; with stragglers still connecting, a
+        late joiner may yet rescue the work."""
+        self._registered_any = self._registered_any or (
+            len(self.registry) >= self.num_workers
+        )
+        if self._registered_any and not self._alive() and not self.done:
+            raise RuntimeError(
+                f"all cluster workers died with work outstanding "
+                f"({len(self._pending)} pending, "
+                f"{len(self.ledger)} leased, "
+                f"{len(self.quarantined)} quarantined)"
+            )
+
+    # -- stealing ----------------------------------------------------------
+
+    def _plan_steals(self, now: float) -> None:
+        alive = sorted(self._alive(), key=lambda w: w.worker_id)
+        if len(alive) < 2 or not self.config.use_stealing:
+            return
+        counts = [w.pending_big for w in alive]
+        for move in plan_steals(counts, self.config.batch_size):
+            donor, recipient = alive[move.src], alive[move.dst]
+            if donor.stealing_from:
+                continue  # one outstanding request per donor
+            self.metrics.steals_planned += 1
+            self.tracer.emit(
+                "steal_planned", -1, donor.worker_id,
+                detail=f"dst=m{recipient.worker_id} count={move.count}",
+            )
+            request_id = next(self._steal_ids)
+            self._pending_steals[request_id] = (
+                donor.worker_id, recipient.worker_id, move.count
+            )
+            donor.stealing_from = True
+            self._send(
+                donor, StealRequest(request_id=request_id, count=move.count), now
+            )
+
+    def _handle_steal_grant(
+        self, worker: _ClusterSlot, msg: StealGrant, now: float
+    ) -> None:
+        entry = self._pending_steals.pop(msg.request_id, None)
+        worker.stealing_from = False
+        if entry is None:
+            # Voided (the donor died) or duplicated (frame-level, or the
+            # donor answered a retransmitted request twice). The blobs
+            # may still be the only copy of their tasks: the donor could
+            # have acked the evicted units complete — releasing their
+            # leases — before the grant landed, so dropping here loses
+            # candidates. Re-pend instead; if another copy is mined too,
+            # the folder's dedup makes the duplicate invisible.
+            self.stale_steal_grants += 1
+            if msg.tasks:
+                self._pending.insert(0, _WorkUnit(
+                    work_id=next(self._work_ids),
+                    kind="batch",
+                    payload=tuple(msg.tasks),
+                    origin="stale-steal",
+                ))
+                self._pump(now)
+            return
+        _src, dst, _count = entry
+        if not msg.tasks:
+            return
+        self.metrics.steals += 1
+        self.metrics.stolen_tasks += len(msg.tasks)
+        self.metrics.steals_sent += len(msg.tasks)
+        if self.tracer.enabled:
+            for blob in msg.tasks:
+                self.tracer.emit(
+                    "steal_sent", Task.decode(blob).task_id, worker.worker_id,
+                    detail=f"dst=m{dst}",
+                )
+        unit = _WorkUnit(
+            work_id=next(self._work_ids),
+            kind="batch",
+            payload=tuple(msg.tasks),
+            origin="steal",
+        )
+        recipient = self.registry.get(dst)
+        if recipient is not None and recipient.alive:
+            # A stolen batch must land on its planned recipient even if
+            # that briefly over-commits the window — that is what the
+            # ledger's enforce_window escape hatch exists for.
+            self._lease(unit, recipient, now, enforce_window=False)  # type: ignore[arg-type]
+            self.metrics.steals_received += len(msg.tasks)
+            if self.tracer.enabled:
+                for blob in msg.tasks:
+                    self.tracer.emit(
+                        "steal_received", Task.decode(blob).task_id, dst,
+                        detail=f"from=m{worker.worker_id}",
+                    )
+                    self.tracer.emit(
+                        "steal", Task.decode(blob).task_id, dst,
+                        detail=f"from=m{worker.worker_id}",
+                    )
+        else:
+            # Recipient died while the grant was in flight: the batch is
+            # ordinary pending work now.
+            self._pending.insert(0, unit)
+            self._pump(now)
+
+    # -- live progress -----------------------------------------------------
+
+    def status_snapshot(self, now: float) -> ProgressSnapshot:
+        """One live-progress snapshot of the job, as the master sees it.
+
+        ``tasks_pending``/``tasks_leased`` count master-side work units
+        (spawn-range chunks and task batches); ``tasks_done`` is executed
+        tasks as reported by worker ProgressReports.
+        """
+        return ProgressSnapshot(
+            wall_seconds=now - self._run_start,
+            tasks_pending=len(self._pending),
+            tasks_leased=self.ledger.leased_task_count(),
+            tasks_done=sum(p.tasks_executed for p in self.progress.values()),
+            candidates=len(self.app.sink),
+            workers_alive=len(self._alive()),
+            workers_died=self.metrics.workers_died,
+        )
+
+    def progress_interval(self) -> float:
+        """Seconds between progress emissions; 0 disables them."""
+        if self.config.progress_interval:
+            return self.config.progress_interval
+        if self.on_progress is not None or self.tracer.enabled:
+            return 1.0
+        return 0.0
+
+    def _emit_progress(self, now: float) -> None:
+        snapshot = self.status_snapshot(now)
+        self.tracer.emit("progress", -1, detail=progress_detail(snapshot))
+        if self.on_progress is not None:
+            self.on_progress(snapshot)
+
+    def _reply_status(self, channel: Channel, now: float) -> None:
+        s = self.status_snapshot(now)
+        try:
+            channel.send(
+                StatusReply(
+                    wall_seconds=s.wall_seconds,
+                    tasks_pending=s.tasks_pending,
+                    tasks_leased=s.tasks_leased,
+                    tasks_done=s.tasks_done,
+                    candidates=s.candidates,
+                    workers_alive=s.workers_alive,
+                    workers_died=s.workers_died,
+                )
+            )
+        except ChannelClosed:
+            channel.close()  # observer gone before the reply; no worker to fail
+
+    # -- message handling --------------------------------------------------
+
+    def on_message(self, channel: Channel, msg: Any, now: float) -> None:
+        """Apply one received message (``None`` = the peer disconnected)."""
+        worker = self._by_channel.get(channel)
+        if msg is None:
+            if worker is not None:
+                self.fail_worker(worker, "connection closed", now)
+            else:
+                channel.close()
+            return
+        if isinstance(msg, Hello):
+            self._register(channel, msg, now)
+            return
+        if isinstance(msg, StatusRequest):
+            # Served for any connected peer — observers query progress
+            # without registering as a worker.
+            self._reply_status(channel, now)
+            return
+        if worker is None:
+            warnings.warn(
+                f"message {type(msg).__name__} from unregistered peer "
+                f"{getattr(channel, 'peer', channel)}; dropping",
+                RuntimeWarning,
+            )
+            return
+        self.registry.heartbeat(worker, now)
+        if isinstance(msg, Heartbeat):
+            worker.pending_big = msg.pending_big
+            worker.active = msg.active
+        elif isinstance(msg, ProgressReport):
+            self.progress[worker.worker_id] = msg
+        elif isinstance(msg, ResultBatch):
+            self._handle_results(worker, msg, now)
+        elif isinstance(msg, StealGrant):
+            self._handle_steal_grant(worker, msg, now)
+        elif isinstance(msg, Goodbye):
+            self._handle_goodbye(worker, msg)
+
+    def _register(self, channel: Channel, hello: Hello, now: float) -> None:
+        worker = self.registry.add(
+            _ClusterSlot(
+                worker_id=self.registry.new_id(),
+                channel=channel,
+                hello=hello,
+                last_seen=now,
+            )
+        )
+        self._by_channel[channel] = worker  # type: ignore[assignment]
+        graph_blob = None
+        if hello.needs_graph:
+            if self._graph_blob is None:
+                self._graph_blob = pickle.dumps(
+                    self.graph, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            graph_blob = self._graph_blob
+        self._send(
+            worker,  # type: ignore[arg-type]
+            Welcome(
+                worker_id=worker.worker_id,
+                config=self.config,
+                app_blob=self._app_blob,
+                graph_blob=graph_blob,
+                trace=self.tracer.enabled,
+            ),
+            now,
+        )
+        self._pump(now)
+
+    def _handle_results(
+        self, worker: _ClusterSlot, msg: ResultBatch, now: float
+    ) -> None:
+        # Candidates are folded even from stale/dead senders: dedup makes
+        # them idempotent, and dropping mined truth would be wasteful.
+        self._folder.fold(msg.candidates)
+        self._folder.forward_events(worker.worker_id, msg.events)
+        worker.active = msg.active
+        for blob in msg.remainders:
+            self._pending.append(
+                _WorkUnit(
+                    work_id=next(self._work_ids),
+                    kind="batch",
+                    payload=(blob,),
+                    origin="remainder",
+                )
+            )
+        for work_id in msg.completed:
+            # A stale ack (unit reclaimed, possibly re-leased elsewhere)
+            # is dropped by the folder — at-least-once bookkeeping.
+            self._folder.complete(work_id, worker_id=worker.worker_id)
+        self._pump(now)
+
+    def _handle_goodbye(self, worker: _ClusterSlot, msg: Goodbye) -> None:
+        # A clean exit, not a death: no workers_died accounting, so this
+        # deliberately bypasses registry.fail(). A Goodbye for a slot
+        # already accounted dead (or a duplicated frame) is stale — its
+        # metrics were either lost with the death or already merged.
+        if not worker.alive:
+            return
+        self.metrics.merge(msg.metrics)
+        worker.alive = False
+        if worker.channel is not None:
+            worker.channel.close()
+
+    # -- housekeeping ------------------------------------------------------
+
+    def on_tick(self, now: float) -> None:
+        """One housekeeping pass: liveness, retries, dispatch, steals,
+        progress. Drivers call this between message deliveries."""
+        self._check_heartbeats(now)
+        # Reclaimed units sit out their exponential backoff in the retry
+        # policy's heap; only the tick moves them back to pending — an
+        # idle survivor generates no result traffic, so the tick itself
+        # must offer the work around.
+        for unit, _attempts in self._retries.pop_due(now):
+            self._pending.insert(0, unit)
+        self._pump(now)
+        progress_every = self.progress_interval()
+        if (
+            progress_every
+            and self._last_progress is not None
+            and now - self._last_progress >= progress_every
+        ):
+            self._emit_progress(now)
+            self._last_progress = now
+        if self._next_steal is not None and now >= self._next_steal:
+            self._next_steal = now + self.config.steal_period_seconds
+            self._plan_steals(now)
+        self.check_liveness(now)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def begin_shutdown(self, now: float) -> None:
+        """Job done: ask every live worker to flush and say Goodbye."""
+        self.shutdown_started = True
+        for worker in self._alive():
+            self._send(worker, Shutdown(), now)
+
+    def awaiting_goodbye(self) -> list[_ClusterSlot]:
+        return self._alive()
+
+    def abandon_stragglers(self) -> None:
+        """Give up on workers that never said Goodbye (metrics are lost)."""
+        for worker in self._alive():
+            warnings.warn(
+                f"worker {worker.worker_id} never said Goodbye; its final "
+                f"metrics are lost",
+                RuntimeWarning,
+            )
+            worker.alive = False
+            if worker.channel is not None:
+                worker.channel.close()
+
+    def close_channels(self) -> None:
+        for worker in self.registry.slots():
+            if worker.channel is not None:
+                worker.channel.close()
+
+    def finalize(self, wall_seconds: float) -> MiningRunResult:
+        """Post-process the folded candidates into the standard result."""
+        from ...core.postprocess import postprocess_results
+
+        candidates = self.app.sink.results()
+        maximal = postprocess_results(candidates)
+        self.metrics.results = len(maximal)
+        self.metrics.wall_seconds = wall_seconds
+        return MiningRunResult(
+            maximal=maximal, candidates=candidates, metrics=self.metrics
+        )
+
+
+class WorkerReactor:
+    """Worker state machine: one leased mining process, transport-free.
+
+    Drivers advance it with four calls: :meth:`hello` once the channel
+    is up, :meth:`on_message` per received frame, :meth:`on_tick` for
+    heartbeat/flush timing, and :meth:`mine_step` whenever there is
+    time to mine (one pick → run-quantum per call). ``on_message``
+    returns ``'ok'``, ``'stop'`` (Shutdown received — the driver calls
+    :meth:`finish`), or ``'lost'`` (the master is gone).
+
+    ``clock`` feeds only the worker-timing split and trace spans; on
+    the real runtime it is ``time.perf_counter``-like, on the simulator
+    it is the virtual clock, and no scheduling decision reads it.
+
+    ``unit_hook`` is called with the completed-unit count every time a
+    work unit arrives — the chaos kill switch on the real runtime
+    (:class:`~repro.gthinker.chaos.FaultInjection` → ``die_hard``), and
+    unused in simulation where faults live in the
+    :class:`~repro.gthinker.sim.FaultPlan`.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        graph: Any = None,
+        *,
+        pid: int = 0,
+        host: str = "local",
+        unit_hook: Callable[[int], None] | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.channel = channel
+        self.graph = graph
+        self._pid = pid
+        self._host = host
+        self._unit_hook = unit_hook
+        self._clock = clock if clock is not None else _default_clock
+        self.worker_id = -1
+        self.metrics = EngineMetrics()
+        self._active = 0
+        self.completed_units = 0
+        self._shipped: set[frozenset[int]] = set()
+        self._remainders: list[bytes] = []
+        self._open: dict[int, str] = {}  # work_id -> kind
+        self._served_steals: set[int] = set()
+        self._trace_seq = -1
+        self._pre_welcome: list[Any] = []
+        self.started = False
+        self.stopped = False
+        # Set on Welcome:
+        self.app: Any = None
+        self.config: EngineConfig | None = None
+        self.core: SchedulerCore | None = None
+        self.machine: Any = None
+        self.slot: Any = None
+        self.tracer: Tracer | NullTracer = NullTracer()
+        self._next_heartbeat = 0.0
+        self._heartbeats_sent = 0
+        self._run_start = 0.0
+        self._mine_seconds = 0.0
+
+    # -- handshake ---------------------------------------------------------
+
+    def hello(self) -> None:
+        self.channel.send(
+            Hello(pid=self._pid, host=self._host, needs_graph=self.graph is None)
+        )
+
+    def _welcome(self, welcome: Welcome, now: float) -> None:
+        if self.started:
+            return  # a duplicated Welcome frame changes nothing
+        self.worker_id = welcome.worker_id
+        config = welcome.config
+        app = pickle.loads(welcome.app_blob)
+        graph = self.graph
+        if graph is None:
+            if welcome.graph_blob is None:
+                raise RuntimeError("master sent no graph and none was provided")
+            graph = pickle.loads(welcome.graph_blob)
+        spill_dir = config.spill_dir
+        if spill_dir is not None:
+            import os
+
+            spill_dir = os.path.join(spill_dir, f"worker-{self.worker_id}")
+        local_config = replace(
+            config,
+            num_machines=1,
+            threads_per_machine=1,
+            spill_dir=spill_dir,
+        )
+        self.app = app
+        self.config = local_config
+        self.machine = build_machines(graph, local_config)[0]
+        # Spawning is master-driven (SpawnRange leases); the local spawn
+        # cursor must never race it.
+        self.machine.spawn_order = []
+        self.slot = self.machine.threads[0]
+        self.tracer = Tracer() if welcome.trace else NullTracer()
+        self.core = SchedulerCore(
+            app, local_config, [self.machine], self.tracer,
+            task_queued=self._task_queued,
+        )
+        self.metrics = self.core.metrics
+        self._next_heartbeat = now + config.heartbeat_period
+        self._run_start = now
+        self.started = True
+        # Work the master raced ahead of the Welcome (possible only on
+        # reordering transports) was parked; apply it in arrival order.
+        parked, self._pre_welcome = self._pre_welcome, []
+        for queued in parked:
+            self.on_message(queued, now)
+
+    def _task_queued(self, task: Task) -> None:
+        self._active += 1
+
+    # -- message handling --------------------------------------------------
+
+    def on_message(self, msg: Any, now: float) -> str:
+        """Apply one master frame; returns ``'ok' | 'stop' | 'lost'``."""
+        if msg is None:
+            self.stopped = True
+            return "lost"
+        if isinstance(msg, Welcome):
+            self._welcome(msg, now)
+            return "ok"
+        if not self.started:
+            # Anything overtaking the Welcome is parked until the reactor
+            # has a scheduler to apply it to.
+            self._pre_welcome.append(msg)
+            return "ok"
+        if isinstance(msg, Shutdown):
+            return "stop"
+        if isinstance(msg, (SpawnRange, TaskBatch)):
+            if self._unit_hook is not None:
+                self._unit_hook(self.completed_units)
+            self._open[msg.work_id] = (
+                "range" if isinstance(msg, SpawnRange) else "batch"
+            )
+            if isinstance(msg, SpawnRange):
+                self._spawn_range(msg)
+            else:
+                for blob in msg.tasks:
+                    task = Task.decode(blob)
+                    task.task_id = self.core.next_task_id()
+                    self.core.route(task, self.machine, self.slot)
+        elif isinstance(msg, StealRequest):
+            self._serve_steal(msg, now)
+        # Heartbeat/ProgressReport never flow master -> worker; anything
+        # else is ignored for forward compatibility.
+        return "ok"
+
+    def _spawn_range(self, msg: SpawnRange) -> None:
+        for v in msg.vertices:
+            adjacency = self.machine.table.get(v)
+            if adjacency is None:
+                continue
+            task = self.app.spawn(v, adjacency, self.core.next_task_id())
+            if task is None:
+                continue
+            self.metrics.tasks_spawned += 1
+            self.core.tracer.emit("spawn", task.task_id, 0, detail=f"root={v}")
+            self.core.route(task, self.machine, self.slot)
+
+    def _serve_steal(self, msg: StealRequest, now: float) -> None:
+        """Give up to `count` big tasks from Q_global (+ its spill list)."""
+        if msg.request_id in self._served_steals:
+            # A duplicated request frame. Serving it again would evict a
+            # second batch for a request the master considers answered —
+            # the master re-pends such stale grants, but the eviction is
+            # pure waste, so an answered id is simply ignored.
+            return
+        self._served_steals.add(msg.request_id)
+        trace = self.tracer.enabled
+        t0 = self._clock() if trace else 0.0
+        granted: list[Task] = []
+        while len(granted) < msg.count:
+            batch = self.machine.qglobal.pop_batch(msg.count - len(granted))
+            if not batch:
+                if self.machine.qglobal.refill_from_spill() == 0:
+                    break
+                continue
+            granted.extend(batch)
+        self._active -= len(granted)
+        if trace and granted:
+            # Donor-side half of the move; the events forward to the
+            # master's trace attributed machine=this worker.
+            emit_span(
+                self.tracer, "steal_transfer", t0, self._clock(),
+                detail=f"granted={len(granted)} requested={msg.count}",
+            )
+        self.channel.send(
+            StealGrant(
+                request_id=msg.request_id,
+                worker_id=self.worker_id,
+                tasks=tuple(t.encode() for t in granted),
+            )
+        )
+
+    # -- heartbeat / progress ----------------------------------------------
+
+    @property
+    def next_heartbeat(self) -> float:
+        return self._next_heartbeat
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    def on_tick(self, now: float) -> None:
+        """Send the heartbeat (and periodic flush/progress) when due."""
+        if not self.started or self.stopped or now < self._next_heartbeat:
+            return
+        self._next_heartbeat = now + self.config.heartbeat_period
+        self._heartbeats_sent += 1
+        self.channel.send(
+            Heartbeat(
+                worker_id=self.worker_id,
+                pending_big=self.machine.pending_big(),
+                active=self._active,
+            )
+        )
+        if self._fresh_candidates() or self._remainders:
+            self.flush()
+        if self._heartbeats_sent % _PROGRESS_EVERY == 0:
+            self.channel.send(
+                ProgressReport(
+                    worker_id=self.worker_id,
+                    tasks_executed=self.metrics.tasks_executed,
+                    tasks_decomposed=self.metrics.tasks_decomposed,
+                    candidates_emitted=len(self.app.sink.results()),
+                )
+            )
+
+    # -- mining ------------------------------------------------------------
+
+    def mine_step(self, now: float) -> float | None:
+        """Run at most one scheduling quantum.
+
+        Returns the quantum's abstract cost, or None when nothing was
+        pickable (the driver decides whether to block, yield, or — in
+        simulation — stop scheduling steps until new work arrives). An
+        idle reactor with drained units flushes their acknowledgements
+        as a side effect, exactly like the old inline loop.
+        """
+        if not self.started or self.stopped:
+            return None
+        task = self.core.pick(self.machine, self.slot)
+        if task is None:
+            if self._active == 0 and (
+                self._open or self._remainders or self._fresh_candidates()
+            ):
+                self.flush(completed_all=True)
+            return None
+        t0 = self._clock()
+        quantum = self.core.run_quantum(
+            task, self.machine, record=self.metrics.record_task, slot=self.slot
+        )
+        self._mine_seconds += self._clock() - t0
+        for child in quantum.children:
+            if child.is_big(self.config.tau_split):
+                # Big remainders go back to the master for cluster-wide
+                # redistribution.
+                self._remainders.append(child.encode())
+            else:
+                self.core.route(child, self.machine, self.slot)
+        if quantum.resumed is not None:
+            self.core.buffer_ready(quantum.resumed, self.machine, self.slot)
+        elif quantum.finished:
+            self._active -= 1
+        if len(self._remainders) >= self.config.batch_size:
+            self.flush()
+        return quantum.cost
+
+    def has_work(self) -> bool:
+        """True while tasks are accounted active on this worker."""
+        return self.started and not self.stopped and self._active > 0
+
+    # -- result shipping ---------------------------------------------------
+
+    def _fresh_candidates(self) -> set[frozenset[int]]:
+        return self.app.sink.results() - self._shipped
+
+    def _new_events(self) -> tuple:
+        if not self.tracer.enabled:
+            return ()
+        events = [e for e in self.tracer.events() if e.seq > self._trace_seq]
+        if events:
+            self._trace_seq = events[-1].seq
+        return tuple((e.kind, e.task_id, e.thread, e.detail) for e in events)
+
+    def flush(self, completed_all: bool = False) -> None:
+        """Ship fresh candidates, remainders, trace events, and — when the
+        local scheduler has drained — the acknowledgements of every open
+        work unit, all in one atomic message."""
+        completed: tuple[int, ...] = ()
+        if completed_all and self._active == 0 and self._open:
+            completed = tuple(self._open)
+            self.completed_units += len(completed)
+            self._open.clear()
+        fresh = self._fresh_candidates()
+        self._shipped |= fresh
+        remainders, self._remainders = tuple(self._remainders), []
+        self.channel.send(
+            ResultBatch(
+                worker_id=self.worker_id,
+                completed=completed,
+                candidates=tuple(fresh),
+                remainders=remainders,
+                events=self._new_events(),
+                active=self._active,
+            )
+        )
+
+    # -- shutdown ----------------------------------------------------------
+
+    def finish(self, now: float) -> None:
+        """Shutdown received: final flush, metrics fold-up, Goodbye."""
+        wall = now - self._run_start
+        self.metrics.timing[self.worker_id] = WorkerTiming(
+            wall_seconds=wall,
+            mine_seconds=self._mine_seconds,
+            idle_seconds=max(0.0, wall - self._mine_seconds),
+        )
+        self.flush(completed_all=True)
+        collect_machine_metrics(self.metrics, [self.machine])
+        self.metrics.mining_stats.merge(self.app.stats)
+        self.channel.send(
+            Goodbye(
+                worker_id=self.worker_id,
+                metrics=self.metrics,
+                stats_blob=pickle.dumps(self.app.stats),
+            )
+        )
+        self.stopped = True
+
+    def cleanup(self) -> None:
+        if self.machine is not None:
+            self.machine.cleanup()
+
+
+def _default_clock() -> float:
+    import time
+
+    return time.perf_counter()

@@ -1,25 +1,22 @@
-"""Cluster worker: one mining process driven by the TCP master.
+"""Cluster worker: the TCP driver of the worker reactor.
 
 A worker is the distributed twin of an `engine_mp` worker process, but
-it owns a real local scheduler instead of receiving pre-picked batches:
+it owns a real local scheduler instead of receiving pre-picked batches.
+All of that behaviour — handshake, leased work units, master-driven
+spawning, big-remainder shipping, steal serving, incremental candidate
+flushes — lives in the transport-free
+:class:`~.reactor.WorkerReactor`; this module supplies what only a
+real process needs:
 
-* it registers with the master (`Hello` → `Welcome`), receiving the
-  job's :class:`~repro.gthinker.config.EngineConfig`, the pickled
-  application, and — unless it already has one — the graph;
-* it builds a single-machine :class:`SchedulerCore` over a whole-graph
-  vertex table and mines with the serial pick → run-quantum loop, so
-  every scheduling rule (big-task routing, pick order, spilling,
-  refill) is the same code as every other executor;
-* the master leases it work units — `SpawnRange` chunks of the spawn
-  vertex range and `TaskBatch` batches of encoded tasks (forwarded
-  steal grants, re-leased remainders) — which it acknowledges once its
-  local scheduler drains;
-* **big decomposition remainders** are not routed locally: they are
-  shipped back to the master for cluster-wide redistribution, exactly
-  the paper's rule that big tasks must be globally visible;
-* it serves `StealRequest`s by popping big tasks from its global queue
-  (refilled from the L_big spill list), and sends `Heartbeat`s whose
-  pending-big count is the master's stealing-planner input.
+* the TCP connection to the master (`Hello` → `Welcome` over a
+  :class:`~repro.gthinker.runtime.StreamChannel`);
+* a reader thread funnelling master frames into an inbox so the
+  reactor is advanced from exactly one thread;
+* the blocking policy: mine greedily while tasks are active, block on
+  the inbox (until the next heartbeat deadline) when idle, and yield
+  the core instead of busy-spinning when nothing is pickable;
+* chaos wiring: :class:`~repro.gthinker.chaos.FaultInjection` arms the
+  reactor's unit hook with :func:`~repro.gthinker.chaos.die_hard`.
 
 Death needs no protocol: a SIGKILLed worker simply stops heartbeating
 and its socket EOFs; the master reclaims every work unit it still
@@ -30,41 +27,19 @@ master-side, so at-least-once re-mining never changes the result set.
 from __future__ import annotations
 
 import os
-import pickle
 import queue
 import socket
 import sys
 import threading
 import time
 import traceback
-from dataclasses import replace
 
 from ..chaos import FaultInjection, die_hard
-from ..metrics import WorkerTiming
-from ..obs.spans import emit_span
 from ..runtime import ChannelClosed, StreamChannel
-from ..scheduler import SchedulerCore, build_machines, collect_machine_metrics
-from ..task import Task
-from ..tracing import NullTracer, Tracer
-from .protocol import (
-    Goodbye,
-    Heartbeat,
-    Hello,
-    MessageStream,
-    ProgressReport,
-    ResultBatch,
-    Shutdown,
-    SpawnRange,
-    StealGrant,
-    StealRequest,
-    TaskBatch,
-    Welcome,
-)
+from .protocol import MessageStream
+from .reactor import WorkerReactor
 
 __all__ = ["ClusterWorker"]
-
-#: Send a ProgressReport every this many heartbeats.
-_PROGRESS_EVERY = 4
 
 
 class ClusterWorker:
@@ -83,13 +58,11 @@ class ClusterWorker:
         self.graph = graph
         self._injection = fault_injection
         self._connect_timeout = connect_timeout
-        self.worker_id = -1
-        self._active = 0
-        self._completed_units = 0
-        self._shipped: set[frozenset[int]] = set()
-        self._remainders: list[bytes] = []
-        self._open: dict[int, str] = {}  # work_id -> kind
-        self._trace_seq = -1
+        self.reactor: WorkerReactor | None = None
+
+    @property
+    def worker_id(self) -> int:
+        return self.reactor.worker_id if self.reactor is not None else -1
 
     # -- wiring ------------------------------------------------------------
 
@@ -101,8 +74,12 @@ class ClusterWorker:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return StreamChannel(MessageStream(sock))
 
-    def _task_queued(self, task: Task) -> None:
-        self._active += 1
+    def _unit_hook(self, completed_units: int) -> None:
+        if (
+            self._injection is not None
+            and completed_units >= self._injection.after_batches
+        ):
+            die_hard()
 
     # -- the mining loop ---------------------------------------------------
 
@@ -119,47 +96,13 @@ class ClusterWorker:
             channel.close()
 
     def _run(self, stream: StreamChannel) -> None:
-        stream.send(
-            Hello(
-                pid=os.getpid(),
-                host=socket.gethostname(),
-                needs_graph=self.graph is None,
-            )
+        reactor = WorkerReactor(
+            stream, self.graph,
+            pid=os.getpid(), host=socket.gethostname(),
+            unit_hook=self._unit_hook,
         )
-        welcome = stream.recv()
-        if not isinstance(welcome, Welcome):
-            raise RuntimeError(
-                f"expected Welcome from master, got {type(welcome).__name__}"
-            )
-        self.worker_id = welcome.worker_id
-        config = welcome.config
-        app = pickle.loads(welcome.app_blob)
-        graph = self.graph
-        if graph is None:
-            if welcome.graph_blob is None:
-                raise RuntimeError("master sent no graph and none was provided")
-            graph = pickle.loads(welcome.graph_blob)
-
-        spill_dir = config.spill_dir
-        if spill_dir is not None:
-            spill_dir = os.path.join(spill_dir, f"worker-{self.worker_id}")
-        local_config = replace(
-            config,
-            num_machines=1,
-            threads_per_machine=1,
-            spill_dir=spill_dir,
-        )
-        machine = build_machines(graph, local_config)[0]
-        # Spawning is master-driven (SpawnRange leases); the local spawn
-        # cursor must never race it.
-        machine.spawn_order = []
-        slot = machine.threads[0]
-        tracer = Tracer() if welcome.trace else NullTracer()
-        core = SchedulerCore(
-            app, local_config, [machine], tracer,
-            task_queued=self._task_queued,
-        )
-        self.metrics = core.metrics
+        self.reactor = reactor
+        reactor.hello()
 
         inbox: queue.Queue = queue.Queue()
 
@@ -167,226 +110,56 @@ class ClusterWorker:
             while True:
                 try:
                     msg = stream.recv()
-                except ChannelClosed as exc:  # torn frame or socket teardown
-                    inbox.put(("lost", exc))
+                except ChannelClosed:  # torn frame or socket teardown
+                    inbox.put(None)
                     return
-                inbox.put(("msg", msg))
+                inbox.put(msg)
                 if msg is None:
                     return
 
         reader = threading.Thread(
-            target=_read_loop, name=f"cluster-worker-{self.worker_id}-reader",
-            daemon=True,
+            target=_read_loop, name="cluster-worker-reader", daemon=True
         )
         reader.start()
 
-        period = config.heartbeat_period
-        next_heartbeat = time.monotonic() + period
-        heartbeats_sent = 0
-        t_run_start = time.perf_counter()
-        mine_seconds = 0.0
         try:
             while True:
-                block = self._active == 0
-                action = self._drain_inbox(
-                    inbox, stream, app, core, machine, slot, config,
-                    block_until=next_heartbeat if block else None,
-                )
+                action = self._drain_inbox(inbox, reactor)
                 if action == "stop":
-                    wall = time.perf_counter() - t_run_start
-                    self.metrics.timing[self.worker_id] = WorkerTiming(
-                        wall_seconds=wall,
-                        mine_seconds=mine_seconds,
-                        idle_seconds=max(0.0, wall - mine_seconds),
-                    )
-                    self._flush(stream, app, tracer, completed_all=True)
-                    collect_machine_metrics(self.metrics, [machine])
-                    self.metrics.mining_stats.merge(app.stats)
-                    stream.send(
-                        Goodbye(
-                            worker_id=self.worker_id,
-                            metrics=self.metrics,
-                            stats_blob=pickle.dumps(app.stats),
-                        )
-                    )
+                    reactor.finish(time.monotonic())
                     return
                 if action == "lost":
                     return
-
-                now = time.monotonic()
-                if now >= next_heartbeat:
-                    next_heartbeat = now + period
-                    heartbeats_sent += 1
-                    stream.send(
-                        Heartbeat(
-                            worker_id=self.worker_id,
-                            pending_big=machine.pending_big(),
-                            active=self._active,
-                        )
-                    )
-                    if self._fresh_candidates(app) or self._remainders:
-                        self._flush(stream, app, tracer)
-                    if heartbeats_sent % _PROGRESS_EVERY == 0:
-                        stream.send(
-                            ProgressReport(
-                                worker_id=self.worker_id,
-                                tasks_executed=self.metrics.tasks_executed,
-                                tasks_decomposed=self.metrics.tasks_decomposed,
-                                candidates_emitted=len(app.sink.results()),
-                            )
-                        )
-
-                task = core.pick(machine, slot)
-                if task is None:
-                    if self._active == 0 and (
-                        self._open or self._remainders
-                        or self._fresh_candidates(app)
-                    ):
-                        self._flush(stream, app, tracer, completed_all=True)
-                    elif self._active > 0:
-                        # Nothing pickable but tasks are still accounted
-                        # active (e.g. just granted away in a steal):
-                        # yield the core instead of busy-spinning — a hot
-                        # loop here starves co-hosted processes.
-                        time.sleep(0.001)
-                    continue
-                t_quantum = time.perf_counter()
-                quantum = core.run_quantum(
-                    task, machine, record=self.metrics.record_task, slot=slot
-                )
-                mine_seconds += time.perf_counter() - t_quantum
-                for child in quantum.children:
-                    if child.is_big(config.tau_split):
-                        # Big remainders go back to the master for
-                        # cluster-wide redistribution.
-                        self._remainders.append(child.encode())
-                    else:
-                        core.route(child, machine, slot)
-                if quantum.resumed is not None:
-                    core.buffer_ready(quantum.resumed, machine, slot)
-                elif quantum.finished:
-                    self._active -= 1
-                if len(self._remainders) >= config.batch_size:
-                    self._flush(stream, app, tracer)
+                reactor.on_tick(time.monotonic())
+                stepped = reactor.mine_step(time.monotonic())
+                if stepped is None and reactor.has_work():
+                    # Nothing pickable but tasks are still accounted
+                    # active (e.g. just granted away in a steal): yield
+                    # the core instead of busy-spinning — a hot loop here
+                    # starves co-hosted processes.
+                    time.sleep(0.001)
         finally:
-            machine.cleanup()
+            reactor.cleanup()
 
-    # -- inbox handling ----------------------------------------------------
+    def _drain_inbox(self, inbox: queue.Queue, reactor: WorkerReactor) -> str:
+        """Apply every queued master message; returns 'ok'/'stop'/'lost'.
 
-    def _drain_inbox(
-        self, inbox, stream, app, core, machine, slot, config,
-        block_until: float | None,
-    ) -> str:
-        """Apply every queued master message; returns 'ok'/'stop'/'lost'."""
+        Blocks until the next heartbeat deadline when the reactor is
+        idle (no active tasks), so an idle worker costs no CPU.
+        """
         first = True
         while True:
             try:
-                if first and block_until is not None:
-                    timeout = max(0.005, block_until - time.monotonic())
-                    tag, payload = inbox.get(timeout=timeout)
+                if first and not reactor.has_work():
+                    timeout = max(
+                        0.005, reactor.next_heartbeat - time.monotonic()
+                    ) if reactor.started else 0.05
+                    msg = inbox.get(timeout=timeout)
                 else:
-                    tag, payload = inbox.get_nowait()
+                    msg = inbox.get_nowait()
             except queue.Empty:
                 return "ok"
             first = False
-            if tag == "lost" or payload is None:
-                return "lost"
-            msg = payload
-            if isinstance(msg, Shutdown):
-                return "stop"
-            if isinstance(msg, (SpawnRange, TaskBatch)):
-                if (
-                    self._injection is not None
-                    and self._completed_units >= self._injection.after_batches
-                ):
-                    die_hard()
-                self._open[msg.work_id] = (
-                    "range" if isinstance(msg, SpawnRange) else "batch"
-                )
-                if isinstance(msg, SpawnRange):
-                    self._spawn_range(msg, app, core, machine, slot)
-                else:
-                    for blob in msg.tasks:
-                        task = Task.decode(blob)
-                        task.task_id = core.next_task_id()
-                        core.route(task, machine, slot)
-            elif isinstance(msg, StealRequest):
-                self._serve_steal(msg, stream, machine, core.tracer)
-            # Heartbeat/ProgressReport never flow master -> worker;
-            # anything else is ignored for forward compatibility.
-
-    def _spawn_range(self, msg: SpawnRange, app, core, machine, slot) -> None:
-        for v in msg.vertices:
-            adjacency = machine.table.get(v)
-            if adjacency is None:
-                continue
-            task = app.spawn(v, adjacency, core.next_task_id())
-            if task is None:
-                continue
-            self.metrics.tasks_spawned += 1
-            core.tracer.emit("spawn", task.task_id, 0, detail=f"root={v}")
-            core.route(task, machine, slot)
-
-    def _serve_steal(self, msg: StealRequest, stream, machine, tracer) -> None:
-        """Give up to `count` big tasks from Q_global (+ its spill list)."""
-        trace = tracer.enabled
-        t0 = time.monotonic() if trace else 0.0
-        granted: list[Task] = []
-        while len(granted) < msg.count:
-            batch = machine.qglobal.pop_batch(msg.count - len(granted))
-            if not batch:
-                if machine.qglobal.refill_from_spill() == 0:
-                    break
-                continue
-            granted.extend(batch)
-        self._active -= len(granted)
-        if trace and granted:
-            # Donor-side half of the move; the events forward to the
-            # master's trace attributed machine=this worker.
-            emit_span(
-                tracer, "steal_transfer", t0, time.monotonic(),
-                detail=f"granted={len(granted)} requested={msg.count}",
-            )
-        stream.send(
-            StealGrant(
-                request_id=msg.request_id,
-                worker_id=self.worker_id,
-                tasks=tuple(t.encode() for t in granted),
-            )
-        )
-
-    # -- result shipping ---------------------------------------------------
-
-    def _fresh_candidates(self, app) -> set[frozenset[int]]:
-        return app.sink.results() - self._shipped
-
-    def _new_events(self, tracer) -> tuple:
-        if not tracer.enabled:
-            return ()
-        events = [e for e in tracer.events() if e.seq > self._trace_seq]
-        if events:
-            self._trace_seq = events[-1].seq
-        return tuple((e.kind, e.task_id, e.thread, e.detail) for e in events)
-
-    def _flush(self, stream, app, tracer, completed_all: bool = False) -> None:
-        """Ship fresh candidates, remainders, trace events, and — when the
-        local scheduler has drained — the acknowledgements of every open
-        work unit, all in one atomic message."""
-        completed: tuple[int, ...] = ()
-        if completed_all and self._active == 0 and self._open:
-            completed = tuple(self._open)
-            self._completed_units += len(completed)
-            self._open.clear()
-        fresh = self._fresh_candidates(app)
-        self._shipped |= fresh
-        remainders, self._remainders = tuple(self._remainders), []
-        stream.send(
-            ResultBatch(
-                worker_id=self.worker_id,
-                completed=completed,
-                candidates=tuple(fresh),
-                remainders=remainders,
-                events=self._new_events(tracer),
-                active=self._active,
-            )
-        )
+            action = reactor.on_message(msg, time.monotonic())
+            if action != "ok":
+                return action

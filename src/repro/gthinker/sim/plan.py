@@ -1,0 +1,174 @@
+"""Fault plans: the adversarial schedule of one simulated cluster run.
+
+A :class:`FaultPlan` describes everything hostile the virtual network
+and the virtual workers will do during a run — message latency and
+jitter, per-link reordering, connection-tearing frame drops, frame
+duplication, master↔worker partitions, worker crashes (with optional
+restart as a fresh worker), wedged workers, and straggler speed
+factors. Plans are plain data: a pinned plan in a regression test
+reads as documentation of the scenario it exercises.
+
+:func:`generate_plan` draws a random plan from one integer seed. It is
+deliberately biased toward the coordination code's scar tissue —
+crashes land mid-job (while leases and steal requests are in flight),
+partitions overlap the steal period, wedges outlast the heartbeat
+timeout — and it always leaves **worker 0 fault-free** so every job
+can finish: a plan that kills the whole pool would make the master's
+"all workers died" error a correct outcome, which is not an
+interesting seed.
+
+Fault semantics (implemented by :class:`~.net.SimNet`):
+
+* ``drop_rate`` tears the link like a TCP reset — both endpoints see
+  EOF after their in-flight frames. Silent per-frame loss is
+  deliberately **not** modelled: the real transport is TCP, which
+  never silently drops an acknowledged frame mid-connection, and a
+  silently vanished ``StealGrant`` would lose mined tasks in a way no
+  real schedule can.
+* ``reorder`` lifts the per-link FIFO guarantee — strictly harsher
+  than TCP. The reactors tolerate it (pre-``Welcome`` parking,
+  stale-ack drops), so it stays in the fuzz space as an adversarial
+  overapproximation.
+* ``dup_rate`` re-delivers a frame a second time, except the
+  ``Hello``/``Welcome`` handshake (a duplicated registration would
+  model two distinct workers, not a retransmit).
+* a partition stalls frames in both directions until it heals (TCP
+  retransmit model); the master's heartbeat timeout decides whether
+  the stall reads as a death.
+* a crash closes the worker's endpoint without a ``Goodbye``; a
+  restart joins a brand-new worker (fresh ``Hello``, new worker id).
+* a wedge freezes the worker — no ticks, no mining, no reads — until
+  it unwedges (if ever); deliveries buffer like an unread socket.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultPlan",
+    "LinkFaults",
+    "PartitionWindow",
+    "WorkerFaults",
+    "generate_plan",
+]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link delivery behaviour (one master↔worker connection)."""
+
+    latency: float = 0.002
+    jitter: float = 0.0  # uniform extra delay in [0, jitter) per frame
+    reorder: bool = False  # lift the per-link FIFO clamp
+    drop_rate: float = 0.0  # per-frame chance the connection tears (EOF)
+    dup_rate: float = 0.0  # per-frame chance of a second delivery
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Frames on the targeted workers' links stall during [start, end)."""
+
+    start: float
+    end: float
+    workers: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """One worker's scripted misbehaviour on the virtual clock."""
+
+    worker: int
+    crash_at: float | None = None
+    restart_at: float | None = None  # rejoins as a brand-new worker
+    wedge_at: float | None = None
+    unwedge_at: float | None = None
+    #: Straggler factor: virtual duration multiplier per mining quantum.
+    speed: float = 1.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full adversarial schedule of one simulated run."""
+
+    links: dict[int, LinkFaults] = field(default_factory=dict)
+    default_link: LinkFaults = field(default_factory=LinkFaults)
+    partitions: tuple[PartitionWindow, ...] = ()
+    workers: tuple[WorkerFaults, ...] = ()
+
+    def link_for(self, worker_index: int) -> LinkFaults:
+        return self.links.get(worker_index, self.default_link)
+
+    def faults_for(self, worker_index: int) -> WorkerFaults:
+        for wf in self.workers:
+            if wf.worker == worker_index:
+                return wf
+        return WorkerFaults(worker=worker_index)
+
+
+def generate_plan(seed: int, num_workers: int) -> FaultPlan:
+    """Draw one adversarial plan; worker 0 stays fault-free.
+
+    The index space covers restarts too: a worker crashed with
+    ``restart_at`` rejoins under index ``num_workers + k``, and those
+    indices inherit :attr:`FaultPlan.default_link`.
+    """
+    rng = random.Random(seed)
+    links: dict[int, LinkFaults] = {
+        0: LinkFaults(latency=0.002, jitter=0.001)
+    }
+    worker_faults: list[WorkerFaults] = []
+    partitions: list[PartitionWindow] = []
+
+    for w in range(1, num_workers):
+        links[w] = LinkFaults(
+            latency=rng.choice([0.001, 0.002, 0.005, 0.02]),
+            jitter=rng.choice([0.0, 0.001, 0.01]),
+            reorder=rng.random() < 0.25,
+            drop_rate=rng.choice([0.0, 0.0, 0.0, 0.002, 0.01]),
+            dup_rate=rng.choice([0.0, 0.0, 0.05, 0.15]),
+        )
+        roll = rng.random()
+        crash_at = restart_at = wedge_at = unwedge_at = None
+        if roll < 0.35:
+            # Crash mid-job, while leases/steals are plausibly in flight.
+            crash_at = rng.uniform(0.2, 3.0)
+            if rng.random() < 0.5:
+                restart_at = crash_at + rng.uniform(0.2, 1.5)
+        elif roll < 0.55:
+            # Wedge past the heartbeat timeout about half the time.
+            wedge_at = rng.uniform(0.2, 2.5)
+            if rng.random() < 0.5:
+                unwedge_at = wedge_at + rng.uniform(0.5, 4.0)
+        speed = rng.choice([1.0, 1.0, 1.0, 2.0, 5.0])
+        worker_faults.append(
+            WorkerFaults(
+                worker=w,
+                crash_at=crash_at,
+                restart_at=restart_at,
+                wedge_at=wedge_at,
+                unwedge_at=unwedge_at,
+                speed=speed,
+            )
+        )
+
+    if num_workers > 1 and rng.random() < 0.4:
+        # One partition window over a non-zero worker, sized to overlap
+        # steal planning and possibly the heartbeat timeout.
+        target = rng.randrange(1, num_workers)
+        start = rng.uniform(0.1, 2.0)
+        partitions.append(
+            PartitionWindow(
+                start=start,
+                end=start + rng.uniform(0.1, 2.5),
+                workers=(target,),
+            )
+        )
+
+    return FaultPlan(
+        links=links,
+        default_link=LinkFaults(latency=0.002, jitter=0.001),
+        partitions=tuple(partitions),
+        workers=tuple(worker_faults),
+    )

@@ -81,3 +81,34 @@ class TestTriangleApp:
         # Vertex 2 has no two larger neighbors.
         assert app.spawn(2, triangle_graph.neighbors(2), 0) is None
         assert app.spawn(0, triangle_graph.neighbors(0), 0) is not None
+
+
+class TestAggregatorEdgeCases:
+    def test_update_returns_the_new_value(self):
+        agg = SumAggregator(10)
+        assert agg.add(5) == 15
+        assert agg.add() == 16
+
+    def test_max_set_accepts_any_iterable_once(self):
+        agg = MaxSetAggregator()
+        assert agg.offer(v for v in (1, 2, 3))  # a generator is fine
+        assert agg.best() == {1, 2, 3}
+
+    def test_max_set_under_contention_keeps_a_largest_set(self):
+        import threading as _threading
+
+        agg = MaxSetAggregator()
+        sizes = range(1, 40)
+
+        def worker(offset):
+            for k in sizes:
+                agg.offer(range(offset, offset + k))
+
+        threads = [
+            _threading.Thread(target=worker, args=(i * 100,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert agg.size == max(sizes)

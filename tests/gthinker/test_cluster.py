@@ -150,11 +150,16 @@ class TestStealObservability:
 
 
 class TestFaultTolerance:
-    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
-    def test_sigkill_one_worker_mid_job(self, start_method):
+    def test_sigkill_one_worker_mid_job(self):
         """Kill one worker mid-job: the master must detect the death,
-        reclaim its leases, and still match the oracle exactly."""
-        start_method = start_method_or_skip(start_method)
+        reclaim its leases, and still match the oracle exactly.
+
+        One smoke-level TCP run; the heavy fault-space exploration of
+        this scenario lives in the deterministic simulator
+        (test_sim_cluster.py and `repro sim-fuzz`), where a crash can
+        be placed at an exact virtual time instead of wherever the OS
+        scheduler drops it."""
+        start_method = start_method_or_skip("fork")
         graph = make_random_graph(12, 0.5, seed=7)
         expected = enumerate_maximal_quasicliques(graph, 0.75, 3)
         tracer = Tracer()

@@ -54,3 +54,30 @@ class TestPlanInvariants:
 
     def test_zero_batch(self):
         assert plan_steals([10, 0], batch_size=0) == []
+
+
+class TestPlanEdgeCases:
+    def test_empty_input_no_moves(self):
+        assert plan_steals([], batch_size=4) == []
+
+    def test_two_machines_one_unit_apart_no_thrash(self):
+        # avg = 0.5: donor surplus int(1 - 0.5) = 0 → nothing moves.
+        # One task of imbalance is not worth a network round-trip.
+        assert plan_steals([1, 0], batch_size=4) == []
+
+    def test_fractional_average_recipient_deficit_rounds_up(self):
+        # counts [7, 0, 0]: avg 2.33, donor surplus int(4.67) = 4,
+        # recipient deficit ceil(2.33) = 3 → one move of 3.
+        moves = plan_steals([7, 0, 0], batch_size=10)
+        assert moves == [type(moves[0])(src=0, dst=1, count=3)]
+
+    def test_more_donors_than_recipients(self):
+        # Two donors, one recipient: only one pairing this period; the
+        # second donor waits for the next period rather than flooding.
+        moves = plan_steals([10, 10, 0], batch_size=2)
+        assert len(moves) == 1
+        assert moves[0].dst == 2
+
+    def test_batch_size_one_still_moves(self):
+        moves = plan_steals([9, 0], batch_size=1)
+        assert moves and moves[0].count == 1

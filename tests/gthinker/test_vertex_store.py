@@ -88,3 +88,52 @@ class TestDataService:
         tables = LocalVertexTable.partition(g, 1)
         svc = DataService(0, tables, RemoteVertexCache(4))
         assert svc.resolve([99]) == {99: []}
+
+
+class TestCustomPartitioner:
+    def test_partition_routes_via_custom_owner(self):
+        from repro.gthinker.partition import range_partitioner
+
+        g = make_random_graph(12, 0.4, seed=9)
+        part = range_partitioner(g, 3)
+        tables = LocalVertexTable.partition(g, 3, partitioner=part)
+        for v in g.vertices():
+            assert tables[part.owner(v)].owns(v)
+        # Contiguous ranges: every table's vertices form one interval
+        # of the sorted ID space.
+        for t in tables:
+            vs = t.vertices_sorted()
+            if vs:
+                assert vs == list(range(vs[0], vs[-1] + 1))
+
+    def test_data_service_resolves_through_custom_owner(self):
+        from repro.gthinker.partition import range_partitioner
+
+        g = make_random_graph(12, 0.4, seed=10)
+        part = range_partitioner(g, 2)
+        tables = LocalVertexTable.partition(g, 2, partitioner=part)
+        svc = DataService(
+            0, tables, RemoteVertexCache(8), partitioner=part
+        )
+        out = svc.resolve(sorted(g.vertices()))
+        for v in g.vertices():
+            assert out[v] == g.neighbors(v)
+
+
+class TestRemoteMisses:
+    def test_remote_unknown_vertex_resolves_empty_and_is_cached(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        tables = LocalVertexTable.partition(g, 2)
+        svc = DataService(0, tables, RemoteVertexCache(8))
+        # 99 is odd → owned by machine 1, which never loaded it.
+        assert svc.resolve([99]) == {99: []}
+        assert svc.remote_messages == 1
+        svc.resolve([99])  # second lookup must hit the cache
+        assert svc.remote_messages == 1
+
+    def test_owns_reports_only_loaded_vertices(self):
+        g = Graph.from_edges([(0, 1)])
+        tables = LocalVertexTable.partition(g, 2)
+        assert tables[0].owns(0)
+        assert not tables[0].owns(1)
+        assert not tables[0].owns(40)
