@@ -1,0 +1,174 @@
+"""Service query throughput — the ResultStore against re-mining.
+
+The mining service's read path exists because a mined job should be
+*queried*, not re-mined: "which communities contain vertex v" over a
+completed job is a posting-list intersection in the ResultStore,
+versus a fresh `mine_containing` run on the graph. This benchmark
+measures that gap on one planted instance (the backend_scaling
+instance, mined once up front):
+
+* ``re-mine``      — `repro.core.query.mine_containing` per query, the
+                     no-service baseline;
+* ``store cold``   — first pass over the workload: index built once,
+                     every query a cache miss;
+* ``store warm``   — second pass: the LRU query cache answers
+                     everything (the daemon's steady state for popular
+                     vertices).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, the CI perf-smoke job): a smaller
+instance and the assertion relaxed to warm >= cold — shared runners
+cannot support a stable multiplier claim. The committed
+benchmarks/out/service_throughput.json records the full numbers.
+
+Artifacts: benchmarks/out/service_throughput.txt and .json
+(backend_scaling-style schema: instance / rows / target_met).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.bench import report
+from repro.core.miner import mine_maximal_quasicliques
+from repro.core.query import mine_containing
+from repro.core.resultsio import write_results
+from repro.graph.generators import planted_quasicliques
+from repro.service.store import ResultStore
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+GAMMA, MIN_SIZE = 0.75, 11
+#: Full target: serving a community query from the store must beat
+#: re-mining the answer by >= 50x. Real runs land far above this.
+TARGET_SPEEDUP = 50.0
+REMINE_SAMPLES = 3 if SMOKE else 8
+
+
+def _instance():
+    if SMOKE:
+        return planted_quasicliques(
+            n=150, avg_degree=6, num_plants=2, plant_size=12,
+            gamma=GAMMA, seed=3,
+        )
+    return planted_quasicliques(
+        n=500, avg_degree=8, num_plants=6, plant_size=16,
+        gamma=GAMMA, seed=3,
+    )
+
+
+def _workload(maximal, graph):
+    """A mixed query batch: members, co-members, absentees, top-k."""
+    queries = []
+    communities = sorted(maximal, key=lambda s: (-len(s), sorted(s)))
+    for comm in communities:
+        members = sorted(comm)
+        queries.append((tuple(members[:1]), None))       # single vertex
+        queries.append((tuple(members[:2]), None))       # co-membership pair
+        queries.append((tuple(members[:1]), 5))          # top-k variant
+    in_any = set().union(*communities) if communities else set()
+    outsiders = [v for v in sorted(graph.vertices()) if v not in in_any]
+    for v in outsiders[:10]:
+        queries.append(((v,), None))                     # matches nothing
+    queries.append(((), 10))                             # top-10 of all
+    # Communities sharing their smallest members produce duplicate
+    # queries; keep one of each so the cold pass is all cache misses.
+    seen, unique = set(), []
+    for q in queries:
+        if q not in seen:
+            seen.add(q)
+            unique.append(q)
+    return unique
+
+
+def _run_workload(store, queries):
+    t0 = time.perf_counter()
+    for query, top in queries:
+        store.communities("job-000001", query, top)
+    return time.perf_counter() - t0
+
+
+def test_service_query_throughput(benchmark):
+    pg = _instance()
+    mined = mine_maximal_quasicliques(pg.graph, GAMMA, MIN_SIZE)
+    queries = _workload(mined.maximal, pg.graph)
+
+    with tempfile.TemporaryDirectory() as jobs_dir:
+        os.makedirs(os.path.join(jobs_dir, "job-000001"))
+        write_results(
+            mined.maximal, os.path.join(jobs_dir, "job-000001", "result.txt")
+        )
+        store = ResultStore(jobs_dir)
+        cold_seconds = _run_workload(store, queries)
+        assert store.counters()["cache_misses"] == len(queries)
+        # Steady state: every query answered from the LRU cache.
+        warm_seconds = benchmark.pedantic(
+            lambda: _run_workload(store, queries), rounds=3, iterations=1
+        )
+        assert store.counters()["cache_hits"] >= len(queries)
+
+    remine_queries = [q for q, _ in queries if q][:REMINE_SAMPLES]
+    t0 = time.perf_counter()
+    for query in remine_queries:
+        mine_containing(pg.graph, query, GAMMA, MIN_SIZE)
+    remine_per_query = (time.perf_counter() - t0) / len(remine_queries)
+
+    cold_qps = len(queries) / cold_seconds
+    warm_qps = len(queries) / warm_seconds
+    remine_qps = 1.0 / remine_per_query
+    speedup = warm_qps / remine_qps
+
+    rows = [
+        ["re-mine (mine_containing)", f"{remine_qps:.1f}", "1.0x"],
+        ["store cold (index build + misses)", f"{cold_qps:.0f}",
+         f"{cold_qps / remine_qps:.0f}x"],
+        ["store warm (LRU cache)", f"{warm_qps:.0f}", f"{speedup:.0f}x"],
+    ]
+    report(
+        "Service query throughput — ResultStore vs re-mining per query",
+        ["path", "queries/sec", "vs re-mine"],
+        rows,
+        notes=(
+            f"{len(queries)} mixed queries (members, pairs, absentees, "
+            f"top-k) over {len(mined.maximal)} mined communities; re-mine "
+            f"baseline averaged over {len(remine_queries)} queries."
+            + (" SMOKE mode." if SMOKE else "")
+        ),
+        out_name="service_throughput",
+    )
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "instance": {
+            "n": 150 if SMOKE else 500,
+            "avg_degree": 6 if SMOKE else 8,
+            "num_plants": 2 if SMOKE else 6,
+            "plant_size": 12 if SMOKE else 16,
+            "gamma": GAMMA, "min_size": MIN_SIZE,
+        },
+        "smoke": SMOKE,
+        "communities": len(mined.maximal),
+        "queries": len(queries),
+        "rows": [
+            {"path": "remine", "queries_per_second": remine_qps},
+            {"path": "store_cold", "queries_per_second": cold_qps},
+            {"path": "store_warm", "queries_per_second": warm_qps},
+        ],
+        "warm_speedup_vs_remine": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_met": None if SMOKE else speedup >= TARGET_SPEEDUP,
+    }
+    with open(os.path.join(out_dir, "service_throughput.json"), "w") as f:
+        json.dump(payload, f, indent=2)
+
+    if SMOKE:
+        assert warm_qps >= cold_qps * 0.8, (
+            "cached queries should not be slower than cold ones "
+            f"(warm {warm_qps:.0f} qps vs cold {cold_qps:.0f} qps)"
+        )
+    else:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"serving from the store should beat re-mining by >= "
+            f"{TARGET_SPEEDUP}x, got {speedup:.1f}x"
+        )

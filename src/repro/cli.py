@@ -15,6 +15,12 @@ Examples::
     quasiclique-mine cluster-worker --host master-host --port 7464
     quasiclique-mine cluster-status --host master-host --port 7464
     quasiclique-mine trace-report run.jsonl --top 10
+    quasiclique-mine serve --root state/ --port 7477
+    quasiclique-mine submit --url http://localhost:7477 graph.txt \
+        --gamma 0.9 --min-size 10 --wait
+    quasiclique-mine jobs --url http://localhost:7477
+    quasiclique-mine communities --url http://localhost:7477 job-000001 \
+        --vertex 42 --top 5
     quasiclique-mine graph.txt --gamma 0.9 --min-size 10 --query 42
     quasiclique-mine --postprocess raw.txt maximal.txt
     quasiclique-mine graph.txt --stats
@@ -183,6 +189,10 @@ def main(argv: list[str] | None = None) -> int:
                     "cluster-worker": worker_cli,
                     "cluster-status": status_cli}[raw[0]]
         return dispatch(raw[1:])
+    if raw and raw[0] in ("serve", "submit", "jobs", "communities"):
+        from .service.cli import service_cli
+
+        return service_cli(raw[0], raw[1:])
     if raw and raw[0] == "trace-report":
         from .gthinker.obs.report import report_cli
 

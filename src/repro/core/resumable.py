@@ -83,7 +83,7 @@ class ResumableMiner:
         base = k_core(self.graph, k) if self.options.kcore_preprocess else self.graph
         roots = [v for v in sorted(base.vertices()) if v not in state.completed_roots]
 
-        sink = _ResumingSink(self.results_path, state.candidates)
+        sink = FileResultSink(self.results_path, mode="a", seen=state.candidates)
         journal = open(self.journal_path, "a")
         mined = 0
         try:
@@ -103,9 +103,13 @@ class ResumableMiner:
                     mine_root(job, root, candidate_extension(sub, root))
                 elif self.min_size <= 1:
                     sink.emit([root])
+                # Durability order: candidates are fsynced before the
+                # journal marks the root, so a crash in between at worst
+                # re-mines one root (emissions are idempotent).
                 sink.flush()
                 journal.write(f"{root}\n")
                 journal.flush()
+                os.fsync(journal.fileno())
                 mined += 1
         finally:
             journal.close()
@@ -124,18 +128,3 @@ class ResumableMiner:
         return sum(1 for v in base.vertices() if v not in state.completed_roots)
 
 
-class _ResumingSink(FileResultSink):
-    """FileResultSink that re-opens in append mode, seeded with prior results."""
-
-    def __init__(self, path: str, prior: set[frozenset[int]]):
-        self._path = path
-        import threading
-
-        self._lock = threading.Lock()
-        self._seen = set(prior)
-        self._file = open(path, "a")
-
-    def flush(self) -> None:
-        with self._lock:
-            if not self._file.closed:
-                self._file.flush()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -115,6 +116,24 @@ class EngineConfig:
             raise ValueError("cluster_chunk_size must be >= 0 (0 = auto)")
         if self.progress_interval < 0:
             raise ValueError("progress_interval must be >= 0 (0 = auto)")
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EngineConfig":
+        """Build a config from a JSON-shaped dict (the service submit body).
+
+        Unknown keys are rejected (a typoed knob must not silently run
+        with defaults), and ``"inf"`` is accepted for ``tau_time`` since
+        JSON has no infinity literal. Field validation then runs in
+        ``__post_init__`` as usual.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - names)
+        if unknown:
+            raise ValueError(f"unknown engine config keys: {', '.join(unknown)}")
+        kwargs = dict(payload)
+        if isinstance(kwargs.get("tau_time"), str):
+            kwargs["tau_time"] = float(kwargs["tau_time"])
+        return cls(**kwargs)
 
     @property
     def total_threads(self) -> int:

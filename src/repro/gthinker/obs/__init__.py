@@ -22,7 +22,12 @@ leanest contexts (process-pool workers, the simulator).
 
 from __future__ import annotations
 
-from .progress import ProgressSnapshot, format_progress, progress_detail
+from .progress import (
+    ProgressSnapshot,
+    format_progress,
+    progress_detail,
+    progress_json,
+)
 from .report import (
     TraceReport,
     build_report,
@@ -44,6 +49,7 @@ __all__ = [
     "load_trace",
     "parse_detail",
     "progress_detail",
+    "progress_json",
     "query_master_status",
     "report_cli",
     "report_to_json",

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ProgressSnapshot", "format_progress", "progress_detail"]
+__all__ = [
+    "ProgressSnapshot",
+    "format_progress",
+    "progress_detail",
+    "progress_json",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,16 @@ def progress_detail(snapshot: ProgressSnapshot) -> str:
         f"done={snapshot.tasks_done} candidates={snapshot.candidates} "
         f"workers={snapshot.workers_alive} died={snapshot.workers_died}"
     )
+
+
+def progress_json(snapshot: ProgressSnapshot) -> dict:
+    """The snapshot as a JSON-shaped dict — the wire form served by the
+    mining service's ``GET /jobs/{id}`` (``progress`` object). Field
+    names are the dataclass fields, so the HTTP contract is pinned to
+    this module rather than re-declared in the server."""
+    import dataclasses
+
+    return dataclasses.asdict(snapshot)
 
 
 def format_progress(snapshot: ProgressSnapshot) -> str:

@@ -1,0 +1,116 @@
+"""Typed stdlib client for the mining service HTTP API.
+
+Used by the CLI subcommands and the test suite; also the reference for
+how to talk to the service from any HTTP client. One class, one method
+per endpoint, JSON in/out; errors surface as :class:`ServiceError`
+carrying the server's status and message (status 0 = could not reach
+the server at all).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from collections.abc import Iterable
+
+from .jobs import TERMINAL, ServiceError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceClient:
+    """Talk to one mining-service daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def submit(self, spec: dict) -> dict:
+        """POST /jobs — returns the created job document."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def job(self, job_id: str) -> dict:
+        """GET /jobs/{id}."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """GET /jobs — all job documents."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """DELETE /jobs/{id} — request cancellation, return the document."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns its document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in TERMINAL:
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{job_id} still {doc['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # -- result queries ----------------------------------------------------
+
+    def communities(
+        self,
+        job_id: str,
+        vertices: Iterable[int] = (),
+        top: int | None = None,
+    ) -> dict:
+        """GET /results/{id}/communities?vertex=…&top=k."""
+        return self._request(
+            "GET", f"/results/{job_id}/communities{_query(vertices, top)}"
+        )
+
+    def best(self, job_id: str, vertices: Iterable[int]) -> list[int] | None:
+        """GET /results/{id}/best — the largest containing community."""
+        return self._request(
+            "GET", f"/results/{job_id}/best{_query(vertices, None)}"
+        )["community"]
+
+    # -- daemon introspection ----------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metricsz(self) -> dict:
+        return self._request("GET", "/metricsz")
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        url = self.base_url + path
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                envelope = json.loads(exc.read())
+                message = envelope["error"]["message"]
+            except Exception:  # noqa: BLE001 — non-JSON error body
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from exc
+
+
+def _query(vertices: Iterable[int], top: int | None) -> str:
+    pairs = [("vertex", str(v)) for v in vertices]
+    if top is not None:
+        pairs.append(("top", str(top)))
+    return "?" + urllib.parse.urlencode(pairs) if pairs else ""

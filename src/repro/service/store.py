@@ -1,0 +1,173 @@
+"""ResultStore: serve community queries from mined results, no re-mining.
+
+Top-k community retrieval ("which communities contain vertex v, show
+me the k largest") is a *read* workload: once a job has mined every
+maximal γ-quasi-clique, queries are lookups over the result file. The
+store keeps, per completed job, an in-memory index
+
+    vertex  →  indices of the communities containing it
+
+over the size-descending community list, plus a bounded LRU cache of
+answered queries, so the hot path of a popular vertex is one dict hit.
+
+Query semantics mirror :mod:`repro.core.query` shapes over the mined
+family: ``communities(job, Q)`` returns every mined maximal community
+containing all of ``Q`` — exactly ``{S ∈ maximal : Q ⊆ S}``, which
+equals ``mine_containing(graph, Q, …).maximal`` because a maximal
+quasi-clique containing Q is maximal among the Q-containing family
+and vice versa. ``best(job, Q)`` returns the largest with
+lexicographic tie-break — :func:`repro.core.query.best_community`'s
+ordering — without touching the graph.
+
+Indexes are loaded lazily from ``result.txt`` and capped (LRU over
+jobs); everything is invalidated per job id, so a store outlives any
+number of daemon restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from ..core.resultsio import read_results
+
+
+class CommunityIndex:
+    """One job's communities, sorted size-descending, indexed by vertex."""
+
+    def __init__(self, communities: Iterable[frozenset[int]]):
+        self.communities: list[frozenset[int]] = sorted(
+            set(communities), key=lambda s: (-len(s), sorted(s))
+        )
+        self.by_vertex: dict[int, list[int]] = {}
+        for i, comm in enumerate(self.communities):
+            for v in comm:
+                self.by_vertex.setdefault(v, []).append(i)
+
+    def containing(self, query: tuple[int, ...]) -> list[frozenset[int]]:
+        """Communities ⊇ query, largest first (lexicographic tie-break)."""
+        if not query:
+            return list(self.communities)
+        # Intersect the per-vertex posting lists, rarest first.
+        postings = [self.by_vertex.get(v) for v in set(query)]
+        if any(p is None for p in postings):
+            return []
+        postings.sort(key=len)
+        hits = set(postings[0])
+        for p in postings[1:]:
+            hits &= set(p)
+            if not hits:
+                return []
+        return [self.communities[i] for i in sorted(hits)]
+
+
+class ResultStore:
+    """Vertex → containing-communities lookups with an LRU query cache."""
+
+    def __init__(
+        self,
+        jobs_dir: str,
+        *,
+        max_indexes: int = 8,
+        cache_size: int = 1024,
+    ):
+        if max_indexes < 1 or cache_size < 0:
+            raise ValueError("max_indexes >= 1 and cache_size >= 0 required")
+        self.jobs_dir = jobs_dir
+        self.max_indexes = max_indexes
+        self.cache_size = cache_size
+        self._lock = threading.Lock()
+        self._indexes: OrderedDict[str, CommunityIndex] = OrderedDict()
+        self._cache: OrderedDict[tuple, list[frozenset[int]]] = OrderedDict()
+        # Observability counters, dumped by /metricsz.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.index_loads = 0
+        self.index_evictions = 0
+
+    # -- index management --------------------------------------------------
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id, "result.txt")
+
+    def index(self, job_id: str) -> CommunityIndex:
+        """The job's index, loading (and LRU-evicting) as needed."""
+        with self._lock:
+            idx = self._indexes.get(job_id)
+            if idx is not None:
+                self._indexes.move_to_end(job_id)
+                return idx
+        path = self.result_path(job_id)
+        if not os.path.isfile(path):
+            raise KeyError(job_id)
+        loaded = CommunityIndex(read_results(path))
+        with self._lock:
+            self._indexes[job_id] = loaded
+            self._indexes.move_to_end(job_id)
+            self.index_loads += 1
+            while len(self._indexes) > self.max_indexes:
+                evicted, _ = self._indexes.popitem(last=False)
+                self.index_evictions += 1
+                self._drop_cached(evicted)
+            return self._indexes[job_id]
+
+    def invalidate(self, job_id: str) -> None:
+        """Forget a job's index and cached answers (e.g. job deleted)."""
+        with self._lock:
+            self._indexes.pop(job_id, None)
+            self._drop_cached(job_id)
+
+    # -- queries -----------------------------------------------------------
+
+    def communities(
+        self,
+        job_id: str,
+        query: Iterable[int] = (),
+        top: int | None = None,
+    ) -> tuple[list[frozenset[int]], bool]:
+        """(communities ⊇ query largest-first, cache_hit). KeyError if absent.
+
+        ``top=k`` truncates to the k largest; ``query=()`` lists all.
+        A vertex in no community (or not in the graph at all) simply
+        matches nothing — the result file cannot tell those apart.
+        """
+        key = (job_id, tuple(sorted(set(query))), top)
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return list(self._cache[key]), True
+        idx = self.index(job_id)
+        out = idx.containing(key[1])
+        if top is not None:
+            out = out[: max(top, 0)]
+        with self._lock:
+            self.cache_misses += 1
+            if self.cache_size:
+                self._cache[key] = list(out)
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return out, False
+
+    def best(self, job_id: str, query: Iterable[int]) -> frozenset[int] | None:
+        """Largest community ⊇ query (ties lexicographic), or None."""
+        out, _ = self.communities(job_id, query, top=1)
+        return out[0] if out else None
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "index_loads": self.index_loads,
+                "index_evictions": self.index_evictions,
+                "indexes_loaded": len(self._indexes),
+                "cached_queries": len(self._cache),
+            }
+
+    def _drop_cached(self, job_id: str) -> None:
+        for key in [k for k in self._cache if k[0] == job_id]:
+            del self._cache[key]

@@ -85,3 +85,59 @@ class TestBestCommunity:
 
     def test_none_when_unsatisfiable(self, two_cliques_bridge):
         assert best_community(two_cliques_bridge, {0, 7}, 0.5, 2) is None
+
+    def test_empty_query_rejected(self, triangle_graph):
+        with pytest.raises(ValueError, match="at least one"):
+            best_community(triangle_graph, [], 0.9)
+        with pytest.raises(ValueError, match="at least one"):
+            best_community(triangle_graph, set(), 0.9)
+
+    def test_absent_vertex_rejected(self, triangle_graph):
+        with pytest.raises(ValueError, match="not in the graph"):
+            best_community(triangle_graph, [99], 0.9)
+        # A mixed query (one present, one absent) is rejected too.
+        with pytest.raises(ValueError, match="not in the graph"):
+            best_community(triangle_graph, [0, 99], 0.9)
+
+    def test_tie_breaks_lexicographically(self):
+        from repro.graph.adjacency import Graph
+
+        # Two triangles sharing vertex 0: both are maximal 1.0-cliques
+        # of size 3 containing 0 — the tie must break to the
+        # lexicographically smallest sorted member list.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)])
+        found = mine_containing(g, {0}, 1.0, 3).maximal
+        assert found == {frozenset({0, 1, 2}), frozenset({0, 3, 4})}
+        assert best_community(g, {0}, 1.0, 3) == frozenset({0, 1, 2})
+        # Restricting the query to one wing removes the tie entirely.
+        assert best_community(g, {0, 3}, 1.0, 3) == frozenset({0, 3, 4})
+
+    def test_tie_break_is_order_independent(self):
+        from repro.graph.adjacency import Graph
+
+        # Same structure with relabeled wings: {0, 5, 6} vs {0, 2, 9}.
+        # sorted([0, 2, 9]) < sorted([0, 5, 6]) even though 9 > 6 — the
+        # comparison is over the sorted vertex lists, not max IDs.
+        g = Graph.from_edges([(0, 5), (0, 6), (5, 6), (0, 2), (0, 9), (2, 9)])
+        assert best_community(g, {0}, 1.0, 3) == frozenset({0, 2, 9})
+
+
+class TestQueryEdgeCases:
+    def test_isolated_query_vertex_min_size_one(self):
+        from repro.graph.adjacency import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)], vertices=range(4))
+        result = mine_containing(g, {3}, 0.9, 1)
+        assert result.maximal == {frozenset({3})}
+        assert best_community(g, {3}, 0.9, 1) == frozenset({3})
+
+    def test_isolated_query_vertex_min_size_two_is_empty(self):
+        from repro.graph.adjacency import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)], vertices=range(4))
+        assert mine_containing(g, {3}, 0.9, 2).maximal == set()
+        assert best_community(g, {3}, 0.9, 2) is None
+
+    def test_whole_graph_query(self, triangle_graph):
+        result = mine_containing(triangle_graph, {0, 1, 2}, 1.0, 3)
+        assert result.maximal == {frozenset({0, 1, 2})}

@@ -1,5 +1,8 @@
 """Tests for result-file persistence and streaming postprocessing."""
 
+import os
+
+import pytest
 
 from repro.core.miner import mine_maximal_quasicliques
 from repro.core.options import MiningJob
@@ -34,6 +37,64 @@ class TestRoundTrip:
         path = tmp_path / "empty.txt"
         assert write_results(set(), path) == 0
         assert read_results(path) == set()
+
+
+class TestCrashSafety:
+    def test_write_results_is_atomic(self, tmp_path):
+        path = tmp_path / "res.txt"
+        write_results({frozenset({1, 2})}, path)
+        write_results({frozenset({3, 4, 5})}, path, header="second run")
+        # No temp droppings, and the content is the complete second write.
+        assert os.listdir(tmp_path) == ["res.txt"]
+        assert read_results(path) == {frozenset({3, 4, 5})}
+
+    def test_read_skips_truncated_trailing_line(self, tmp_path):
+        path = tmp_path / "torn.txt"
+        # A kill -9 mid-write cuts "1 2 34\n" down to "1 2 3" — which
+        # still parses, but as a *different* vertex set.
+        path.write_text("7 8 9\n1 2 3")
+        with pytest.warns(RuntimeWarning, match="crash-truncated"):
+            got = read_results(path)
+        assert got == {frozenset({7, 8, 9})}
+
+    def test_read_complete_file_warns_nothing(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "clean.txt"
+        path.write_text("7 8 9\n1 2 3\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert read_results(path) == {
+                frozenset({7, 8, 9}),
+                frozenset({1, 2, 3}),
+            }
+
+    def test_torn_file_with_single_partial_line(self, tmp_path):
+        path = tmp_path / "torn.txt"
+        path.write_text("1 2")
+        with pytest.warns(RuntimeWarning):
+            assert read_results(path) == set()
+
+    def test_append_mode_repairs_torn_tail(self, tmp_path):
+        path = tmp_path / "resume.txt"
+        path.write_text("7 8 9\n1 2 3")  # torn tail from a dead writer
+        with FileResultSink(path, mode="a", seen={frozenset({7, 8, 9})}) as sink:
+            sink.emit([4, 5, 6])
+            sink.emit([7, 8, 9])  # deduped via the seed
+        # The torn line is gone; no line ever splices old+new tokens.
+        assert path.read_text() == "7 8 9\n4 5 6\n"
+        assert read_results(path) == {frozenset({7, 8, 9}), frozenset({4, 5, 6})}
+
+    def test_flush_fsyncs(self, tmp_path):
+        path = tmp_path / "sync.txt"
+        with FileResultSink(path) as sink:
+            sink.emit([1, 2])
+            sink.flush()  # must not raise; content durable on disk
+            assert read_results(path) == {frozenset({1, 2})}
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            FileResultSink(tmp_path / "x.txt", mode="r")
 
 
 class TestPostprocessFile:

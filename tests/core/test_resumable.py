@@ -1,5 +1,13 @@
 """Tests for checkpointed, resumable mining."""
 
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
 import pytest
 
 from repro.core.miner import mine_maximal_quasicliques
@@ -88,3 +96,88 @@ class TestResumableMiner:
         g = Graph.from_edges([(0, 1)], vertices=range(3))
         result = ResumableMiner(g, 1.0, 1, str(tmp_path / "c")).run()
         assert result.maximal == {frozenset({0, 1}), frozenset({2})}
+
+
+#: Graph parameters shared by the parent and the SIGKILLed child — both
+#: sides rebuild the identical G(n, p) with conftest's construction.
+_KILL_N, _KILL_P, _KILL_SEED = 18, 0.5, 21
+
+_CHILD_SCRIPT = """
+import itertools, random, sys, time
+from repro.graph.adjacency import Graph
+import repro.core.resumable as resumable
+
+n, seed, ckpt = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+rng = random.Random(seed)
+edges = [(u, v) for u, v in itertools.combinations(range(n), 2)
+         if rng.random() < {p}]
+g = Graph.from_edges(edges, vertices=range(n))
+
+# Throttle root processing so the parent's SIGKILL reliably lands
+# mid-run, right around a checkpoint flush.
+real = resumable.spawn_subgraph
+def slow(base, root, k):
+    time.sleep(0.05)
+    return real(base, root, k)
+resumable.spawn_subgraph = slow
+
+resumable.ResumableMiner(g, 0.75, 3, ckpt).run()
+print("COMPLETED", flush=True)
+"""
+
+
+class TestSigkillResume:
+    """Regression: SIGKILL mid-flush must not double-count or lose results."""
+
+    def test_sigkill_mid_run_then_resume_equals_oracle(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CHILD_SCRIPT.format(p=_KILL_P),
+             str(_KILL_N), str(_KILL_SEED), str(ckpt)],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        journal = ckpt / "roots.journal"
+        try:
+            # Wait until some roots are journaled, then kill without warning.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if journal.is_file() and len(journal.read_text().splitlines()) >= 2:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("child never journaled any roots")
+            os.kill(proc.pid, signal.SIGKILL)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == -signal.SIGKILL
+        assert "COMPLETED" not in out, "child finished before the kill landed"
+
+        g = make_random_graph(_KILL_N, _KILL_P, seed=_KILL_SEED)
+        want = mine_maximal_quasicliques(g, 0.75, 3).maximal
+        done = set(int(line) for line in journal.read_text().splitlines())
+        assert 0 < len(done) < len(set(g.vertices()))
+
+        # Harden the scenario: simulate a torn trailing flush, as if the
+        # kill interrupted candidates.txt mid-line. The bogus vertices
+        # must NOT surface as a candidate after resume.
+        with open(ckpt / "candidates.txt", "ab") as f:
+            f.write(b"999999 999998")
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = ResumableMiner(g, 0.75, 3, str(ckpt)).run()
+        assert resumed.maximal == want
+        assert frozenset({999999, 999998}) not in resumed.candidates
+
+        # No duplicates in the persisted candidate stream (double-count
+        # guard: resumed run must not re-emit recovered candidates).
+        lines = (ckpt / "candidates.txt").read_text().splitlines()
+        assert len(lines) == len(set(lines))

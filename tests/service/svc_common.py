@@ -1,0 +1,104 @@
+"""Shared helpers for the mining-service test suite.
+
+Not a conftest: tests import these explicitly (``import svc_common``
+resolves because pytest puts this directory on ``sys.path`` when
+collecting the neighboring test modules). The top-level fixtures from
+``tests/conftest.py`` still apply.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.graph.adjacency import Graph
+from repro.service.client import ServiceClient
+from repro.service.server import MiningService, build_server
+
+from conftest import make_random_graph
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def edges_payload(g: Graph) -> dict:
+    """Inline-edges submit fields for `g` (isolated vertices included)."""
+    return {
+        "edges": [[u, v] for u, v in g.edges()],
+        "vertices": sorted(g.vertices()),
+    }
+
+
+def small_job(seed: int = 5, gamma: float = 0.75, min_size: int = 3,
+              n: int = 14, p: float = 0.5, **extra) -> tuple[Graph, dict]:
+    """A small deterministic graph plus its inline submit payload."""
+    g = make_random_graph(n, p, seed)
+    spec = {"gamma": gamma, "min_size": min_size, **edges_payload(g), **extra}
+    return g, spec
+
+
+def oracle(g: Graph, gamma: float, min_size: int) -> set[frozenset[int]]:
+    """Serial single-process ground truth for a job over `g`."""
+    return mine_maximal_quasicliques(g, gamma, min_size).maximal
+
+
+def as_sets(communities: list[list[int]]) -> set[frozenset[int]]:
+    """JSON community rows → comparable set-of-frozensets."""
+    return {frozenset(c) for c in communities}
+
+
+def write_edge_file(g: Graph, path) -> str:
+    """Persist `g` as the whitespace edge-list format the CLI reads."""
+    with open(path, "w") as f:
+        f.write("# test graph\n")
+        for u, v in sorted(g.edges()):
+            f.write(f"{u} {v}\n")
+    return str(path)
+
+
+def spawn_server(root, port_file, *extra_args) -> subprocess.Popen:
+    """``quasiclique-mine serve`` in a killable child process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--root", str(root),
+         "--port", "0", "--port-file", str(port_file), *extra_args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def wait_for_port(port_file, timeout: float = 30.0) -> int:
+    """Block until the serve subprocess publishes its bound port."""
+    deadline = time.monotonic() + timeout
+    path = Path(port_file)
+    while time.monotonic() < deadline:
+        if path.is_file():
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.02)
+    raise AssertionError(f"port file {port_file} never appeared")
+
+
+@contextlib.contextmanager
+def live_service(root, **kwargs):
+    """An in-process daemon on an ephemeral port, torn down on exit."""
+    service = MiningService(str(root), **kwargs)
+    service.recover_and_start()
+    httpd = build_server(service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = httpd.server_address[1]
+        yield service, ServiceClient(f"http://127.0.0.1:{port}")
+    finally:
+        httpd.shutdown()
+        service.shutdown()
+        thread.join(timeout=10)

@@ -1,0 +1,141 @@
+"""The issue's end-to-end acceptance scenario.
+
+Four concurrent clients submit jobs and issue community queries
+against a live server subprocess; the server is then SIGKILLed while a
+long job is mid-run and restarted on the same state directory. The
+restarted daemon must resume the interrupted job from its checkpoint,
+and every completed job's result set must equal the serial oracle
+exactly — including the jobs completed before the crash, whose results
+are served from disk by the fresh process.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.miner import mine_maximal_quasicliques
+from repro.graph.generators import planted_quasicliques
+from repro.service.client import ServiceClient, ServiceError
+
+import svc_common
+
+#: The long job: big enough that mining takes seconds (169 spawn roots
+#: at ~35 ms each), so the kill lands mid-run with wide margin.
+BIG = dict(n=600, avg_degree=10.0, num_plants=8, plant_size=16, gamma=0.8, seed=7)
+BIG_GAMMA, BIG_MIN_SIZE = 0.8, 11
+
+
+def poll_until(fn, timeout=60.0, poll=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        out = fn()
+        if out:
+            return out
+        time.sleep(poll)
+    raise AssertionError("condition never became true")
+
+
+@pytest.mark.slow
+class TestServiceAcceptance:
+    def test_concurrent_clients_kill_nine_resume_oracle(self, tmp_path):
+        big_graph = planted_quasicliques(**BIG).graph
+        big_path = svc_common.write_edge_file(big_graph, tmp_path / "big.txt")
+        big_want = mine_maximal_quasicliques(
+            big_graph, BIG_GAMMA, BIG_MIN_SIZE
+        ).maximal
+        assert big_want, "acceptance instance must have communities"
+
+        root = tmp_path / "state"
+        proc = svc_common.spawn_server(root, tmp_path / "port1")
+        port = svc_common.wait_for_port(tmp_path / "port1")
+        url = f"http://127.0.0.1:{port}"
+
+        # --- Phase 1: 4 concurrent clients submit + query ----------------
+        outcomes: dict[int, tuple] = {}
+        failures: list[BaseException] = []
+
+        def client_session(i: int) -> None:
+            try:
+                client = ServiceClient(url)
+                g, spec = svc_common.small_job(seed=20 + i, n=13,
+                                               label=f"client-{i}")
+                doc = client.wait(client.submit(spec)["id"], timeout=120)
+                assert doc["state"] == "completed", doc
+                want = svc_common.oracle(g, 0.75, 3)
+                got = client.communities(doc["id"])
+                assert svc_common.as_sets(got["communities"]) == want
+                if want:
+                    v = min(min(s) for s in want)
+                    best = client.best(doc["id"], [v])
+                    assert frozenset(best) in want
+                outcomes[i] = (doc["id"], want)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=client_session, args=(i,))
+                   for i in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+            assert not failures, failures
+            assert len(outcomes) == 4
+
+            # --- Phase 2: kill -9 mid-job --------------------------------
+            client = ServiceClient(url)
+            big_id = client.submit({
+                "gamma": BIG_GAMMA, "min_size": BIG_MIN_SIZE,
+                "graph_path": big_path, "chunk_roots": 2, "label": "big",
+            })["id"]
+            doc = poll_until(lambda: (
+                lambda d: d if 0 < d["roots_done"] < d["roots_total"] else None
+            )(client.job(big_id)))
+            assert doc["state"] == "running"
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.communicate(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+            with pytest.raises(ServiceError) as err:
+                client.job(big_id)
+            assert err.value.status == 0  # connection-level failure
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        # --- Phase 3: restart on the same root, resume, verify -----------
+        proc2 = svc_common.spawn_server(root, tmp_path / "port2")
+        try:
+            port2 = svc_common.wait_for_port(tmp_path / "port2")
+            client = ServiceClient(f"http://127.0.0.1:{port2}")
+            doc = client.wait(big_id, timeout=180, poll=0.1)
+            assert doc["state"] == "completed", doc
+            assert doc["resumed"] is True
+            assert doc["roots_done"] == doc["roots_total"]
+
+            # The serve banner reported the requeued job.
+            banner = proc2.stdout.readline()
+            assert "resumed=1" in banner
+
+            # The interrupted job's results equal the serial oracle.
+            got = client.communities(big_id)
+            assert svc_common.as_sets(got["communities"]) == big_want
+            assert doc["results"] == len(big_want)
+
+            # Pre-crash jobs survive the restart byte-for-byte: the new
+            # process serves their results from disk.
+            for job_id, want in outcomes.values():
+                doc = client.job(job_id)
+                assert doc["state"] == "completed"
+                got = client.communities(job_id)
+                assert svc_common.as_sets(got["communities"]) == want
+
+            health = client.healthz()
+            assert health["jobs"]["completed"] == 5
+            assert health["jobs"]["failed"] == 0
+        finally:
+            proc2.kill()
+            proc2.communicate(timeout=10)

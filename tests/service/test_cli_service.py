@@ -1,0 +1,85 @@
+"""serve/submit/jobs/communities CLI subcommands against a live daemon."""
+
+import pytest
+
+from repro.cli import main
+
+import svc_common
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A serve subprocess plus a graph file; yields (url, graph, graph_path)."""
+    g = svc_common.make_random_graph(16, 0.5, seed=5)
+    graph_path = svc_common.write_edge_file(g, tmp_path / "graph.txt")
+    proc = svc_common.spawn_server(tmp_path / "state", tmp_path / "svc.port")
+    try:
+        port = svc_common.wait_for_port(tmp_path / "svc.port")
+        yield f"http://127.0.0.1:{port}", g, graph_path
+    finally:
+        proc.kill()
+        proc.communicate(timeout=10)
+
+
+class TestServiceCli:
+    def test_full_session(self, served, capsys):
+        url, g, graph_path = served
+        want = svc_common.oracle(g, 0.75, 3)
+
+        rc = main(["submit", "--url", url, graph_path, "--gamma", "0.75",
+                   "--min-size", "3", "--label", "cli-smoke", "--wait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "submitted job-000001" in out
+        assert "state=completed" in out
+        assert f"results={len(want)}" in out
+        assert "label=cli-smoke" in out
+
+        rc = main(["jobs", "--url", url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "job-000001 state=completed" in out
+
+        rc = main(["jobs", "--url", url, "job-000001"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "progress: " in out
+        assert "pending=0" in out
+
+        rc = main(["communities", "--url", url, "job-000001"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("job-000001 query=[] count=")
+        got = {frozenset(int(tok) for tok in line.split()) for line in lines[1:]}
+        assert got == want
+
+        # --vertex filters; --quiet keeps just the summary.
+        some_vertex = min(min(s) for s in want)
+        rc = main(["communities", "--url", url, "job-000001",
+                   "--vertex", str(some_vertex), "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert len(out.strip().splitlines()) == 1
+        assert f"query=[{some_vertex}]" in out
+
+    def test_submit_failure_exits_nonzero(self, served, capsys):
+        url, _, _ = served
+        rc = main(["submit", "--url", url, "/no/such/graph.txt",
+                   "--gamma", "0.75", "--min-size", "3", "--wait"])
+        assert rc == 1
+        assert "state=failed" in capsys.readouterr().out
+
+    def test_error_paths(self, served, capsys):
+        url, _, _ = served
+        rc = main(["communities", "--url", url, "job-000404"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+        assert "no such job" in captured.err
+
+    def test_unreachable_server(self, capsys):
+        rc = main(["jobs", "--url", "http://127.0.0.1:1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error: cannot reach" in captured.err

@@ -1,0 +1,122 @@
+"""ResultStore: query semantics, cache behavior, index LRU."""
+
+import os
+
+import pytest
+
+from repro.core.resultsio import write_results
+from repro.service.store import CommunityIndex, ResultStore
+
+COMMUNITIES = {
+    frozenset({1, 2, 3, 4, 5}),
+    frozenset({1, 2, 3, 6, 7}),
+    frozenset({2, 3, 8}),
+    frozenset({9, 10, 11}),
+}
+
+
+def put_result(jobs_dir, job_id, communities=COMMUNITIES):
+    work_dir = os.path.join(jobs_dir, job_id)
+    os.makedirs(work_dir, exist_ok=True)
+    write_results(communities, os.path.join(work_dir, "result.txt"))
+
+
+@pytest.fixture
+def store(tmp_path):
+    jobs_dir = str(tmp_path / "jobs")
+    put_result(jobs_dir, "job-000001")
+    return ResultStore(jobs_dir)
+
+
+class TestCommunityIndex:
+    def test_sorted_size_desc_then_lexicographic(self):
+        idx = CommunityIndex(COMMUNITIES)
+        assert idx.communities == [
+            frozenset({1, 2, 3, 4, 5}),
+            frozenset({1, 2, 3, 6, 7}),
+            frozenset({2, 3, 8}),
+            frozenset({9, 10, 11}),
+        ]
+
+    def test_containing_matches_filter(self):
+        idx = CommunityIndex(COMMUNITIES)
+        for query in [(), (1,), (2, 3), (1, 6), (8,), (1, 9), (99,)]:
+            want = [c for c in idx.communities if set(query) <= c]
+            assert idx.containing(tuple(query)) == want
+
+    def test_duplicates_collapsed(self):
+        idx = CommunityIndex(list(COMMUNITIES) * 3)
+        assert len(idx.communities) == len(COMMUNITIES)
+
+
+class TestResultStore:
+    def test_query_and_top(self, store):
+        out, hit = store.communities("job-000001", [2, 3])
+        assert not hit
+        assert out == [
+            frozenset({1, 2, 3, 4, 5}),
+            frozenset({1, 2, 3, 6, 7}),
+            frozenset({2, 3, 8}),
+        ]
+        top, _ = store.communities("job-000001", [2, 3], top=2)
+        assert top == out[:2]
+
+    def test_absent_vertex_matches_nothing(self, store):
+        out, _ = store.communities("job-000001", [12345])
+        assert out == []
+
+    def test_best(self, store):
+        assert store.best("job-000001", [2, 3]) == frozenset({1, 2, 3, 4, 5})
+        assert store.best("job-000001", [9]) == frozenset({9, 10, 11})
+        assert store.best("job-000001", [12345]) is None
+
+    def test_cache_hits(self, store):
+        _, hit1 = store.communities("job-000001", [1], top=3)
+        _, hit2 = store.communities("job-000001", [1], top=3)
+        # Same query, different order/duplicates — same cache key.
+        _, hit3 = store.communities("job-000001", [1, 1], top=3)
+        assert (hit1, hit2, hit3) == (False, True, True)
+        counters = store.counters()
+        assert counters["cache_hits"] == 2
+        assert counters["cache_misses"] == 1
+        assert counters["index_loads"] == 1
+
+    def test_missing_job_raises(self, store):
+        with pytest.raises(KeyError):
+            store.communities("job-000099")
+
+    def test_index_lru_eviction(self, tmp_path):
+        jobs_dir = str(tmp_path / "jobs")
+        put_result(jobs_dir, "job-000001")
+        put_result(jobs_dir, "job-000002", {frozenset({1, 2})})
+        store = ResultStore(jobs_dir, max_indexes=1)
+        store.communities("job-000001")
+        store.communities("job-000002")  # evicts job 1's index
+        assert store.counters()["index_evictions"] == 1
+        assert store.counters()["indexes_loaded"] == 1
+        # Evicted indexes reload transparently; their cached queries died
+        # with them, so this is a fresh miss after a reload.
+        out, hit = store.communities("job-000001")
+        assert not hit
+        assert len(out) == len(COMMUNITIES)
+        assert store.counters()["index_loads"] == 3
+
+    def test_invalidate_forces_reload(self, store):
+        store.communities("job-000001", [1])
+        store.invalidate("job-000001")
+        _, hit = store.communities("job-000001", [1])
+        assert not hit
+        assert store.counters()["index_loads"] == 2
+
+    def test_cache_disabled(self, tmp_path):
+        jobs_dir = str(tmp_path / "jobs")
+        put_result(jobs_dir, "job-000001")
+        store = ResultStore(jobs_dir, cache_size=0)
+        _, hit1 = store.communities("job-000001", [1])
+        _, hit2 = store.communities("job-000001", [1])
+        assert (hit1, hit2) == (False, False)
+        assert store.counters()["cached_queries"] == 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(str(tmp_path), max_indexes=0)

@@ -31,6 +31,7 @@ DOC_FILES = [
     "docs/API.md",
     "docs/BACKENDS.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVICE.md",
     "docs/TESTING.md",
 ]
 
