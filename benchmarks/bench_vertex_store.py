@@ -1,0 +1,232 @@
+"""Distributed vertex store — partition shipping vs the full-ship baseline.
+
+The tentpole claim of the remote vertex store (paper Section 6, the
+G-thinker data layer): a cluster worker holds its *partition* of the
+vertex table plus a bounded cache, never the whole graph. Two measured
+analogs on one planted instance, workers ∈ {1, 2, 4}:
+
+1. **Wire bytes** — the encoded `Welcome` frame each worker receives.
+   Protocol v3 ships `table_blob` (one partition); the baseline is the
+   same frame carrying every adjacency entry, which is what the v2
+   `graph_blob` protocol shipped to every worker. The per-worker frame
+   must shrink ≈ 1/num_workers.
+2. **Resident adjacency entries** — a real TCP master with in-thread
+   workers (inspectable reactors) mines the instance; at quiescence
+   each worker's `RemoteGraphAccess.resident_entries()` is recorded
+   against the `|partition| + cache_capacity` bound and the full-graph
+   baseline, alongside the run's `remote_vertex_hits/misses/evictions`.
+
+Oracle equality is asserted for every cell — the partitioned store must
+produce exactly the serial miner's result set while staying bounded.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, the CI perf-smoke job) shrinks the
+instance; the bound assertions are identical.
+
+Artifacts: benchmarks/out/vertex_store.txt (table) and
+benchmarks/out/vertex_store.json (backend_scaling report shape).
+"""
+
+import json
+import os
+import pickle
+import threading
+import time
+
+from repro.bench import report
+from repro.graph.generators import planted_quasicliques
+from repro.gthinker import EngineConfig, mine_parallel
+from repro.gthinker.cluster.master import ClusterMaster
+from repro.gthinker.cluster.protocol import Welcome, encode_frame
+from repro.gthinker.cluster.worker import ClusterWorker
+from repro.core.options import DEFAULT_OPTIONS, ResultSink
+from repro.gthinker.app_quasiclique import QuasiCliqueApp
+from repro.gthinker.partition import make_partitioner
+
+WORKER_COUNTS = [1, 2, 4]
+GAMMA, MIN_SIZE = 0.75, 3
+CACHE_CAPACITY = 32
+JOB_TIMEOUT = 120.0
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _instance():
+    # Small enough that a 2-worker TCP job finishes in seconds, big
+    # enough that partitions dominate the cache (|V|/4 >> capacity).
+    n = 120 if SMOKE else 300
+    return planted_quasicliques(
+        n=n, avg_degree=6, num_plants=2, plant_size=8, gamma=GAMMA, seed=7
+    )
+
+
+def _config(workers: int) -> EngineConfig:
+    return EngineConfig(
+        backend="cluster", num_procs=workers,
+        decompose="timed", tau_time=10, time_unit="ops", tau_split=3,
+        queue_capacity=4, batch_size=2,
+        heartbeat_period=0.02, heartbeat_timeout=10.0,
+        cache_capacity=CACHE_CAPACITY,
+    )
+
+
+def _app():
+    return QuasiCliqueApp(
+        gamma=GAMMA, min_size=MIN_SIZE, sink=ResultSink(),
+        options=DEFAULT_OPTIONS,
+    )
+
+
+def _welcome_bytes(graph, workers: int) -> tuple[int, int]:
+    """(max per-worker partitioned frame, full-ship frame) in bytes,
+    built exactly like the master reactor builds Welcome."""
+    app_blob = pickle.dumps(_app(), protocol=pickle.HIGHEST_PROTOCOL)
+    config = _config(workers)
+    parts = make_partitioner(config.partition, graph, workers).parts()
+
+    def frame(entries: dict) -> int:
+        return len(encode_frame(Welcome(
+            worker_id=0, config=config, app_blob=app_blob,
+            table_blob=pickle.dumps(
+                entries, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+            partition_id=0, num_partitions=workers,
+            partition_strategy=config.partition, trace=False,
+        )))
+
+    partitioned = max(
+        frame({v: tuple(graph.neighbors(v)) for v in part})
+        for part in parts
+    )
+    full = frame({v: tuple(graph.neighbors(v)) for v in graph.vertices()})
+    return partitioned, full
+
+
+def _mine_cell(graph, workers: int):
+    """One real TCP run with in-thread workers; returns the job result
+    plus each worker's post-run resident-entry count."""
+    master = ClusterMaster(
+        graph, _app(), _config(workers),
+        host="127.0.0.1", port=0, num_workers=workers,
+    )
+    host, port = master.start()
+    result: dict = {}
+
+    def drive():
+        try:
+            result["out"] = master.run(timeout=JOB_TIMEOUT)
+        except Exception as exc:  # surfaced by the caller's assert
+            result["error"] = exc
+
+    master_thread = threading.Thread(target=drive, daemon=True)
+    master_thread.start()
+    cluster_workers = [ClusterWorker(host, port) for _ in range(workers)]
+    threads = [
+        threading.Thread(target=w.run, daemon=True) for w in cluster_workers
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    master_thread.join(JOB_TIMEOUT)
+    wall = time.perf_counter() - t0
+    for t in threads:
+        t.join(10.0)
+    assert "error" not in result, result.get("error")
+    resident = []
+    for w in cluster_workers:
+        access = w.reactor.access
+        assert access is not None, "worker fell back to a full graph"
+        assert len(access.cache) <= access.cache.capacity
+        resident.append(access.resident_entries())
+    return result["out"], resident, wall
+
+
+def test_vertex_store(benchmark):
+    pg = _instance()
+    graph = pg.graph
+    n = graph.num_vertices
+    serial = mine_parallel(
+        graph, GAMMA, MIN_SIZE,
+        EngineConfig(backend="serial", num_procs=0,
+                     decompose="timed", tau_time=10, time_unit="ops",
+                     tau_split=3),
+    )
+
+    rows = []
+    json_rows = []
+    for workers in WORKER_COUNTS:
+        part_bytes, full_bytes = _welcome_bytes(graph, workers)
+        out, resident, wall = benchmark.pedantic(
+            lambda w=workers: _mine_cell(graph, w), rounds=1, iterations=1,
+        ) if workers == WORKER_COUNTS[-1] else _mine_cell(graph, workers)
+        assert out.maximal == serial.maximal, f"oracle mismatch at {workers}"
+        worst = max(resident)
+        bound = -(-n // workers) + CACHE_CAPACITY  # ceil + capacity
+        if workers > 1:
+            assert worst < n, (
+                f"{workers} workers: a worker held the whole graph "
+                f"({worst} >= {n} entries)"
+            )
+            assert worst <= bound, f"resident {worst} > bound {bound}"
+        m = out.metrics
+        rows.append([
+            workers, f"{part_bytes}", f"{full_bytes}",
+            f"{part_bytes / full_bytes:.2f}", worst, f"{worst / n:.2f}",
+            m.remote_vertex_hits, m.remote_vertex_misses,
+            m.remote_vertex_evictions,
+        ])
+        json_rows.append({
+            "workers": workers,
+            "welcome_bytes_partitioned": part_bytes,
+            "welcome_bytes_full_ship": full_bytes,
+            "wire_fraction": part_bytes / full_bytes,
+            "resident_entries_max": worst,
+            "resident_fraction": worst / n,
+            "resident_bound": bound,
+            "remote_vertex_hits": m.remote_vertex_hits,
+            "remote_vertex_misses": m.remote_vertex_misses,
+            "remote_vertex_evictions": m.remote_vertex_evictions,
+            "wall_seconds": wall,
+            "results": len(out.maximal),
+        })
+
+    wire4 = json_rows[-1]["wire_fraction"]
+    resident4 = json_rows[-1]["resident_fraction"]
+    report(
+        "Vertex store — partition shipping vs full-ship baseline",
+        ["workers", "welcome B", "full-ship B", "wire frac",
+         "resident max", "resident frac", "rv hits", "rv misses",
+         "rv evict"],
+        rows,
+        notes=(
+            f"|V|={n}, cache_capacity={CACHE_CAPACITY}. At 4 workers the "
+            f"Welcome frame is {wire4:.2f}x the full-ship baseline and the "
+            f"worst worker holds {resident4:.2f}x of the graph's adjacency "
+            "entries — resident ≈ |V|/workers + cache, never the whole "
+            "graph. Every cell's result set equals the serial oracle."
+        ),
+        out_name="vertex_store",
+    )
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "instance": {
+            "n": n, "avg_degree": 6, "num_plants": 2, "plant_size": 8,
+            "gamma": GAMMA, "min_size": MIN_SIZE,
+            "cache_capacity": CACHE_CAPACITY,
+        },
+        "cpu_count": os.cpu_count(),
+        "rows": json_rows,
+        # Headline targets: at 4 workers the wire frame and resident
+        # set must both fall under half the full-graph baseline.
+        "target_wire_fraction": 0.5,
+        "target_resident_fraction": 0.5,
+        "target_met": wire4 <= 0.5 and resident4 <= 0.5,
+    }
+    with open(os.path.join(out_dir, "vertex_store.json"), "w") as f:
+        json.dump(payload, f, indent=2)
+
+    assert payload["target_met"], (
+        f"partitioned store not bounded: wire {wire4:.2f}, "
+        f"resident {resident4:.2f} (targets <= 0.5)"
+    )

@@ -52,7 +52,7 @@ def main() -> None:
           f"{m.total_materialize_ops} ops "
           f"(ratio {m.mining_vs_materialization_ratio():.0f}x)")
     print(f"  remote messages / cache  : {m.remote_messages} msgs, "
-          f"{m.cache_hits} hits / {m.cache_misses} misses")
+          f"{m.remote_vertex_hits} hits / {m.remote_vertex_misses} misses")
     print(f"  disk spills              : {m.spill_batches} batches, "
           f"{m.spill_bytes} bytes")
 

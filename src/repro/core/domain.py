@@ -102,6 +102,26 @@ class TaskDomain:
         return domain
 
     @classmethod
+    def from_access(cls, access, members: Iterable[int] | None = None) -> "TaskDomain":
+        """Compact a domain through a :class:`~repro.graph.access.
+        GraphAccess` instead of a concrete graph container.
+
+        The access object must be able to answer every member locally
+        (``access.unresolved(members)`` empty) — distributed callers
+        fetch first, then build. Shares the :meth:`from_graph` fast
+        path: an access exposing ``adjacency_masks()`` (the in-memory
+        wrappers) compacts the whole graph without per-vertex calls.
+        """
+        missing = access.unresolved([] if members is None else list(members))
+        if missing:
+            raise RuntimeError(
+                f"cannot build a TaskDomain over unresolved vertices "
+                f"{sorted(missing)[:8]}{'...' if len(missing) > 8 else ''}; "
+                f"fetch them first (GraphAccess.unresolved/admit)"
+            )
+        return cls.from_graph(access, members)
+
+    @classmethod
     def from_adjacency(cls, adjacency: Mapping[int, Iterable[int]]) -> "TaskDomain":
         """Compact a closed adjacency mapping (every listed neighbor is a key).
 

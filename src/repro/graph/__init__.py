@@ -1,5 +1,6 @@
 """Graph substrate: containers, I/O, generators, k-core, traversal."""
 
+from .access import GraphAccess, InMemoryGraphAccess
 from .adjacency import Graph
 from .csr import CSRGraph
 from .kcore import core_numbers, k_core, k_core_vertices
@@ -15,6 +16,8 @@ from .traversal import (
 __all__ = [
     "CSRGraph",
     "Graph",
+    "GraphAccess",
+    "InMemoryGraphAccess",
     "GraphStats",
     "graph_stats",
     "bfs_distances",

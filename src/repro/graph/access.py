@@ -1,0 +1,133 @@
+"""One graph-access interface from TaskDomain to the wire.
+
+Every layer that reads adjacency — task spawning, pull resolution,
+:class:`~repro.core.domain.TaskDomain` construction — goes through the
+:class:`GraphAccess` protocol instead of a concrete graph container.
+Three implementations cover the executor spectrum:
+
+* :class:`InMemoryGraphAccess` (here) — wraps a whole
+  :class:`~repro.graph.adjacency.Graph` / :class:`~repro.graph.csr.
+  CSRGraph`; the serial and threaded executors, where every vertex is
+  one dict/array lookup away.
+* :class:`~repro.gthinker.vertex_store.SharedGraphAccess` — the
+  process pool's fork- or shared-memory-inherited replica; same
+  synchronous semantics, tagged with how the replica was shipped.
+* :class:`~repro.gthinker.vertex_store.RemoteGraphAccess` — the
+  cluster worker's partition: a local vertex table plus a bounded
+  remote cache, where non-owned vertices must first be fetched over
+  the wire (``unresolved`` → VertexRequest → ``admit``).
+
+The protocol is deliberately pull-shaped, mirroring G-thinker's
+data-service UDF surface: `resolve` serves a task's batched pulls,
+`unresolved` tells the caller which of those need an asynchronous
+fetch first (always none for the in-memory implementations), and
+`prefetch` is a hint that costs nothing to ignore.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
+
+__all__ = ["GraphAccess", "InMemoryGraphAccess"]
+
+
+@runtime_checkable
+class GraphAccess(Protocol):
+    """Adjacency reads, batched pulls, and fetch hints — the one
+    interface mining code may use to see the input graph."""
+
+    def neighbors(self, vertex: int) -> Sequence[int]:
+        """Adjacency of `vertex` (empty for vertices not in the graph).
+
+        Must only be called for vertices that are locally resolvable —
+        i.e. not listed by :meth:`unresolved`.
+        """
+        ...
+
+    def degree(self, vertex: int) -> int:
+        """``len(neighbors(vertex))`` without materializing a copy."""
+        ...
+
+    def resolve(self, vertex_ids: Iterable[int]) -> dict[int, Sequence[int]]:
+        """Serve a task's pull batch; ``{vertex: adjacency}``.
+
+        Vertices absent from the graph resolve to empty sequences. Every
+        requested vertex must be locally resolvable (see
+        :meth:`unresolved`); remote implementations raise otherwise.
+        """
+        ...
+
+    def unresolved(self, vertex_ids: Iterable[int]) -> list[int]:
+        """The subset of `vertex_ids` that needs an asynchronous fetch
+        before :meth:`resolve`/:meth:`neighbors` may be called.
+
+        Always empty for in-memory implementations; the cluster worker
+        turns a non-empty answer into a batched ``VertexRequest``.
+        """
+        ...
+
+    def prefetch(self, vertex_ids: Iterable[int]) -> None:
+        """Hint that `vertex_ids` will be pulled soon. Best-effort."""
+        ...
+
+    def adjacency_mask(self, vertex: int, members: Sequence[int]) -> int:
+        """Bitmask of `vertex`'s neighbors within the ordered `members`
+        (bit *i* set iff ``members[i]`` is adjacent) — the compact-ID
+        export :class:`~repro.core.domain.TaskDomain` builds from."""
+        ...
+
+
+class InMemoryGraphAccess:
+    """:class:`GraphAccess` over a whole in-memory graph.
+
+    Wraps either adjacency container (`Graph` or `CSRGraph`); every
+    lookup is local, so `unresolved` is always empty and `prefetch` is
+    a no-op. Also forwards ``adjacency_masks()``/``has_vertex`` so the
+    wrapped object can stand in wherever a read-only graph is expected
+    (e.g. ``TaskDomain.from_access``).
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def neighbors(self, vertex: int) -> Sequence[int]:
+        if not self.graph.has_vertex(vertex):
+            return ()
+        return self.graph.neighbors(vertex)
+
+    def degree(self, vertex: int) -> int:
+        if not self.graph.has_vertex(vertex):
+            return 0
+        return self.graph.degree(vertex)
+
+    def has_vertex(self, vertex: int) -> bool:
+        return self.graph.has_vertex(vertex)
+
+    def resolve(self, vertex_ids: Iterable[int]) -> dict[int, Sequence[int]]:
+        return {v: self.neighbors(v) for v in vertex_ids}
+
+    def unresolved(self, vertex_ids: Iterable[int]) -> list[int]:
+        return []
+
+    def prefetch(self, vertex_ids: Iterable[int]) -> None:
+        pass  # everything is already resident
+
+    def adjacency_mask(self, vertex: int, members: Sequence[int]) -> int:
+        nbrs = self.neighbors(vertex)
+        nbr_set = set(nbrs) if not isinstance(nbrs, (set, frozenset)) else nbrs
+        mask = 0
+        for i, m in enumerate(members):
+            if m in nbr_set:
+                mask |= 1 << i
+        return mask
+
+    def adjacency_masks(self):
+        """Whole-graph bitmask export, forwarded from the wrapped graph."""
+        return self.graph.adjacency_masks()
+
+    def vertices(self):
+        return self.graph.vertices()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InMemoryGraphAccess({self.graph!r})"

@@ -112,6 +112,16 @@ class Graph:
         """Sorted neighbor list of v (do not mutate)."""
         return self._adj[v]
 
+    def neighbors_view(self, v: int) -> list[int]:
+        """Zero-copy read-only view of v's adjacency.
+
+        For the dict-of-lists backend this is the live list itself
+        (callers must treat it as frozen); the CSR backend returns a
+        memoryview over its target array. Partitioning stores these
+        views so the partition step never doubles the graph's memory.
+        """
+        return self._adj[v]
+
     def neighbor_set(self, v: int) -> set[int]:
         """Neighbor set of v (do not mutate)."""
         return self._adj_set[v]

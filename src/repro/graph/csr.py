@@ -116,6 +116,18 @@ class CSRGraph:
         lo, hi = self._offsets[v], self._offsets[v + 1]
         return self._targets[lo:hi]
 
+    def neighbors_view(self, v: int) -> memoryview:
+        """Zero-copy view of v's adjacency (shares the target array).
+
+        Unlike :meth:`neighbors`, which slices (and therefore copies)
+        the target array, this returns a memoryview over it — the
+        partition step stores these so building per-machine vertex
+        tables costs O(1) extra memory per vertex, not a second copy
+        of every adjacency list.
+        """
+        lo, hi = self._offsets[v], self._offsets[v + 1]
+        return memoryview(self._targets)[lo:hi]
+
     def neighbor_set(self, v: int) -> frozenset[int]:
         cached = self._set_cache.get(v)
         if cached is None:

@@ -34,7 +34,14 @@ from .stealing import StealMove, plan_steals
 from .partition import Partitioner, make_partitioner
 from .task import ComputeOutcome, Task
 from .tracing import NullTracer, TraceEvent, Tracer
-from .vertex_store import DataService, LocalVertexTable, RemoteVertexCache, owner_of
+from .vertex_store import (
+    DataService,
+    LocalVertexTable,
+    RemoteGraphAccess,
+    RemoteVertexCache,
+    SharedGraphAccess,
+    owner_of,
+)
 
 __all__ = [
     "Aggregator",
@@ -80,7 +87,9 @@ __all__ = [
     "NeverExpires",
     "OpBudget",
     "QuasiCliqueApp",
+    "RemoteGraphAccess",
     "RemoteVertexCache",
+    "SharedGraphAccess",
     "SpillFileList",
     "SpillableQueue",
     "StealMove",

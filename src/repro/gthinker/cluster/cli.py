@@ -8,9 +8,13 @@ Invoked through the main console script as subcommands::
 
 The master binds, waits for `--workers` registrations, drives the job,
 and prints the same summary line as the local CLI. A worker needs
-nothing but the master's address: the config, the app, and (unless
-``--graph`` points at a local copy) the graph all arrive in its
-Welcome message.
+nothing but the master's address: the config, the app, and its
+*partition* of the vertex table arrive in its Welcome message;
+non-owned vertices are pulled from the master on demand into a bounded
+cache, so no worker ever holds the full graph. ``--graph`` is an
+optional warm start — a worker given a local edge-list copy mines
+against that full replica instead (no partition shipping, no remote
+fetches), trading memory for wire traffic.
 """
 
 from __future__ import annotations
@@ -147,7 +151,9 @@ def _worker_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", required=True, help="master address")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
     parser.add_argument("--graph", default=None,
-                        help="local edge-list copy (skips the graph download)")
+                        help="optional warm start: mine against this full "
+                        "local edge-list copy instead of receiving a "
+                        "partition and fetching remote vertices on demand")
     parser.add_argument("--connect-timeout", type=float, default=30.0)
     return parser
 

@@ -9,8 +9,10 @@ drive; multi-host deployments run the same master and workers via the
 ``repro cluster-master`` / ``repro cluster-worker`` CLI entry points
 instead (see docs/BACKENDS.md).
 
-Everything a worker needs ships over the socket (config, app, graph),
-so the worker entry function is trivially spawn-safe: it closes over
+Everything a worker needs ships over the socket — config, app, and its
+*partition* of the vertex table (never the whole graph; non-owned
+vertices are fetched on demand through VertexRequest/VertexReply) — so
+the worker entry function is trivially spawn-safe: it closes over
 nothing but an address.
 """
 

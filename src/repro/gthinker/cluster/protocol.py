@@ -39,7 +39,11 @@ from ..metrics import EngineMetrics
 MAGIC = b"GTCL"
 #: Protocol version; bump on any incompatible message change.
 #: v2: StatusRequest/StatusReply (live-progress query, repro.gthinker.obs).
-VERSION = 2
+#: v3: distributed vertex store — Welcome ships one partition
+#:     (table_blob/partition_id/num_partitions/partition_strategy, the
+#:     full-graph graph_blob is gone) and workers pull non-owned
+#:     adjacency on demand via VertexRequest/VertexReply.
+VERSION = 3
 _HEADER = struct.Struct("<4sHQ")
 
 #: Refuse frames larger than this (64 GiB): a corrupt length header must
@@ -60,22 +64,40 @@ class Hello:
 
     pid: int
     host: str
-    #: True when the worker has no local graph copy and needs the master
-    #: to ship one in the Welcome (localhost quickstart); production
-    #: workers load the graph from shared storage and send False.
+    #: True when the worker holds no graph data and needs the master to
+    #: ship its partition's vertex table in the Welcome (the normal
+    #: mode). False is the warm start: the worker pre-loaded the whole
+    #: graph locally (``cluster-worker --graph``) and serves every read
+    #: from it, so no table is shipped and no vertex fetches happen.
     needs_graph: bool = True
 
 
 @dataclass(frozen=True)
 class Welcome:
-    """Master → worker: registration accepted; the job's parameters."""
+    """Master → worker: registration accepted; the job's parameters.
+
+    v3: the master never ships the whole graph. A cold-start worker
+    receives exactly its partition of the distributed vertex store and
+    resolves non-owned vertices on demand (VertexRequest/VertexReply)
+    into its bounded remote vertex cache.
+    """
 
     worker_id: int
     config: EngineConfig
     #: Pickled application instance (same shipping rule as engine_mp).
     app_blob: bytes
-    #: Pickled Graph, or None when the worker said needs_graph=False.
-    graph_blob: bytes | None
+    #: Pickled ``{vertex: (neighbor, ...)}`` dict — the adjacency
+    #: entries of this worker's partition — or None when the worker
+    #: said needs_graph=False (warm start from a local graph copy).
+    table_blob: bytes | None
+    #: Which partition this worker owns and how many exist in total
+    #: (fixed at job start; rejoining workers reuse partition ids).
+    partition_id: int = 0
+    num_partitions: int = 1
+    #: Partitioning strategy name (EngineConfig.partition). Under
+    #: 'hash' a worker can prove a vertex it owns-but-lacks does not
+    #: exist and skip the fetch round trip.
+    partition_strategy: str = "hash"
     #: Whether the worker should record + forward scheduler trace events.
     trace: bool = False
 
@@ -136,6 +158,35 @@ class StealGrant:
     request_id: int
     worker_id: int
     tasks: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class VertexRequest:
+    """Worker → master: fetch adjacency lists the worker does not own.
+
+    Sent when a task's pull set (or a spawn vertex) is outside the
+    worker's partition and missing from its remote vertex cache. The
+    master owns the full graph and answers from it; requests are
+    stateless on the master side, so a duplicated frame is harmlessly
+    re-served and the worker drops the duplicate reply by request_id.
+    """
+
+    worker_id: int
+    request_id: int
+    vertices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class VertexReply:
+    """Master → worker: the requested adjacency entries.
+
+    One ``(vertex, (neighbor, ...))`` pair per requested vertex, in
+    request order; a vertex absent from the graph resolves to an empty
+    neighbor tuple.
+    """
+
+    request_id: int
+    entries: tuple[tuple[int, tuple[int, ...]], ...]
 
 
 @dataclass(frozen=True)
@@ -212,6 +263,8 @@ MESSAGE_TYPES = (
     ResultBatch,
     StealRequest,
     StealGrant,
+    VertexRequest,
+    VertexReply,
     Heartbeat,
     ProgressReport,
     StatusRequest,

@@ -56,10 +56,16 @@ from ..runtime import (
     WorkerSlot,
     reclaim_lease,
 )
-from ..scheduler import SchedulerCore, build_machines, collect_machine_metrics
+from ..scheduler import (
+    MachineState,
+    SchedulerCore,
+    build_machines,
+    collect_machine_metrics,
+)
 from ..stealing import plan_steals
 from ..task import Task
 from ..tracing import NullTracer, Tracer
+from ..vertex_store import LocalVertexTable, RemoteGraphAccess, RemoteVertexCache
 from .protocol import (
     Goodbye,
     Heartbeat,
@@ -73,6 +79,8 @@ from .protocol import (
     StealGrant,
     StealRequest,
     TaskBatch,
+    VertexReply,
+    VertexRequest,
     Welcome,
 )
 
@@ -96,6 +104,11 @@ class _WorkUnit:
     kind: str  # 'range' | 'batch'
     payload: tuple  # vertices (range) or Task.encode() blobs (batch)
     origin: str = "spawn"  # 'spawn' | 'remainder' | 'steal'
+    #: Partition whose worker owns this unit's vertices (range units
+    #: only). Dispatch *prefers* the home worker — its spawns read the
+    #: local vertex table instead of fetching — but any worker may take
+    #: the unit when the home worker is busy or dead.
+    home: int | None = None
 
     @property
     def size(self) -> int:
@@ -148,7 +161,10 @@ class MasterReactor:
                 f"{type(app).__name__} is not picklable: {exc}. Keep engine "
                 f"apps free of locks, open files, and lambdas."
             ) from exc
-        self._graph_blob: bytes | None = None
+        #: Per-partition Welcome payloads ({vertex: adjacency} pickles),
+        #: built lazily per partition and cached for rejoining workers.
+        self._partition_blobs: dict[int, bytes] = {}
+        self._parts: list[list[int]] | None = None
         self.metrics = EngineMetrics()
         self.progress: dict[int, ProgressReport] = {}
         self.quarantined: list[_WorkUnit] = []
@@ -220,27 +236,48 @@ class MasterReactor:
         so that with fewer live workers than expected the load still
         spreads.
         """
-        parts = make_partitioner(
-            self.config.partition, self.graph, self.num_workers
-        ).parts()
+        parts = self._partitioned()
         n_vertices = sum(len(p) for p in parts)
         chunk = self.config.cluster_chunk_size or max(
             1, -(-n_vertices // (self.num_workers * _UNITS_PER_WORKER))
         )
         chunked = [
-            [part[i: i + chunk] for i in range(0, len(part), chunk)]
-            for part in parts
+            [(pid, part[i: i + chunk]) for i in range(0, len(part), chunk)]
+            for pid, part in enumerate(parts)
         ]
         for round_ in itertools.zip_longest(*chunked):
-            for vertices in round_:
-                if vertices:
+            for item in round_:
+                if item and item[1]:
+                    pid, vertices = item
                     self._pending.append(
                         _WorkUnit(
                             work_id=next(self._work_ids),
                             kind="range",
                             payload=tuple(vertices),
+                            home=pid,
                         )
                     )
+
+    def _partitioned(self) -> list[list[int]]:
+        """The job's per-partition vertex lists (computed once; both the
+        work units and the Welcome vertex tables cut along them)."""
+        if self._parts is None:
+            self._parts = make_partitioner(
+                self.config.partition, self.graph, self.num_workers
+            ).parts()
+        return self._parts
+
+    def _partition_blob(self, partition_id: int) -> bytes:
+        blob = self._partition_blobs.get(partition_id)
+        if blob is None:
+            graph = self.graph
+            entries = {
+                v: tuple(graph.neighbors(v))
+                for v in self._partitioned()[partition_id]
+            }
+            blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+            self._partition_blobs[partition_id] = blob
+        return blob
 
     def _alive(self) -> list[_ClusterSlot]:
         return self.registry.alive()  # type: ignore[return-value]
@@ -265,10 +302,20 @@ class MasterReactor:
                     worker.worker_id
                 ):
                     continue
-                self._lease(self._pending.pop(0), worker, now)
+                self._lease(self._take_pending(worker), worker, now)
                 progressed = True
             if not progressed:
                 return
+
+    def _take_pending(self, worker: _ClusterSlot) -> _WorkUnit:
+        """Pop the best pending unit for `worker`: a unit homed on its
+        partition first (spawns hit the local vertex table), else the
+        oldest unit — locality is a preference, never a stall."""
+        home = worker.worker_id % self.num_workers
+        for i, unit in enumerate(self._pending):
+            if unit.home == home:
+                return self._pending.pop(i)
+        return self._pending.pop(0)
 
     def _lease(
         self,
@@ -517,6 +564,8 @@ class MasterReactor:
             self.progress[worker.worker_id] = msg
         elif isinstance(msg, ResultBatch):
             self._handle_results(worker, msg, now)
+        elif isinstance(msg, VertexRequest):
+            self._serve_vertices(worker, msg, now)
         elif isinstance(msg, StealGrant):
             self._handle_steal_grant(worker, msg, now)
         elif isinstance(msg, Goodbye):
@@ -532,25 +581,48 @@ class MasterReactor:
             )
         )
         self._by_channel[channel] = worker  # type: ignore[assignment]
-        graph_blob = None
+        # Partition ids wrap, so a worker rejoining after a death (fresh
+        # worker_id) inherits a partition that already exists — the
+        # store never grows past num_workers partitions.
+        partition_id = worker.worker_id % self.num_workers
+        table_blob = None
         if hello.needs_graph:
-            if self._graph_blob is None:
-                self._graph_blob = pickle.dumps(
-                    self.graph, protocol=pickle.HIGHEST_PROTOCOL
-                )
-            graph_blob = self._graph_blob
+            table_blob = self._partition_blob(partition_id)
         self._send(
             worker,  # type: ignore[arg-type]
             Welcome(
                 worker_id=worker.worker_id,
                 config=self.config,
                 app_blob=self._app_blob,
-                graph_blob=graph_blob,
+                table_blob=table_blob,
+                partition_id=partition_id,
+                num_partitions=self.num_workers,
+                partition_strategy=self.config.partition,
                 trace=self.tracer.enabled,
             ),
             now,
         )
         self._pump(now)
+
+    def _serve_vertices(
+        self, worker: _ClusterSlot, msg: VertexRequest, now: float
+    ) -> None:
+        """Answer a worker's remote-adjacency fetch from the full graph.
+
+        Stateless: a duplicated request frame is simply re-served (the
+        worker drops the duplicate reply by request_id), and a vertex
+        absent from the graph resolves to an empty adjacency tuple.
+        """
+        graph = self.graph
+        entries = tuple(
+            (v, tuple(graph.neighbors(v)) if graph.has_vertex(v) else ())
+            for v in msg.vertices
+        )
+        self.tracer.emit(
+            "vertex_served", -1, worker.worker_id,
+            detail=f"request={msg.request_id} size={len(entries)}",
+        )
+        self._send(worker, VertexReply(request_id=msg.request_id, entries=entries), now)
 
     def _handle_results(
         self, worker: _ClusterSlot, msg: ResultBatch, now: float
@@ -699,6 +771,14 @@ class WorkerReactor:
         self._remainders: list[bytes] = []
         self._open: dict[int, str] = {}  # work_id -> kind
         self._served_steals: set[int] = set()
+        #: Remote-mode graph access (None on a warm start, where the
+        #: full local graph answers every read).
+        self.access: RemoteGraphAccess | None = None
+        self._fetch_ids = itertools.count()
+        #: request_id -> ('task', parked Task) | ('spawn', vertex tuple).
+        self._pending_fetches: dict[int, tuple[str, Any]] = {}
+        #: task_id -> pull tuple to unpin after the task's next quantum.
+        self._unpin_after: dict[int, tuple[int, ...]] = {}
         self._trace_seq = -1
         self._pre_welcome: list[Any] = []
         self.started = False
@@ -728,11 +808,6 @@ class WorkerReactor:
         self.worker_id = welcome.worker_id
         config = welcome.config
         app = pickle.loads(welcome.app_blob)
-        graph = self.graph
-        if graph is None:
-            if welcome.graph_blob is None:
-                raise RuntimeError("master sent no graph and none was provided")
-            graph = pickle.loads(welcome.graph_blob)
         spill_dir = config.spill_dir
         if spill_dir is not None:
             import os
@@ -746,7 +821,31 @@ class WorkerReactor:
         )
         self.app = app
         self.config = local_config
-        self.machine = build_machines(graph, local_config)[0]
+        if self.graph is not None:
+            # Warm start: the operator pre-loaded the whole graph, so
+            # every read is local and no vertex ever needs fetching.
+            self.machine = build_machines(self.graph, local_config)[0]
+        else:
+            if welcome.table_blob is None:
+                raise RuntimeError(
+                    "master sent no vertex table and no local graph was "
+                    "provided"
+                )
+            table = LocalVertexTable.from_entries(
+                welcome.partition_id,
+                welcome.num_partitions,
+                pickle.loads(welcome.table_blob),
+            )
+            self.access = RemoteGraphAccess(
+                table,
+                RemoteVertexCache(local_config.cache_capacity),
+                partition_id=welcome.partition_id,
+                num_partitions=welcome.num_partitions,
+                hash_partitioned=welcome.partition_strategy == "hash",
+            )
+            self.machine = MachineState(
+                0, [table], local_config, data=self.access
+            )
         # Spawning is master-driven (SpawnRange leases); the local spawn
         # cursor must never race it.
         self.machine.spawn_order = []
@@ -799,6 +898,8 @@ class WorkerReactor:
                     task = Task.decode(blob)
                     task.task_id = self.core.next_task_id()
                     self.core.route(task, self.machine, self.slot)
+        elif isinstance(msg, VertexReply):
+            self._vertex_reply(msg)
         elif isinstance(msg, StealRequest):
             self._serve_steal(msg, now)
         # Heartbeat/ProgressReport never flow master -> worker; anything
@@ -806,16 +907,83 @@ class WorkerReactor:
         return "ok"
 
     def _spawn_range(self, msg: SpawnRange) -> None:
+        missing: list[int] = []
         for v in msg.vertices:
             adjacency = self.machine.table.get(v)
+            if adjacency is None and self.access is not None:
+                # Not ours: a unit leased off its home partition. Serve
+                # the spawn from the cache, or fetch the adjacency.
+                if self.access.known_absent(v):
+                    continue  # provably not a graph vertex
+                adjacency = self.access.cached(v)
+                if adjacency is None:
+                    missing.append(v)
+                    continue
             if adjacency is None:
-                continue
-            task = self.app.spawn(v, adjacency, self.core.next_task_id())
-            if task is None:
-                continue
-            self.metrics.tasks_spawned += 1
-            self.core.tracer.emit("spawn", task.task_id, 0, detail=f"root={v}")
-            self.core.route(task, self.machine, self.slot)
+                continue  # full table: not a graph vertex
+            self._spawn_one(v, adjacency)
+        if missing:
+            self._request_vertices("spawn", tuple(missing))
+
+    def _spawn_one(self, v: int, adjacency: Any) -> None:
+        task = self.app.spawn(v, adjacency, self.core.next_task_id())
+        if task is None:
+            return
+        self.metrics.tasks_spawned += 1
+        self.core.tracer.emit("spawn", task.task_id, 0, detail=f"root={v}")
+        self.core.route(task, self.machine, self.slot)
+
+    # -- remote vertex fetching --------------------------------------------
+
+    def _request_vertices(
+        self, kind: str, vertices: tuple[int, ...], task: Task | None = None
+    ) -> None:
+        request_id = next(self._fetch_ids)
+        self._pending_fetches[request_id] = (
+            kind, task if kind == "task" else vertices
+        )
+        self.core.tracer.emit(
+            "vertex_requested",
+            -1 if task is None else task.task_id,
+            0,
+            detail=f"request={request_id} size={len(vertices)}",
+        )
+        self.channel.send(
+            VertexRequest(
+                worker_id=self.worker_id,
+                request_id=request_id,
+                vertices=vertices,
+            )
+        )
+
+    def _vertex_reply(self, msg: VertexReply) -> None:
+        entry = self._pending_fetches.pop(msg.request_id, None)
+        if entry is None:
+            # A duplicated reply frame: the first copy already admitted
+            # these entries and woke the waiter; admitting again would
+            # skew the fetch counters for no benefit.
+            return
+        kind, payload = entry
+        if kind == "task":
+            task: Task = payload
+            # Pin on admission: the entries this task waited for must
+            # survive later admissions until its quantum resolves them.
+            self.access.admit(msg.entries, pin=True)
+            still = self.access.unresolved(task.pulls)
+            if still:
+                # Unreachable when the reply covers the request (pins
+                # forbid eviction in between); kept as a re-fetch rather
+                # than an assert so a future protocol relaxation (partial
+                # replies) degrades to an extra round trip.
+                self._request_vertices("task", tuple(still), task=task)
+                return
+            self._unpin_after[task.task_id] = tuple(task.pulls)
+            self.core.buffer_ready(task, self.machine, self.slot)
+        else:
+            self.access.admit(msg.entries)
+            adjacency = dict(msg.entries)
+            for v in payload:
+                self._spawn_one(v, adjacency.get(v, ()))
 
     def _serve_steal(self, msg: StealRequest, now: float) -> None:
         """Give up to `count` big tasks from Q_global (+ its spill list)."""
@@ -902,16 +1070,30 @@ class WorkerReactor:
             return None
         task = self.core.pick(self.machine, self.slot)
         if task is None:
-            if self._active == 0 and (
-                self._open or self._remainders or self._fresh_candidates()
+            if (
+                self._active == 0
+                and not self._pending_fetches
+                and (self._open or self._remainders or self._fresh_candidates())
             ):
                 self.flush(completed_all=True)
             return None
+        if self.access is not None and task.pulls:
+            fetch_missing = self.access.unresolved(task.pulls)
+            if fetch_missing:
+                # Park the task until its remote pulls arrive. Pin what
+                # is already cached so a later admission cannot evict it
+                # while we wait; the fetched rest pins on admit.
+                self.access.pin(task.pulls)
+                self._request_vertices("task", tuple(fetch_missing), task=task)
+                return 1.0 + len(fetch_missing) * self.config.sim_message_cost
         t0 = self._clock()
         quantum = self.core.run_quantum(
             task, self.machine, record=self.metrics.record_task, slot=self.slot
         )
         self._mine_seconds += self._clock() - t0
+        unpin = self._unpin_after.pop(task.task_id, None)
+        if unpin is not None:
+            self.access.unpin(unpin)
         for child in quantum.children:
             if child.is_big(self.config.tau_split):
                 # Big remainders go back to the master for cluster-wide
@@ -949,7 +1131,12 @@ class WorkerReactor:
         local scheduler has drained — the acknowledgements of every open
         work unit, all in one atomic message."""
         completed: tuple[int, ...] = ()
-        if completed_all and self._active == 0 and self._open:
+        if (
+            completed_all
+            and self._active == 0
+            and not self._pending_fetches
+            and self._open
+        ):
             completed = tuple(self._open)
             self.completed_units += len(completed)
             self._open.clear()

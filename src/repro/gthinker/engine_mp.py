@@ -102,6 +102,7 @@ from .runtime import (
 from .scheduler import SchedulerCore, build_machines, collect_machine_metrics
 from .task import Task
 from .tracing import NullTracer, Tracer
+from .vertex_store import SharedGraphAccess
 
 __all__ = ["FaultInjection", "MultiprocessEngine", "mine_multiprocess"]
 
@@ -175,21 +176,24 @@ def _graph_from_shm(name: str, nbytes: int) -> Graph:
     return Graph.from_edges(edges, vertices=vertices)
 
 
-def _resolve_graph(graph_payload) -> Graph:
+def _resolve_graph(graph_payload) -> SharedGraphAccess:
+    """Build the worker's whole-graph replica access, tagged with how
+    the replica reached this process (fork inheritance vs shm rebuild)."""
     kind = graph_payload[0]
     if kind == "direct":  # fork: the object itself rode through the fork
-        return graph_payload[1]
+        return SharedGraphAccess(graph_payload[1], origin="fork")
     _, name, nbytes = graph_payload  # spawn/forkserver: rebuild from shm
-    return _graph_from_shm(name, nbytes)
+    return SharedGraphAccess(_graph_from_shm(name, nbytes), origin="shm")
 
 
 # -- the worker process ----------------------------------------------------
 
 
-def _run_task(app, config, graph, task, next_task_id, metrics, events):
+def _run_task(app, config, access, task, next_task_id, metrics, events):
     """Run one task's compute iterations to completion; returns children.
 
-    Pulls resolve against the worker's whole-graph replica, so a task
+    Pulls resolve through the worker's :class:`SharedGraphAccess`
+    (whole-graph replica — `unresolved` is always empty), so a task
     never suspends here — the suspend/re-buffer path belongs to the
     executors whose data service is partitioned.
     """
@@ -200,10 +204,7 @@ def _run_task(app, config, graph, task, next_task_id, metrics, events):
     t0 = time.monotonic() if events is not None else 0.0
     while True:
         if task.pulls:
-            frontier = {
-                v: (graph.neighbors(v) if graph.has_vertex(v) else [])
-                for v in task.pulls
-            }
+            frontier = access.resolve(task.pulls)
             task.pulls = []
         else:
             frontier = {}
@@ -264,7 +265,7 @@ def _worker_main(
     incarnation).
     """
     try:
-        graph = _resolve_graph(graph_payload)
+        access = _resolve_graph(graph_payload)
         app = pickle.loads(app_blob)
         # Provisional child IDs; the parent renumbers on receipt, so
         # negative values can never collide with scheduler-issued IDs.
@@ -289,7 +290,7 @@ def _worker_main(
                 task = Task.decode(blob)
                 children.extend(
                     _run_task(
-                        app, config, graph, task,
+                        app, config, access, task,
                         lambda: -next(provisional), metrics, events,
                     )
                 )

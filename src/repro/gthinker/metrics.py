@@ -70,8 +70,12 @@ class EngineMetrics:
     total_materialize_seconds: float = 0.0
     total_materialize_ops: int = 0
     remote_messages: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    #: Remote-vertex-cache effectiveness (paper Fig. 8 store): lookups
+    #: served from the bounded cache, lookups that had to fetch, and
+    #: entries dropped by the LRU bound.
+    remote_vertex_hits: int = 0
+    remote_vertex_misses: int = 0
+    remote_vertex_evictions: int = 0
     spill_batches: int = 0
     spill_bytes: int = 0
     spill_bytes_peak: int = 0
@@ -123,8 +127,9 @@ class EngineMetrics:
         self.total_materialize_seconds += other.total_materialize_seconds
         self.total_materialize_ops += other.total_materialize_ops
         self.remote_messages += other.remote_messages
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
+        self.remote_vertex_hits += other.remote_vertex_hits
+        self.remote_vertex_misses += other.remote_vertex_misses
+        self.remote_vertex_evictions += other.remote_vertex_evictions
         self.spill_batches += other.spill_batches
         self.spill_bytes += other.spill_bytes
         self.spill_bytes_peak = max(self.spill_bytes_peak, other.spill_bytes_peak)

@@ -15,6 +15,9 @@ into:
   counts (summing the ``size=`` field reclaim events carry, so cluster
   work units of several tasks count exactly as the run's metrics did),
   and planned/sent/received steals;
+* **remote vertex fetch counts** — ``vertex_requested`` /
+  ``vertex_served`` events and the vertex totals their ``size=``
+  payloads carry (the distributed vertex store's wire traffic);
 * a **top-K slowest tasks** table from per-task ``batch_mine`` time.
 
 ``--json`` emits the same report in the ``backend_scaling`` JSON shape
@@ -40,6 +43,7 @@ from .spans import parse_detail
 
 __all__ = [
     "FaultCounts",
+    "FetchCounts",
     "TraceReport",
     "WorkerTimeline",
     "build_report",
@@ -112,6 +116,22 @@ class FaultCounts:
 
 
 @dataclass
+class FetchCounts:
+    """Distributed-vertex-store traffic reproduced from the trace.
+
+    ``vertex_requested`` is worker-side (one batched VertexRequest),
+    ``vertex_served`` is master-side (one VertexReply). Served can
+    exceed requested under duplicated frames — the master re-serves
+    statelessly and the worker drops the duplicate reply.
+    """
+
+    requests: int = 0
+    served: int = 0
+    vertices_requested: int = 0
+    vertices_served: int = 0
+
+
+@dataclass
 class SlowTask:
     """One entry of the top-K slowest-tasks table."""
 
@@ -132,6 +152,7 @@ class TraceReport:
     workers: list[WorkerTimeline]
     phases: dict[str, dict[str, float]]  # name -> {count, seconds}
     faults: FaultCounts
+    fetches: FetchCounts
     slowest: list[SlowTask]
     progress_samples: int = 0
     last_progress: dict[str, str] = field(default_factory=dict)
@@ -144,6 +165,7 @@ def build_report(events: list[dict], path: str = "<trace>", top_k: int = 10) -> 
     streams: dict[tuple[int, int], WorkerTimeline] = {}
     phases: dict[str, dict[str, float]] = {}
     faults = FaultCounts()
+    fetches = FetchCounts()
     per_task: dict[int, dict] = {}
     progress_samples = 0
     last_progress: dict[str, str] = {}
@@ -190,6 +212,16 @@ def build_report(events: list[dict], path: str = "<trace>", top_k: int = 10) -> 
             faults.steals_sent += 1
         elif kind == "steal_received":
             faults.steals_received += 1
+        elif kind == "vertex_requested":
+            fetches.requests += 1
+            fetches.vertices_requested += int(
+                parse_detail(detail).get("size", _DEFAULT_SIZE)
+            )
+        elif kind == "vertex_served":
+            fetches.served += 1
+            fetches.vertices_served += int(
+                parse_detail(detail).get("size", _DEFAULT_SIZE)
+            )
         elif kind == "progress":
             progress_samples += 1
             last_progress = parse_detail(detail)
@@ -234,6 +266,7 @@ def build_report(events: list[dict], path: str = "<trace>", top_k: int = 10) -> 
         workers=workers,
         phases=dict(sorted(phases.items())),
         faults=faults,
+        fetches=fetches,
         slowest=slowest,
         progress_samples=progress_samples,
         last_progress=last_progress,
@@ -300,6 +333,15 @@ def format_report(report: TraceReport) -> str:
         f"steals_received={f.steals_received}"
     )
 
+    v = report.fetches
+    if v.requests or v.served:
+        sections.append("\n== remote vertex fetches ==")
+        sections.append(
+            f"requests={v.requests} served={v.served} "
+            f"vertices_requested={v.vertices_requested} "
+            f"vertices_served={v.vertices_served}"
+        )
+
     if report.slowest:
         sections.append("\n== slowest tasks (batch_mine) ==")
         sections.append(_table(
@@ -350,6 +392,12 @@ def report_to_json(report: TraceReport) -> dict:
             "steals_planned": report.faults.steals_planned,
             "steals_sent": report.faults.steals_sent,
             "steals_received": report.faults.steals_received,
+        },
+        "fetches": {
+            "requests": report.fetches.requests,
+            "served": report.fetches.served,
+            "vertices_requested": report.fetches.vertices_requested,
+            "vertices_served": report.fetches.vertices_served,
         },
         "slowest_tasks": [
             {

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..graph.access import GraphAccess
 from ..graph.adjacency import Graph
 from .app_protocol import ComputeContext, GThinkerApp, ensure_app
 from .config import EngineConfig
@@ -72,15 +73,26 @@ class MachineState:
         machine_id: int,
         tables: list[LocalVertexTable],
         config: EngineConfig,
+        *,
+        data: GraphAccess | None = None,
     ):
         self.machine_id = machine_id
         self.config = config
         self.table = tables[machine_id]
-        self.cache = RemoteVertexCache(config.cache_capacity)
-        self.data = DataService(
-            machine_id, tables, self.cache,
-            partitioner=getattr(tables[machine_id], "partitioner", None),
-        )
+        if data is not None:
+            # Executor-provided GraphAccess (the cluster worker passes a
+            # RemoteGraphAccess over its shipped partition); reuse its
+            # cache so the metrics fold sees one set of counters.
+            self.data = data
+            self.cache = getattr(
+                data, "cache", RemoteVertexCache(config.cache_capacity)
+            )
+        else:
+            self.cache = RemoteVertexCache(config.cache_capacity)
+            self.data = DataService(
+                machine_id, tables, self.cache,
+                partitioner=getattr(tables[machine_id], "partitioner", None),
+            )
         self.lsmall = SpillFileList(config.spill_dir, f"m{machine_id}-small")
         self.lbig = SpillFileList(config.spill_dir, f"m{machine_id}-big")
         self.qglobal = SpillableQueue(config.queue_capacity, config.batch_size, self.lbig)
@@ -140,9 +152,12 @@ def build_machines(graph: Graph, config: EngineConfig) -> list[MachineState]:
 def collect_machine_metrics(metrics: EngineMetrics, machines: list[MachineState]) -> None:
     """Fold per-machine data-service, cache, and spill counters into `metrics`."""
     for machine in machines:
-        metrics.remote_messages += machine.data.remote_messages
-        metrics.cache_hits += machine.cache.hits
-        metrics.cache_misses += machine.cache.misses
+        # DataService/RemoteGraphAccess count wire pulls; other
+        # GraphAccess implementations have nothing remote to count.
+        metrics.remote_messages += getattr(machine.data, "remote_messages", 0)
+        metrics.remote_vertex_hits += machine.cache.hits
+        metrics.remote_vertex_misses += machine.cache.misses
+        metrics.remote_vertex_evictions += machine.cache.evictions
         for spill in (machine.lsmall, machine.lbig):
             metrics.spill_batches += spill.batches_spilled
             metrics.spill_bytes += spill.bytes_written

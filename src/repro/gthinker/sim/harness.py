@@ -42,7 +42,7 @@ from typing import Any
 from ...core.options import DEFAULT_OPTIONS, ResultSink
 from ...graph.adjacency import Graph
 from ..app_quasiclique import QuasiCliqueApp
-from ..cluster.protocol import Hello, Welcome
+from ..cluster.protocol import Hello, VertexReply, VertexRequest, Welcome
 from ..cluster.reactor import MasterReactor, WorkerReactor
 from ..config import EngineConfig
 from ..engine import mine_parallel
@@ -92,6 +92,11 @@ class SimReport:
     result: Any = None
     #: Stale StealGrants the master re-pended (see MasterReactor).
     stale_steal_grants: int = 0
+    #: Per-worker resident adjacency entries at quiescence (partition
+    #: table + remote cache + pins) — the distributed vertex store's
+    #: memory-bound evidence. Keyed by sim worker index; only workers
+    #: that completed the Welcome handshake appear.
+    resident: dict[int, int] | None = None
 
 
 def _sim_graph(gseed: int) -> Graph:
@@ -149,6 +154,10 @@ def _sim_config(rng: random.Random, num_workers: int) -> EngineConfig:
         max_attempts=10,
         steal_period_seconds=0.5,
         cluster_chunk_size=rng.choice([0, 1, 2]),
+        # A tiny cache forces evictions and leans on the pin/refcount
+        # overlay (a capacity below one task's pull count must still
+        # make progress); the default-sized cache covers the hit path.
+        cache_capacity=rng.choice([2, 4, 1 << 16]),
     )
 
 
@@ -190,6 +199,7 @@ def run_sim(
     net = SimNet(
         seed=rng.randrange(2**31),
         dup_exempt=lambda msg: isinstance(msg, (Hello, Welcome)),
+        fetch_frames=lambda msg: isinstance(msg, (VertexRequest, VertexReply)),
     )
     tracer = Tracer()
     app = QuasiCliqueApp(
@@ -292,8 +302,11 @@ def run_sim(
         )
         m_end, w_end = net.link(f"link-w{index}", faults, windows)
         m_end.handler = master_handler
+        # graph=None: simulated workers run the real distributed vertex
+        # store — partition table in the Welcome, remote pulls through
+        # VertexRequest/VertexReply — never a full local graph copy.
         reactor = WorkerReactor(
-            w_end, graph,
+            w_end, None,
             pid=index, host=f"sim-{index}",
             clock=lambda: net.now,
         )
@@ -366,12 +379,14 @@ def run_sim(
 
     # -- quiescence checks -------------------------------------------------
 
+    resident: dict[int, int] = {}
     if state["failure"] is None:
         try:
             master.ledger.check_invariants()
             result = master.finalize(net.now)
             _check_oracle(result, oracle)
             _check_consistency(master, tracer)
+            resident = _check_memory_bounded(workers, graph, n_workers)
         except AssertionError as exc:
             fail(f"quiescence check failed: {exc}")
 
@@ -392,6 +407,7 @@ def run_sim(
         metrics=master.metrics,
         result=result,
         stale_steal_grants=master.stale_steal_grants,
+        resident=resident,
     )
 
 
@@ -406,6 +422,36 @@ def _check_oracle(result: Any, oracle: Any) -> None:
         f"missing={sorted(map(sorted, oracle.candidates - result.candidates))} "
         f"extra={sorted(map(sorted, result.candidates - oracle.candidates))}"
     )
+
+
+def _check_memory_bounded(
+    workers: list[_SimWorker], graph: Graph, n_workers: int
+) -> dict[int, int]:
+    """The distributed vertex store never reassembles the full graph.
+
+    With more than one worker, each worker's partition table must be a
+    strict subset of the vertex set, and its remote cache must respect
+    its capacity bound. (The sim graphs are tiny, so table + cache can
+    legitimately *reach* |V| — the strict resident < |V| bound is
+    asserted on a larger graph by the cluster integration tests.)
+    """
+    resident: dict[int, int] = {}
+    for worker in workers:
+        reactor = worker.reactor
+        access = getattr(reactor, "access", None)
+        if access is None or reactor.machine is None:
+            continue
+        resident[worker.index] = access.resident_entries()
+        if n_workers > 1:
+            assert len(reactor.machine.table) < graph.num_vertices, (
+                f"worker {worker.index} holds the full graph: table has "
+                f"{len(reactor.machine.table)} of {graph.num_vertices} vertices"
+            )
+        assert len(access.cache) <= access.cache.capacity, (
+            f"worker {worker.index} cache over capacity: "
+            f"{len(access.cache)} > {access.cache.capacity}"
+        )
+    return resident
 
 
 def _traced_size(tracer: Tracer, kind: str) -> int:

@@ -131,6 +131,7 @@ class SimNet:
         self,
         seed: int,
         dup_exempt: Callable[[Any], bool] | None = None,
+        fetch_frames: Callable[[Any], bool] | None = None,
     ):
         self.rng = random.Random(seed)
         self.now = 0.0
@@ -138,6 +139,9 @@ class SimNet:
         #: The deterministic run journal (one line per action).
         self.log: list[str] = []
         self._dup_exempt = dup_exempt or (lambda _msg: False)
+        #: Frames the link's fetch_* fault knobs apply to (the vertex
+        #: fetch traffic; see plan.LinkFaults).
+        self._fetch_frames = fetch_frames or (lambda _msg: False)
         self._heap: list[tuple[float, int, tuple]] = []
         self._seq = itertools.count()
 
@@ -193,7 +197,9 @@ class SimNet:
         if link.cut or dst.closed:
             raise ChannelClosed(f"peer gone on {link.name}")
         faults = link.faults
-        if faults.drop_rate and self.rng.random() < faults.drop_rate:
+        fetch = self._fetch_frames(message)
+        drop_rate = faults.drop_rate + (faults.fetch_drop_rate if fetch else 0.0)
+        if drop_rate and self.rng.random() < drop_rate:
             # A dropped frame is a torn connection: EOF both ways, after
             # whatever was already in flight (FIFO clamp applies).
             link.cut = True
@@ -204,16 +210,18 @@ class SimNet:
             self._push(self._arrival(src, faults.latency), ("deliver", dst, None, "eof"))
             self._push(self._arrival(dst, faults.latency), ("deliver", src, None, "eof"))
             return
-        at = self._arrival(src, faults.latency)
+        latency = faults.latency + (faults.fetch_latency if fetch else 0.0)
+        at = self._arrival(src, latency)
         self._push(at, ("deliver", dst, message, ""))
+        dup_rate = faults.dup_rate + (faults.fetch_dup_rate if fetch else 0.0)
         if (
-            faults.dup_rate
+            dup_rate
             and message is not None
             and not self._dup_exempt(message)
-            and self.rng.random() < faults.dup_rate
+            and self.rng.random() < dup_rate
         ):
             self._push(
-                self._arrival(src, 2 * faults.latency),
+                self._arrival(src, 2 * latency),
                 ("deliver", dst, message, "dup"),
             )
 

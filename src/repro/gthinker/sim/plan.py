@@ -64,6 +64,17 @@ class LinkFaults:
     reorder: bool = False  # lift the per-link FIFO clamp
     drop_rate: float = 0.0  # per-frame chance the connection tears (EOF)
     dup_rate: float = 0.0  # per-frame chance of a second delivery
+    #: Extra faults applied only to vertex-fetch frames (VertexRequest/
+    #: VertexReply — see SimNet's ``fetch_frames`` predicate), additive
+    #: with the per-frame rates above. Fetch traffic is the chattiest
+    #: message class, so it gets its own knobs: slow fetches exercise
+    #: parked-task scheduling, duplicated fetches exercise the
+    #: stateless-re-serve/drop-by-request-id discipline, and a dropped
+    #: fetch tears the link like any other drop (silent loss would
+    #: strand a parked task with no retransmit to save it).
+    fetch_latency: float = 0.0
+    fetch_dup_rate: float = 0.0
+    fetch_drop_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -128,6 +139,9 @@ def generate_plan(seed: int, num_workers: int) -> FaultPlan:
             reorder=rng.random() < 0.25,
             drop_rate=rng.choice([0.0, 0.0, 0.0, 0.002, 0.01]),
             dup_rate=rng.choice([0.0, 0.0, 0.05, 0.15]),
+            fetch_latency=rng.choice([0.0, 0.0, 0.005, 0.02]),
+            fetch_dup_rate=rng.choice([0.0, 0.0, 0.1]),
+            fetch_drop_rate=rng.choice([0.0, 0.0, 0.0, 0.005]),
         )
         roll = rng.random()
         crash_at = restart_at = wedge_at = unwedge_at = None

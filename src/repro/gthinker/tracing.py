@@ -56,6 +56,8 @@ KINDS = (
     "span_begin",  # a timed hot-path span opened (detail: name= t=)
     "span_end",  # a timed hot-path span closed (detail: name= t= dur=)
     "progress",  # periodic live-progress snapshot (coordinator only)
+    "vertex_requested",  # worker asked the owner for remote adjacency
+    "vertex_served",  # master answered a vertex fetch (detail: size=)
 )
 
 #: Kinds emitted by the stealing path. They fire on wall-clock timing in

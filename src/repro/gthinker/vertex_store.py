@@ -5,16 +5,33 @@ machine's *local vertex table* owns the adjacency lists of its
 vertices, and the tables together form a distributed key-value store.
 A task may request any vertex; remote hits are served by the owner and
 memoized in the requester's bounded *remote vertex cache* so concurrent
-tasks share fetched lists. The in-process reproduction resolves pulls
-synchronously but preserves ownership, caching, and message counting so
-the communication behaviour of a run is observable.
+tasks share fetched lists.
+
+Two :class:`~repro.graph.access.GraphAccess` implementations live
+here, one per distribution regime:
+
+* :class:`SharedGraphAccess` — a whole-graph replica (the process
+  pool's fork/shared-memory shipping); every read is local.
+* :class:`RemoteGraphAccess` — one partition's table plus the bounded
+  cache; non-owned vertices must be *admitted* from the wire first
+  (``unresolved`` → VertexRequest → :meth:`RemoteGraphAccess.admit`),
+  with pin counts standing in for the paper's in-flight-task refcounts
+  so a parked task's fetched entries can never be evicted under it.
+
+:class:`DataService` is the in-process resolver over all tables at
+once (serial/threaded/simulated executors); it satisfies the same
+protocol, resolving "remote" reads synchronously while preserving
+ownership, caching, and message counting so the communication
+behaviour of a run is observable.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
 
+from ..graph.access import InMemoryGraphAccess
 from ..graph.adjacency import Graph
 
 
@@ -30,7 +47,7 @@ class LocalVertexTable:
         self.machine_id = machine_id
         self.num_machines = num_machines
         self.partitioner = None  # set by partition(); None = hash scheme
-        self._table: dict[int, list[int]] = {}
+        self._table: dict[int, Sequence[int]] = {}
 
     @classmethod
     def partition(
@@ -39,20 +56,41 @@ class LocalVertexTable:
         """Split `graph` into per-machine tables (the HDFS load step).
 
         `partitioner` defaults to the paper's hash scheme; see
-        `repro.gthinker.partition` for alternatives.
+        `repro.gthinker.partition` for alternatives. Tables store
+        zero-copy adjacency *views* (`Graph.neighbors_view` /
+        `CSRGraph.neighbors_view`), so partitioning never duplicates
+        the graph's adjacency memory — only the per-vertex references.
         """
         tables = [cls(m, num_machines) for m in range(num_machines)]
         if partitioner is None:
             owner = lambda v: owner_of(v, num_machines)  # noqa: E731
         else:
             owner = partitioner.owner
+        view = getattr(graph, "neighbors_view", graph.neighbors)
         for v in graph.vertices():
-            tables[owner(v)]._table[v] = graph.neighbors(v)
+            tables[owner(v)]._table[v] = view(v)
         for t in tables:
             t.partitioner = partitioner
         return tables
 
-    def get(self, vertex: int) -> list[int] | None:
+    @classmethod
+    def from_entries(
+        cls,
+        machine_id: int,
+        num_machines: int,
+        entries: Mapping[int, Sequence[int]],
+    ) -> "LocalVertexTable":
+        """Build one partition's table from shipped ``{vertex: adjacency}``
+        entries (the cluster Welcome's ``table_blob``)."""
+        table = cls(machine_id, num_machines)
+        table._table = {v: tuple(adj) for v, adj in entries.items()}
+        return table
+
+    def entries(self) -> dict[int, tuple[int, ...]]:
+        """Owned adjacency as a plain picklable dict (wire shipping)."""
+        return {v: tuple(adj) for v, adj in self._table.items()}
+
+    def get(self, vertex: int) -> Sequence[int] | None:
         return self._table.get(vertex)
 
     def owns(self, vertex: int) -> bool:
@@ -72,17 +110,19 @@ class RemoteVertexCache:
     The paper evicts entries once no in-flight task references them; an
     LRU bound is the classic refcount-free approximation and keeps the
     same property that matters — bounded memory with cross-task reuse.
+    (The cluster's :class:`RemoteGraphAccess` layers the refcounts back
+    on top as pins for entries a parked task is waiting on.)
     """
 
     def __init__(self, capacity: int):
-        self._capacity = max(1, capacity)
-        self._entries: OrderedDict[int, list[int]] = OrderedDict()
+        self.capacity = max(1, capacity)
+        self._entries: OrderedDict[int, Sequence[int]] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, vertex: int) -> list[int] | None:
+    def get(self, vertex: int) -> Sequence[int] | None:
         with self._lock:
             entry = self._entries.get(vertex)
             if entry is not None:
@@ -92,11 +132,17 @@ class RemoteVertexCache:
                 self.misses += 1
             return entry
 
-    def put(self, vertex: int, adjacency: list[int]) -> None:
+    def peek(self, vertex: int) -> Sequence[int] | None:
+        """Probe without touching hit/miss counters or LRU order (used
+        by availability checks that precede a real lookup)."""
+        with self._lock:
+            return self._entries.get(vertex)
+
+    def put(self, vertex: int, adjacency: Sequence[int]) -> None:
         with self._lock:
             self._entries[vertex] = adjacency
             self._entries.move_to_end(vertex)
-            while len(self._entries) > self._capacity:
+            while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
@@ -105,8 +151,218 @@ class RemoteVertexCache:
             return len(self._entries)
 
 
+class SharedGraphAccess(InMemoryGraphAccess):
+    """Whole-graph replica access (the process pool's workers).
+
+    Semantically identical to :class:`~repro.graph.access.
+    InMemoryGraphAccess`; `origin` records how the replica reached this
+    process ('fork' inheritance or 'shm' shared-memory attach), which
+    is observability-only.
+    """
+
+    def __init__(self, graph, origin: str = "fork"):
+        super().__init__(graph)
+        self.origin = origin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedGraphAccess(origin={self.origin!r}, {self.graph!r})"
+
+
+class RemoteGraphAccess:
+    """:class:`GraphAccess` over one partition plus the remote cache.
+
+    The cluster worker's view of the graph: reads hit the local vertex
+    table first, then pinned entries, then the bounded cache. A vertex
+    in none of those is *unresolved* — the worker must fetch it
+    (VertexRequest → the master → :meth:`admit`) before any task that
+    pulls it can run. Under hash partitioning, a vertex this partition
+    owns but never loaded provably does not exist and resolves to an
+    empty adjacency locally, saving the round trip.
+
+    Pins are the paper's in-flight refcounts: entries a parked task is
+    waiting on are held outside the LRU bound until :meth:`unpin`, so
+    a cache smaller than one task's pull list can never livelock it.
+    """
+
+    def __init__(
+        self,
+        table: LocalVertexTable,
+        cache: RemoteVertexCache,
+        *,
+        partition_id: int = 0,
+        num_partitions: int = 1,
+        hash_partitioned: bool = True,
+    ):
+        self._table = table
+        self.cache = cache
+        self.partition_id = partition_id
+        self.num_partitions = num_partitions
+        self._hash = hash_partitioned
+        self._pinned: dict[int, Sequence[int]] = {}
+        self._pin_refs: dict[int, int] = {}
+        #: Adjacency entries admitted off the wire (the cluster analog
+        #: of DataService.remote_messages).
+        self.remote_messages = 0
+        self.local_reads = 0
+
+    # -- availability ------------------------------------------------------
+
+    def known_absent(self, vertex: int) -> bool:
+        """True when the vertex provably does not exist: under hash
+        partitioning, a vertex this partition owns but never loaded was
+        never in the graph (destination-only ID), so no fetch is needed."""
+        return (
+            self._hash
+            and owner_of(vertex, self.num_partitions) == self.partition_id
+            and not self._table.owns(vertex)
+        )
+
+    def cached(self, vertex: int) -> Sequence[int] | None:
+        """Pinned-or-cached adjacency for a non-owned vertex, or None
+        (counts a cache miss — a None here always precedes a fetch)."""
+        pinned = self._pinned.get(vertex)
+        if pinned is not None:
+            return pinned
+        return self.cache.get(vertex)
+
+    def _lookup(self, vertex: int) -> Sequence[int] | None:
+        local = self._table.get(vertex)
+        if local is not None:
+            self.local_reads += 1
+            return local
+        pinned = self._pinned.get(vertex)
+        if pinned is not None:
+            return pinned
+        if self.known_absent(vertex):
+            # We are the owner and never loaded it: the vertex does not
+            # exist in the graph (destination-only ID).
+            return ()
+        return self.cache.get(vertex)
+
+    def unresolved(self, vertex_ids: Iterable[int]) -> list[int]:
+        missing: list[int] = []
+        seen: set[int] = set()
+        for v in vertex_ids:
+            if v in seen:
+                continue
+            seen.add(v)
+            if self._table.owns(v) or v in self._pinned or self.known_absent(v):
+                continue
+            # A counted get, not a peek: a cached entry here is an
+            # avoided fetch (hit, refreshed to MRU since a read follows)
+            # and a missing one always precedes a VertexRequest (miss).
+            if self.cache.get(v) is None:
+                missing.append(v)
+        return missing
+
+    # -- reads -------------------------------------------------------------
+
+    def neighbors(self, vertex: int) -> Sequence[int]:
+        adj = self._lookup(vertex)
+        if adj is None:
+            raise KeyError(
+                f"vertex {vertex} is not resolvable on partition "
+                f"{self.partition_id}; fetch it first (unresolved/admit)"
+            )
+        return adj
+
+    def degree(self, vertex: int) -> int:
+        return len(self.neighbors(vertex))
+
+    def resolve(self, vertex_ids: Iterable[int]) -> dict[int, Sequence[int]]:
+        frontier: dict[int, Sequence[int]] = {}
+        for v in vertex_ids:
+            adj = self._lookup(v)
+            if adj is None:
+                raise RuntimeError(
+                    f"unresolved remote vertex {v} in a pull batch; the "
+                    f"worker must park the task and fetch before resolving"
+                )
+            frontier[v] = adj
+        return frontier
+
+    def prefetch(self, vertex_ids: Iterable[int]) -> None:
+        """Hint only: the worker reactor batches real fetches itself."""
+
+    def adjacency_mask(self, vertex: int, members: Sequence[int]) -> int:
+        nbr_set = set(self.neighbors(vertex))
+        mask = 0
+        for i, m in enumerate(members):
+            if m in nbr_set:
+                mask |= 1 << i
+        return mask
+
+    # -- wire admission + pinning ------------------------------------------
+
+    def admit(
+        self,
+        entries: Iterable[tuple[int, Sequence[int]]],
+        pin: bool = False,
+    ) -> int:
+        """Install fetched ``(vertex, adjacency)`` entries; returns how
+        many were admitted. With ``pin=True`` each admitted entry is
+        also pinned (one reference) for the task that requested it."""
+        admitted = 0
+        for v, adj in entries:
+            if self._table.owns(v):
+                continue  # raced with nothing: we already own it
+            adj = tuple(adj)
+            self.remote_messages += 1
+            admitted += 1
+            self.cache.put(v, adj)
+            if pin:
+                self._pinned[v] = adj
+                self._pin_refs[v] = self._pin_refs.get(v, 0) + 1
+        return admitted
+
+    def pin(self, vertex_ids: Iterable[int]) -> None:
+        """Take one reference on each currently-cached entry so it
+        survives until :meth:`unpin` (parked-task protection)."""
+        for v in vertex_ids:
+            if self._table.owns(v) or self.known_absent(v):
+                continue
+            entry = self._pinned.get(v)
+            if entry is None:
+                entry = self.cache.peek(v)
+            if entry is None:
+                continue  # will arrive via admit(pin=True)
+            self._pinned[v] = entry
+            self._pin_refs[v] = self._pin_refs.get(v, 0) + 1
+
+    def unpin(self, vertex_ids: Iterable[int]) -> None:
+        for v in vertex_ids:
+            refs = self._pin_refs.get(v)
+            if refs is None:
+                continue
+            if refs <= 1:
+                del self._pin_refs[v]
+                del self._pinned[v]
+            else:
+                self._pin_refs[v] = refs - 1
+
+    # -- footprint ---------------------------------------------------------
+
+    def resident_entries(self) -> int:
+        """Adjacency entries held right now: partition + cache + pins.
+
+        The memory-bounded claim of the distributed vertex store: this
+        stays ≈ |V|/num_partitions + cache capacity, never |V|. Pinned
+        entries that also sit in the cache are counted once.
+        """
+        pinned_only = sum(
+            1 for v in self._pinned if self.cache.peek(v) is None
+        )
+        return len(self._table) + len(self.cache) + pinned_only
+
+
 class DataService:
-    """Per-machine pull resolver over the distributed vertex tables."""
+    """Per-machine pull resolver over the distributed vertex tables.
+
+    The in-process :class:`GraphAccess`: all partitions share one
+    address space (serial/threaded/simulated executors), so "remote"
+    reads are synchronous dictionary hops that preserve the ownership,
+    caching, and message accounting of the real distributed store.
+    """
 
     def __init__(
         self,
@@ -128,13 +384,33 @@ class DataService:
             return self._partitioner.owner(vertex)
         return owner_of(vertex, len(self._tables))
 
-    def resolve(self, vertex_ids: list[int]) -> dict[int, list[int]]:
+    def neighbors(self, vertex: int) -> Sequence[int]:
+        return self.resolve([vertex])[vertex]
+
+    def degree(self, vertex: int) -> int:
+        return len(self.neighbors(vertex))
+
+    def unresolved(self, vertex_ids: Iterable[int]) -> list[int]:
+        return []  # every table is one dictionary hop away
+
+    def prefetch(self, vertex_ids: Iterable[int]) -> None:
+        pass
+
+    def adjacency_mask(self, vertex: int, members: Sequence[int]) -> int:
+        nbr_set = set(self.neighbors(vertex))
+        mask = 0
+        for i, m in enumerate(members):
+            if m in nbr_set:
+                mask |= 1 << i
+        return mask
+
+    def resolve(self, vertex_ids: Iterable[int]) -> dict[int, Sequence[int]]:
         """Serve a task's pull batch; returns {vertex: adjacency list}.
 
         Vertices absent from the graph resolve to empty lists (a task
         may name a destination-only vertex that was never loaded).
         """
-        frontier: dict[int, list[int]] = {}
+        frontier: dict[int, Sequence[int]] = {}
         for v in vertex_ids:
             local = self._local.get(v)
             if local is not None:

@@ -32,6 +32,8 @@ from repro.gthinker.cluster.protocol import (
     StealGrant,
     StealRequest,
     TaskBatch,
+    VertexReply,
+    VertexRequest,
     Welcome,
     decode_payload,
     encode_frame,
@@ -51,10 +53,15 @@ SAMPLE_MESSAGES = [
         worker_id=2,
         config=EngineConfig(backend="cluster"),
         app_blob=pickle.dumps({"app": True}),
-        graph_blob=None,
+        table_blob=pickle.dumps({0: (2, 4), 2: (0,)}),
+        partition_id=2,
+        num_partitions=4,
+        partition_strategy="hash",
         trace=True,
     ),
     SpawnRange(work_id=7, vertices=(1, 2, 3)),
+    VertexRequest(worker_id=1, request_id=3, vertices=(5, 9, 13)),
+    VertexReply(request_id=3, entries=((5, (1, 9)), (9, (5,)), (13, ()))),
     ResultBatch(
         worker_id=1,
         completed=(7,),

@@ -129,8 +129,15 @@ class TestGoldenTrace:
         payload = report_to_json(report)
         assert set(payload) == {
             "instance", "cpu_count", "rows", "phases", "faults",
-            "slowest_tasks",
+            "slowest_tasks", "fetches",
         }
+        # The golden trace predates the distributed vertex store: no
+        # fetch events, so every counter is zero (and the text report
+        # omits the section entirely).
+        assert set(payload["fetches"]) == {
+            "requests", "served", "vertices_requested", "vertices_served",
+        }
+        assert all(v == 0 for v in payload["fetches"].values())
         assert payload["instance"]["events"] == 21
         assert {row["worker"] for row in payload["rows"]} == {
             "coordinator", "m0/t0", "m1/t0"

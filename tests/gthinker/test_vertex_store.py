@@ -1,9 +1,15 @@
 """Tests for the partitioned vertex table and remote cache."""
 
+import pickle
+
+import pytest
+
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 from repro.gthinker.vertex_store import (
     DataService,
     LocalVertexTable,
+    RemoteGraphAccess,
     RemoteVertexCache,
     owner_of,
 )
@@ -33,6 +39,38 @@ class TestPartition:
         for table in LocalVertexTable.partition(g, 2):
             order = table.vertices_sorted()
             assert order == sorted(order)
+
+
+class TestZeroCopyPartition:
+    """Regression: `partition()` must store adjacency *views* — it used
+    to copy every adjacency list, doubling the graph's memory during
+    the partition step."""
+
+    def test_graph_partition_shares_adjacency_objects(self):
+        g = make_random_graph(14, 0.4, seed=11)
+        tables = LocalVertexTable.partition(g, 2)
+        for v in g.vertices():
+            assert tables[owner_of(v, 2)].get(v) is g.neighbors_view(v)
+
+    def test_csr_partition_shares_target_array(self):
+        csr = CSRGraph.from_graph(make_random_graph(14, 0.4, seed=12))
+        tables = LocalVertexTable.partition(csr, 2)
+        for v in csr.vertices():
+            entry = tables[owner_of(v, 2)].get(v)
+            assert isinstance(entry, memoryview)
+            assert entry.obj is csr._targets
+            assert list(entry) == list(csr.neighbors(v))
+
+    def test_entries_are_picklable_despite_views(self):
+        # Views (memoryviews) can't ride the wire; entries() must
+        # convert, and from_entries() must rebuild an equal table.
+        csr = CSRGraph.from_graph(make_random_graph(10, 0.4, seed=13))
+        table = LocalVertexTable.partition(csr, 2)[0]
+        blob = pickle.dumps(table.entries())
+        rebuilt = LocalVertexTable.from_entries(0, 2, pickle.loads(blob))
+        assert len(rebuilt) == len(table)
+        for v in table.vertices_sorted():
+            assert tuple(rebuilt.get(v)) == tuple(table.get(v))
 
 
 class TestCache:
@@ -118,6 +156,107 @@ class TestCustomPartitioner:
         out = svc.resolve(sorted(g.vertices()))
         for v in g.vertices():
             assert out[v] == g.neighbors(v)
+
+
+class TestRemoteGraphAccess:
+    """The cluster worker's partition-plus-cache view of the graph."""
+
+    def make(self, seed=7, capacity=4):
+        g = make_random_graph(12, 0.4, seed=seed)
+        tables = LocalVertexTable.partition(g, 2)
+        access = RemoteGraphAccess(
+            tables[0], RemoteVertexCache(capacity),
+            partition_id=0, num_partitions=2,
+        )
+        return g, tables, access
+
+    def test_owned_reads_are_local(self):
+        g, tables, access = self.make()
+        for v in tables[0].vertices_sorted():
+            assert access.unresolved([v]) == []
+            assert list(access.neighbors(v)) == list(g.neighbors(v))
+        assert access.remote_messages == 0
+
+    def test_unresolved_lists_non_owned_uncached_once(self):
+        g, tables, access = self.make()
+        remote = tables[1].vertices_sorted()
+        assert access.unresolved(remote + remote) == remote  # deduped
+
+    def test_neighbors_raises_before_admit(self):
+        _, tables, access = self.make()
+        v = tables[1].vertices_sorted()[0]
+        with pytest.raises(KeyError):
+            access.neighbors(v)
+        with pytest.raises(RuntimeError):
+            access.resolve([v])
+
+    def test_admit_makes_vertices_resolvable(self):
+        g, tables, access = self.make(capacity=16)
+        remote = tables[1].vertices_sorted()
+        access.admit((v, g.neighbors(v)) for v in remote)
+        assert access.unresolved(remote) == []
+        for v in remote:
+            assert tuple(access.neighbors(v)) == tuple(g.neighbors(v))
+        assert access.remote_messages == len(remote)
+
+    def test_admit_skips_owned_vertices(self):
+        g, tables, access = self.make()
+        own = tables[0].vertices_sorted()[0]
+        assert access.admit([(own, ())]) == 0
+        assert list(access.neighbors(own)) == list(g.neighbors(own))
+
+    def test_known_absent_owner_gap_resolves_empty(self):
+        # Vertex 98 is even → partition 0 owns it under hash; it was
+        # never loaded, so it provably does not exist: no fetch needed.
+        _, _, access = self.make()
+        assert access.known_absent(98)
+        assert access.unresolved([98]) == []
+        assert access.neighbors(98) == ()
+        # An odd (non-owned) unknown vertex *does* need a fetch.
+        assert not access.known_absent(99)
+        assert access.unresolved([99]) == [99]
+
+    def test_no_absence_shortcut_for_non_hash_partitioning(self):
+        g = make_random_graph(12, 0.4, seed=8)
+        tables = LocalVertexTable.partition(g, 2)
+        access = RemoteGraphAccess(
+            tables[0], RemoteVertexCache(4),
+            partition_id=0, num_partitions=2, hash_partitioned=False,
+        )
+        assert not access.known_absent(98)
+        assert access.unresolved([98]) == [98]
+
+    def test_pins_survive_eviction(self):
+        # A cache smaller than a task's pull list: pinned entries must
+        # outlive LRU pressure until unpin (the anti-livelock property).
+        g, tables, access = self.make(capacity=1)
+        remote = tables[1].vertices_sorted()
+        assert len(remote) >= 3
+        access.admit(((v, g.neighbors(v)) for v in remote), pin=True)
+        assert access.unresolved(remote) == []  # all pinned
+        for v in remote:
+            assert tuple(access.neighbors(v)) == tuple(g.neighbors(v))
+        access.unpin(remote)
+        # Only the cache's single slot survives the unpin.
+        assert len(access.unresolved(remote)) == len(remote) - 1
+
+    def test_pin_refcounts_release_once_per_unpin(self):
+        g, tables, access = self.make(capacity=1)
+        v = tables[1].vertices_sorted()[0]
+        access.admit([(v, g.neighbors(v))], pin=True)
+        access.pin([v])  # second task parks on the same vertex
+        access.unpin([v])
+        assert access.unresolved([v]) == []  # still pinned by task 2
+        access.unpin([v])
+        access.cache.put(-1, ())  # evicts v from the 1-slot cache
+        assert access.unresolved([v]) == [v]
+
+    def test_resident_entries_never_double_counts(self):
+        g, tables, access = self.make(capacity=8)
+        remote = tables[1].vertices_sorted()
+        access.admit(((v, g.neighbors(v)) for v in remote), pin=True)
+        # Every pinned entry also sits in the cache: counted once.
+        assert access.resident_entries() == len(tables[0]) + len(remote)
 
 
 class TestRemoteMisses:
